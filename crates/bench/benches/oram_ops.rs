@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the ORAM protocol engines: per-access
+//! protocol cost for every scheme, Path ORAM for contrast, and the
+//! simulation drivers' throughput.
+
+use aboram_core::{AccessKind, CountingSink, OramConfig, PathOram, RingOram, Scheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench_ring_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_access");
+    for scheme in
+        [Scheme::PlainRing, Scheme::Baseline, Scheme::Ir, Scheme::DR, Scheme::NS, Scheme::Ab]
+    {
+        let cfg = OramConfig::builder(10, scheme).seed(1).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // Warm the protocol so steady-state cost is measured.
+        for _ in 0..20_000 {
+            oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink).unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.to_string()),
+            &scheme,
+            |b, _| {
+                b.iter(|| {
+                    let block = rng.gen_range(0..blocks);
+                    oram.access(AccessKind::Read, block, None, &mut sink).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_path_oram_access(c: &mut Criterion) {
+    let cfg = OramConfig::builder(10, Scheme::PlainRing).seed(1).build().unwrap();
+    let mut oram = PathOram::new(&cfg).unwrap();
+    let mut sink = CountingSink::new();
+    let blocks = cfg.real_block_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    c.bench_function("path_oram_access", |b| {
+        b.iter(|| {
+            let block = rng.gen_range(0..blocks);
+            oram.access(block, &mut sink).unwrap()
+        })
+    });
+}
+
+fn bench_data_path(c: &mut Criterion) {
+    let cfg = OramConfig::builder(10, Scheme::Ab).store_data(true).seed(1).build().unwrap();
+    let mut oram = RingOram::new(&cfg).unwrap();
+    let mut sink = CountingSink::new();
+    let blocks = cfg.real_block_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    c.bench_function("ring_access_with_encryption", |b| {
+        b.iter(|| {
+            let block = rng.gen_range(0..blocks);
+            oram.read(block, &mut sink).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_ring_access, bench_path_oram_access, bench_data_path);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the substrates: crypto engine, DRAM
+//! scheduler, trace generation and the cache hierarchy.
+
+use aboram_crypto::BlockCipher;
+use aboram_dram::{DramConfig, MemOpKind, MemorySystem, Priority};
+use aboram_trace::{profiles, CacheConfig, CacheHierarchy, MemOp, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_cipher(c: &mut Criterion) {
+    let cipher = BlockCipher::new([9u8; 32]);
+    let block = [0x5au8; 64];
+    let mut group = c.benchmark_group("cipher");
+    group.throughput(Throughput::Bytes(64));
+    let mut ctr = 0u64;
+    group.bench_function("seal", |b| {
+        b.iter(|| {
+            ctr += 1;
+            cipher.seal(&block, 0x1000, ctr)
+        })
+    });
+    let sealed = cipher.seal(&block, 0x1000, 42);
+    group.bench_function("open", |b| b.iter(|| cipher.open(&sealed, 0x1000, 42).unwrap()));
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.bench_function("streaming_reads_per_request", |b| {
+        b.iter_batched(
+            || MemorySystem::new(DramConfig::default()),
+            |mut mem| {
+                for i in 0..512u64 {
+                    mem.enqueue(MemOpKind::Read, i * 64, Priority::Online, 0, 0);
+                }
+                mem.drain();
+                mem.stats().last_completion()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("random_mixed_per_request", |b| {
+        b.iter_batched(
+            || MemorySystem::new(DramConfig::default()),
+            |mut mem| {
+                let mut state = 0x9e3779b97f4a7c15u64;
+                for i in 0..512u64 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let kind = if i % 3 == 0 { MemOpKind::Write } else { MemOpKind::Read };
+                    mem.enqueue(kind, (state >> 20) & !63, Priority::Offline, 1, i * 4);
+                }
+                mem.drain();
+                mem.stats().last_completion()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+    let mut gen = TraceGenerator::new(&profile, 3);
+    c.bench_function("trace_generate_record", |b| b.iter(|| gen.next_record()));
+
+    let mut caches = CacheHierarchy::new(CacheConfig::default());
+    let mut addr = 0u64;
+    c.bench_function("cache_hierarchy_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(4096);
+            caches.access(MemOp::Read, addr % (1 << 28))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cipher, bench_dram, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 2 — dead blocks over time.
+//!
+//! Tracks the total number of dead blocks in the ORAM tree as online
+//! accesses proceed, for three individual benchmarks (mcf, lbm, xz) and the
+//! average of the whole SPEC-like suite, on the plain Ring ORAM setting the
+//! paper's motivation section uses. The paper's curve rises quickly and
+//! stabilizes (~18 % of tree space for the 24-level, Z = 12 tree).
+
+use aboram_bench::{emit, Experiment};
+use aboram_core::{AccessKind, CountingSink, RingOram, Scheme};
+use aboram_stats::TimeSeries;
+use aboram_trace::{profiles, TraceGenerator};
+
+fn main() {
+    let env = Experiment::from_env();
+    // The motivational study uses the plain Ring ORAM tree (Z = 12, S = 7).
+    let cfg = env.config(Scheme::PlainRing).expect("valid config");
+    let total_accesses = env.protocol_accesses;
+    let samples = 40u64;
+    let sample_every = (total_accesses / samples).max(1);
+
+    let mut all_series: Vec<TimeSeries> = Vec::new();
+    let suite = profiles::spec2017();
+    for profile in &suite {
+        let mut oram = RingOram::new(&cfg).expect("engine builds");
+        let mut sink = CountingSink::new();
+        let mut gen = TraceGenerator::new(profile, env.seed);
+        let blocks = cfg.real_block_count();
+        let mut series =
+            TimeSeries::new(profile.name, "online accesses", "dead blocks");
+        for i in 0..total_accesses {
+            let rec = gen.next_record();
+            let block = (rec.addr / 64) % blocks;
+            oram.access(AccessKind::Read, block, None, &mut sink).expect("protocol ok");
+            if i % sample_every == 0 {
+                series.push(oram.stats().online_accesses() as f64, oram.stats().dead_total() as f64);
+            }
+        }
+        all_series.push(series);
+    }
+    let average = TimeSeries::average("average", &all_series);
+
+    let mut out = String::from("# Fig. 2 — dead blocks over time\n\n");
+    out.push_str(&format!(
+        "tree: {} levels (plain Ring ORAM, Z = 12); total slots = {}\n\n",
+        env.levels,
+        cfg.geometry().expect("geometry").total_slots()
+    ));
+    for name in ["mcf", "lbm", "xz"] {
+        let s = all_series.iter().find(|s| s.name() == name).expect("benchmark in suite");
+        out.push_str(&format!("## {name}\n\n{}\n", s.to_csv()));
+    }
+    out.push_str(&format!("## average (all {} benchmarks)\n\n{}\n", suite.len(), average.to_csv()));
+
+    let stable = average.tail_mean(5).unwrap_or(0.0);
+    let fraction = stable / cfg.geometry().expect("geometry").total_slots() as f64;
+    out.push_str(&format!(
+        "\nstabilized dead blocks: {:.0} ({:.1} % of tree slots; paper: ~18 % at L = 24)\n",
+        stable,
+        100.0 * fraction
+    ));
+    emit("fig02_dead_blocks_over_time.md", &out);
+}

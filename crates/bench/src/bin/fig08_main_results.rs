@@ -1,0 +1,128 @@
+//! Fig. 8 — the paper's main result: (a) normalized space consumption,
+//! (b) space utilization, (c) normalized execution time with a breakdown by
+//! protocol operation, for Baseline / IR / DR / NS / AB. Also emits the
+//! Fig. 9 bandwidth comparison, which comes from the same runs.
+//!
+//! Scale with `ABORAM_LEVELS`, `ABORAM_WARMUP`, `ABORAM_TIMED`; restrict the
+//! benchmark list with `ABORAM_BENCHES=<n>`.
+
+use aboram_bench::{emit, evaluated_schemes, Experiment};
+use aboram_core::{OramConfig, OramOp, Scheme};
+use aboram_stats::{geometric_mean, Table};
+use aboram_trace::profiles;
+
+fn main() {
+    let env = Experiment::from_env();
+    let bench_count = std::env::var("ABORAM_BENCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+
+    // ---- Fig. 8a / 8b: closed-form space, at this scale and at L = 24.
+    let mut space = Table::new(
+        "Fig. 8a/8b — normalized space and utilization",
+        &["scheme", "norm. space (this L)", "util % (this L)", "norm. space (L=24)", "util % (L=24)"],
+    );
+    let base_here = env.config(Scheme::Baseline).expect("config");
+    let base_here = base_here.geometry().expect("geometry").space_report(base_here.real_block_count());
+    let base_24 = OramConfig::paper_scale(Scheme::Baseline).build().expect("config");
+    let base_24 = base_24.geometry().expect("geometry").space_report(base_24.real_block_count());
+    for scheme in evaluated_schemes() {
+        let here = env.config(scheme).expect("config");
+        let here = here.geometry().expect("geometry").space_report(here.real_block_count());
+        let paper = OramConfig::paper_scale(scheme).build().expect("config");
+        let paper = paper.geometry().expect("geometry").space_report(paper.real_block_count());
+        space.row(
+            &[&scheme.to_string()],
+            &[
+                here.normalized_to(&base_here),
+                100.0 * here.utilization(),
+                paper.normalized_to(&base_24),
+                100.0 * paper.utilization(),
+            ],
+        );
+    }
+
+    // ---- Fig. 8c: timed runs. Warm each scheme once, reuse across
+    // benchmarks (the protocol steady state is benchmark-independent).
+    let suite: Vec<_> = profiles::spec2017().into_iter().take(bench_count).collect();
+    let mut time = Table::new(
+        "Fig. 8c — normalized execution time",
+        &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
+    );
+    let mut breakdown = Table::new(
+        "Fig. 8c breakdown — bus-cycle share per operation (suite average)",
+        &["scheme", "readPath %", "evictPath %", "earlyReshuffle %", "bgEvict %", "metadata %"],
+    );
+    let mut bandwidth = Table::new(
+        "Fig. 9 — bandwidth relative to Baseline",
+        &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
+    );
+
+    let mut warmed = Vec::new();
+    for scheme in evaluated_schemes() {
+        eprintln!("[warming {scheme}]");
+        warmed.push((scheme, env.warmed_oram(scheme).expect("warm-up ok")));
+    }
+
+    let mut norm_by_scheme: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut frac_sums = [[0.0f64; 5]; 5];
+    for profile in &suite {
+        eprintln!("[benchmark {}]", profile.name);
+        let mut exec = [0f64; 5];
+        let mut bw = [0f64; 5];
+        for (k, (_, oram)) in warmed.iter().enumerate() {
+            let report = env.timed_run(oram.clone(), profile).expect("timed run ok");
+            exec[k] = report.exec_cycles as f64;
+            bw[k] = report.bandwidth();
+            for (j, op) in OramOp::ALL.into_iter().enumerate() {
+                frac_sums[k][j] += report.breakdown.fraction(op);
+            }
+        }
+        let base = exec[0];
+        let base_bw = bw[0];
+        let normalized: Vec<f64> = exec.iter().map(|e| e / base).collect();
+        for (k, n) in normalized.iter().enumerate() {
+            norm_by_scheme[k].push(*n);
+        }
+        time.row(&[profile.name], &normalized);
+        bandwidth.row(&[profile.name], &bw.iter().map(|b| b / base_bw).collect::<Vec<_>>());
+    }
+    let means: Vec<f64> = norm_by_scheme.iter().map(|v| geometric_mean(v)).collect();
+    time.row(&["geomean"], &means);
+    for (k, (scheme, _)) in warmed.iter().enumerate() {
+        let n = suite.len() as f64;
+        breakdown.row(
+            &[&scheme.to_string()],
+            &[
+                100.0 * frac_sums[k][0] / n,
+                100.0 * frac_sums[k][1] / n,
+                100.0 * frac_sums[k][2] / n,
+                100.0 * frac_sums[k][3] / n,
+                100.0 * frac_sums[k][4] / n,
+            ],
+        );
+    }
+
+    let mut out = String::from("# Fig. 8 — main space and performance results\n\n");
+    out.push_str(&format!(
+        "tree: {} levels; warm-up {} accesses/scheme; timed window {} records/benchmark\n\n",
+        env.levels, env.warmup, env.timed
+    ));
+    out.push_str(&space.to_markdown());
+    out.push('\n');
+    out.push_str(&time.to_markdown());
+    out.push('\n');
+    out.push_str(&breakdown.to_markdown());
+    out.push_str("\npaper: DR 0.75x space / +3 % time; NS 0.81x / ~0 %; AB 0.645x / +4 %; IR ~1.0x space / +4 % time.\n");
+    out.push_str("\nCSV (Fig. 8c):\n");
+    out.push_str(&time.to_csv());
+    emit("fig08_main_results.md", &out);
+
+    let mut out9 = String::from("# Fig. 9 — bandwidth impact\n\n");
+    out9.push_str(&bandwidth.to_markdown());
+    out9.push_str("\npaper: AB increases bandwidth usage by ~1 % on average.\n");
+    out9.push_str("\nCSV:\n");
+    out9.push_str(&bandwidth.to_csv());
+    emit("fig09_bandwidth.md", &out9);
+}

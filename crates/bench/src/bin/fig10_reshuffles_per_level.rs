@@ -1,0 +1,49 @@
+//! Fig. 10 — number of earlyReshuffles across the levels, per scheme.
+//!
+//! Paper shape: DR stays closest to Baseline thanks to the S extension; NS
+//! jumps at the two shrunken levels; AB sits between, elevated over its
+//! bottom three levels.
+
+use aboram_bench::{emit, evaluated_schemes, Experiment};
+use aboram_core::{AccessKind, CountingSink, RingOram};
+use aboram_stats::Table;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let env = Experiment::from_env();
+    let show_levels = 8.min(env.levels);
+    let mut headers: Vec<String> = vec!["scheme".to_string()];
+    for l in (env.levels - show_levels)..env.levels {
+        headers.push(format!("L{l}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig. 10 — earlyReshuffles per level ({} accesses)", env.protocol_accesses),
+        &header_refs,
+    );
+
+    for scheme in evaluated_schemes() {
+        eprintln!("[running {scheme}]");
+        let cfg = env.config(scheme).expect("config");
+        let mut oram = RingOram::new(&cfg).expect("engine builds");
+        let mut sink = CountingSink::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
+        let blocks = cfg.real_block_count();
+        for _ in 0..env.protocol_accesses {
+            oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)
+                .expect("protocol ok");
+        }
+        let r = &oram.stats().reshuffles;
+        let row: Vec<f64> =
+            ((env.levels - show_levels)..env.levels).map(|l| r.get(l) as f64).collect();
+        table.row(&[&scheme.to_string()], &row);
+    }
+
+    let mut out = String::from("# Fig. 10 — reshuffles across the levels\n\n");
+    out.push_str(&format!("tree: {} levels; bottom {} levels shown\n\n", env.levels, show_levels));
+    out.push_str(&table.to_markdown());
+    out.push_str("\npaper shape: DR ~= Baseline; NS spikes at its two shrunken levels; AB elevated on its bottom three.\n");
+    out.push_str("\nCSV:\n");
+    out.push_str(&table.to_csv());
+    emit("fig10_reshuffles_per_level.md", &out);
+}

@@ -1,0 +1,55 @@
+//! Fig. 13 — NS design exploration.
+//!
+//! Sweeps `Ly-Sx` (shrink S by `x` for the bottom `y` levels) on the CB
+//! baseline and reports normalized space and time. The paper picks L2-S2
+//! for NS and L3-S1 for AB from this sweep; aggressive settings like L3-S3
+//! degrade performance sharply.
+
+use aboram_bench::{emit, Experiment};
+use aboram_core::Scheme;
+use aboram_stats::Table;
+use aboram_trace::profiles;
+
+fn main() {
+    let env = Experiment::from_env();
+    let base_cfg = env.config(Scheme::Baseline).expect("config");
+    let base_space =
+        base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
+    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
+
+    eprintln!("[baseline warm-up + run]");
+    let base_oram = env.warmed_oram(Scheme::Baseline).expect("warm-up ok");
+    let base_report = env.timed_run(base_oram, &profile).expect("timed run ok");
+
+    let mut table = Table::new(
+        "Fig. 13 — NS exploration (Ly-Sx on the CB baseline)",
+        &["config", "normalized space", "normalized time"],
+    );
+    table.row(&["Baseline"], &[1.0, 1.0]);
+    for y in 1..=3u8 {
+        for x in 1..=3u8 {
+            let scheme = Scheme::Ns { bottom_levels: y, shrink: x };
+            eprintln!("[L{y}-S{x} warm-up + run]");
+            let cfg = env.config(scheme).expect("config");
+            let space = cfg
+                .geometry()
+                .expect("geometry")
+                .space_report(cfg.real_block_count())
+                .normalized_to(&base_space);
+            let oram = env.warmed_oram(scheme).expect("warm-up ok");
+            let report = env.timed_run(oram, &profile).expect("timed run ok");
+            table.row(
+                &[&format!("L{y}-S{x}")],
+                &[space, report.exec_cycles as f64 / base_report.exec_cycles as f64],
+            );
+        }
+    }
+
+    let mut out = String::from("# Fig. 13 — NS design exploration\n\n");
+    out.push_str(&format!("tree: {} levels; timed on mcf\n\n", env.levels));
+    out.push_str(&table.to_markdown());
+    out.push_str("\npaper choice: L2-S2 for NS, L3-S1 inside AB; L3-S3 shows large degradation.\n");
+    out.push_str("\nCSV:\n");
+    out.push_str(&table.to_csv());
+    emit("fig13_ns_exploration.md", &out);
+}

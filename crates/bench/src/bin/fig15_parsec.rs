@@ -1,0 +1,70 @@
+//! Fig. 15 — generalizability over PARSEC-like applications.
+//!
+//! Repeats the main performance experiment with the PARSEC suite. Space
+//! results are workload-independent; DR/AB should again land within a few
+//! percent of Baseline.
+
+use aboram_bench::{emit, evaluated_schemes, Experiment};
+use aboram_core::Scheme;
+use aboram_stats::{geometric_mean, Table};
+use aboram_trace::profiles;
+
+fn main() {
+    let env = Experiment::from_env();
+    let bench_count = std::env::var("ABORAM_BENCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let suite: Vec<_> = profiles::parsec().into_iter().take(bench_count).collect();
+
+    let mut warmed = Vec::new();
+    for scheme in evaluated_schemes() {
+        eprintln!("[warming {scheme}]");
+        warmed.push((scheme, env.warmed_oram(scheme).expect("warm-up ok")));
+    }
+
+    let mut table = Table::new(
+        "Fig. 15 — PARSEC normalized execution time",
+        &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
+    );
+    let mut norms: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for profile in &suite {
+        eprintln!("[benchmark {}]", profile.name);
+        let mut exec = [0f64; 5];
+        for (k, (_, oram)) in warmed.iter().enumerate() {
+            let report = env.timed_run(oram.clone(), profile).expect("timed run ok");
+            exec[k] = report.exec_cycles as f64;
+        }
+        let normalized: Vec<f64> = exec.iter().map(|e| e / exec[0]).collect();
+        for (k, v) in normalized.iter().enumerate() {
+            norms[k].push(*v);
+        }
+        table.row(&[profile.name], &normalized);
+    }
+    table.row(&["geomean"], &norms.iter().map(|v| geometric_mean(v)).collect::<Vec<_>>());
+
+    let base_cfg = env.config(Scheme::Baseline).expect("config");
+    let base = base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
+    let mut space = Table::new(
+        "Fig. 15 — space (workload-independent)",
+        &["scheme", "normalized space"],
+    );
+    for scheme in evaluated_schemes() {
+        let cfg = env.config(scheme).expect("config");
+        let rep = cfg.geometry().expect("geometry").space_report(cfg.real_block_count());
+        space.row(&[&scheme.to_string()], &[rep.normalized_to(&base)]);
+    }
+
+    let mut out = String::from("# Fig. 15 — PARSEC generalizability\n\n");
+    out.push_str(&format!(
+        "tree: {} levels; timed window {} records/benchmark\n\n",
+        env.levels, env.timed
+    ));
+    out.push_str(&table.to_markdown());
+    out.push('\n');
+    out.push_str(&space.to_markdown());
+    out.push_str("\npaper: space savings identical to SPEC; DR ~3 % and AB ~4 % overhead on PARSEC.\n");
+    out.push_str("\nCSV:\n");
+    out.push_str(&table.to_csv());
+    emit("fig15_parsec.md", &out);
+}

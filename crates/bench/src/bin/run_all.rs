@@ -1,0 +1,69 @@
+//! Runs the entire experiment suite — every figure and table binary plus
+//! the ablations — in a sensible order (cheap protocol studies first,
+//! expensive timing sweeps last). Results land in `results/`.
+//!
+//! `cargo run --release -p aboram-bench --bin run_all`
+
+use std::process::Command;
+use std::time::Instant;
+
+const BINARIES: &[&str] = &[
+    // Tables and closed-form results (seconds).
+    "table1_metadata",
+    "table3_config",
+    "table4_benchmarks",
+    // Protocol-level studies (minutes).
+    "fig02_dead_blocks_over_time",
+    "fig03_dead_blocks_per_level",
+    "fig07_security",
+    "fig10_reshuffles_per_level",
+    "fig12_dead_block_lifetime",
+    "fig14_extension_ratio",
+    // Timing studies (tens of minutes in total).
+    "fig04_motivation_tradeoff",
+    "fig11_dr_sensitivity",
+    "fig13_ns_exploration",
+    "fig08_main_results",
+    "fig15_parsec",
+    // Ablations and extensions.
+    "ablation_sweeps",
+    "ablation_dram_priority",
+    "ext_posmap_recursion",
+    "ext_energy",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("executable directory");
+    let started = Instant::now();
+    let mut failures = Vec::new();
+    for (i, name) in BINARIES.iter().enumerate() {
+        let t0 = Instant::now();
+        eprintln!("[{}/{}] {name}", i + 1, BINARIES.len());
+        let status = Command::new(exe_dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {
+                eprintln!("      done in {:.0}s", t0.elapsed().as_secs_f64());
+            }
+            Ok(s) => {
+                eprintln!("      FAILED with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("      could not launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    eprintln!(
+        "\nsuite finished in {:.1} min; {} failures{}",
+        started.elapsed().as_secs_f64() / 60.0,
+        failures.len(),
+        if failures.is_empty() { String::new() } else { format!(": {failures:?}") }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared harness for the paper-figure experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the AB-ORAM
+//! paper (see DESIGN.md's per-experiment index). This library holds the
+//! common machinery: the experiment environment (tree size, warm-up length,
+//! timed-window length — all overridable via `ABORAM_*` environment
+//! variables), per-benchmark timed runs, protocol-level runs, and output
+//! helpers that write both human-readable markdown and machine-readable CSV
+//! under `results/`.
+//!
+//! # Scaling
+//!
+//! The paper's tree is 24 levels (8 GB); the default here is 18 levels so a
+//! full figure regenerates in minutes on a laptop. Space results are exact
+//! closed forms at any size (the binaries print the L = 24 values too);
+//! protocol and timing results are shape-faithful at the default scale.
+//! Set `ABORAM_LEVELS=24 ABORAM_WARMUP=40000000` to approach the paper's
+//! raw scale if you have the memory and patience.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aboram_core::{
+    AccessKind, CountingSink, OramConfig, OramError, RingOram, Scheme, SimulationReport,
+    TimingDriver,
+};
+use aboram_dram::DramConfig;
+use aboram_trace::{BenchmarkProfile, TraceGenerator};
+use std::fs;
+use std::path::PathBuf;
+
+/// Experiment scaling knobs, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Tree levels (`ABORAM_LEVELS`, default 18).
+    pub levels: u8,
+    /// Warm-up accesses before any measurement (`ABORAM_WARMUP`; default
+    /// scales with the tree: 4 protocol sweeps of the leaf level).
+    pub warmup: u64,
+    /// Timed trace records per benchmark (`ABORAM_TIMED`, default 10_000).
+    pub timed: usize,
+    /// Protocol-mode accesses for untimed studies (`ABORAM_PROTOCOL`,
+    /// default 400_000).
+    pub protocol_accesses: u64,
+    /// Base RNG seed (`ABORAM_SEED`, default 2023).
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Reads the environment, falling back to laptop-scale defaults.
+    pub fn from_env() -> Self {
+        let levels = env_u64("ABORAM_LEVELS", 18) as u8;
+        // Two full reverse-lexicographic eviction sweeps (A accesses per
+        // evictPath) — enough for the dead-block census to stabilize.
+        let default_warmup = 2 * (1u64 << (levels - 1)) * 5;
+        Experiment {
+            levels,
+            warmup: env_u64("ABORAM_WARMUP", default_warmup),
+            timed: env_u64("ABORAM_TIMED", 10_000) as usize,
+            protocol_accesses: env_u64("ABORAM_PROTOCOL", 400_000),
+            seed: env_u64("ABORAM_SEED", 2023),
+        }
+    }
+
+    /// The ORAM configuration for `scheme` at this experiment's scale.
+    pub fn config(&self, scheme: Scheme) -> Result<OramConfig, OramError> {
+        OramConfig::builder(self.levels, scheme).seed(self.seed).build()
+    }
+
+    /// Builds and warms an engine for `scheme` with uniform random accesses
+    /// (the §VII warm-up phase).
+    pub fn warmed_oram(&self, scheme: Scheme) -> Result<RingOram, OramError> {
+        use rand::{Rng, SeedableRng};
+        let cfg = self.config(scheme)?;
+        let mut oram = RingOram::new(&cfg)?;
+        let mut sink = CountingSink::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ 0xaaaa);
+        let blocks = cfg.real_block_count();
+        for _ in 0..self.warmup {
+            oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)?;
+        }
+        Ok(oram)
+    }
+
+    /// Runs one benchmark's timed window against a pre-warmed engine and
+    /// returns the cycle-level report.
+    pub fn timed_run(
+        &self,
+        oram: RingOram,
+        profile: &BenchmarkProfile,
+    ) -> Result<SimulationReport, OramError> {
+        let mut driver = TimingDriver::from_oram(oram, DramConfig::default());
+        let mut gen = TraceGenerator::new(profile, self.seed);
+        driver.run((0..self.timed).map(|_| gen.next_record()))
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Writes an experiment artifact under `results/`, creating the directory;
+/// also echoes the content to stdout so running a binary shows the result.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(name);
+        if let Err(e) = fs::write(&path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// The five evaluated schemes in paper order (Fig. 8's x-axis).
+pub fn evaluated_schemes() -> Vec<Scheme> {
+    Scheme::evaluated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let e = Experiment::from_env();
+        assert!(e.levels >= 8);
+        assert!(e.timed > 0);
+        assert!(e.warmup > 0);
+    }
+
+    #[test]
+    fn config_builds_for_all_schemes() {
+        let e = Experiment { levels: 10, warmup: 10, timed: 10, protocol_accesses: 10, seed: 1 };
+        for s in evaluated_schemes() {
+            assert!(e.config(s).is_ok());
+        }
+    }
+
+    #[test]
+    fn warmed_oram_runs() {
+        let e = Experiment { levels: 10, warmup: 500, timed: 10, protocol_accesses: 10, seed: 1 };
+        let oram = e.warmed_oram(Scheme::Ab).unwrap();
+        assert_eq!(oram.stats().user_accesses, 500);
+    }
+}

@@ -1,0 +1,450 @@
+//! ORAM configuration: schemes, paper presets, geometry construction.
+
+use crate::error::OramError;
+use aboram_tree::{Level, LevelConfig, TreeGeometry};
+use std::fmt;
+
+/// Baseline Ring ORAM bucket parameters used throughout the paper:
+/// `Z' = 5`, `S = 7` (plain) or `S = 3, Y = 4` (with bucket compaction).
+pub(crate) const Z_REAL: u8 = 5;
+const PLAIN_S: u8 = 7;
+const CB_S: u8 = 3;
+const CB_Y: u8 = 4;
+/// DR's physical reduction `r` (§V-C1 identifies `r = 2` for this setting).
+const DR_EXTENSION: u8 = 2;
+
+/// Which protocol/optimization stack to run (§VII's evaluated schemes, plus
+/// the configurations the motivation and exploration figures sweep).
+///
+/// Level positions are expressed as *offsets from the leaf level* so scaled
+/// trees keep the paper's shape: for the 24-level paper tree, "bottom 6
+/// levels" means `[L18, L23]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Scheme {
+    /// Plain Ring ORAM, `Z = 12, Z' = 5, S = 7` (§III-B typical setting).
+    PlainRing,
+    /// Ring ORAM + Bucket Compaction `Z = 8, S = 3, Y = 4` — the paper's
+    /// evaluation Baseline.
+    Baseline,
+    /// IR-ORAM's utilization optimization on the Baseline: `Z' = 4` for
+    /// middle levels (`[L10, L18]` of 24) and `Y = 3`.
+    Ir,
+    /// Dead-block reclaim: `Z = 6 (S = 1)` for the bottom `bottom_levels`
+    /// levels, runtime extension by `r = 2` via remote allocation.
+    /// The paper's `DR` uses `bottom_levels = 6` (`[L18, L23]`).
+    Dr {
+        /// How many levels above the leaves shrink and extend.
+        bottom_levels: u8,
+    },
+    /// Non-uniform S: shrink `S` by `shrink` for the bottom `bottom_levels`
+    /// levels, with no runtime extension. The paper's `NS` is `L2-S2`.
+    Ns {
+        /// How many bottom levels shrink.
+        bottom_levels: u8,
+        /// How much `S` shrinks by.
+        shrink: u8,
+    },
+    /// The combined design: `Z = 6 (S = 1)` for leaf offsets 3..=5
+    /// (`[L18, L20]`) and `Z = 5 (S = 0)` for offsets 0..=2 (`[L21, L23]`),
+    /// both DR-extended by 2.
+    Ab,
+    /// Fig. 4's motivational sweep: plain Ring ORAM with `S` reduced by 3
+    /// for the bottom `bottom_levels` levels (`L-x` in the paper).
+    RingShrink {
+        /// How many bottom levels shrink (the `x` in `L-x`).
+        bottom_levels: u8,
+    },
+    /// §V-C1's *strategy (1)*: keep the full CB allocation and extend the
+    /// bucket beyond the baseline (`Z = 8` physical used as a 10-entry
+    /// bucket) via remote allocation. Saves no space but cuts
+    /// earlyReshuffles — the performance-oriented alternative the paper
+    /// describes and sets aside in favour of strategy (2).
+    DrPlus {
+        /// How many levels above the leaves extend.
+        bottom_levels: u8,
+    },
+}
+
+impl Scheme {
+    /// The paper's `DR` preset (bottom six levels).
+    pub const DR: Scheme = Scheme::Dr { bottom_levels: 6 };
+    /// The paper's `NS` preset (`L2-S2`).
+    pub const NS: Scheme = Scheme::Ns { bottom_levels: 2, shrink: 2 };
+
+    /// The five schemes of the main evaluation (Fig. 8), in paper order.
+    pub fn evaluated() -> Vec<Scheme> {
+        vec![Scheme::Baseline, Scheme::Ir, Scheme::DR, Scheme::NS, Scheme::Ab]
+    }
+
+    /// Whether the scheme uses DR remote allocation anywhere.
+    pub fn uses_remote_allocation(&self) -> bool {
+        matches!(self, Scheme::Dr { .. } | Scheme::Ab | Scheme::DrPlus { .. })
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::PlainRing => f.write_str("Ring"),
+            Scheme::Baseline => f.write_str("Baseline"),
+            Scheme::Ir => f.write_str("IR"),
+            Scheme::Dr { bottom_levels: 6 } => f.write_str("DR"),
+            Scheme::Dr { bottom_levels } => write!(f, "DR-B{bottom_levels}"),
+            Scheme::Ns { bottom_levels: 2, shrink: 2 } => f.write_str("NS"),
+            Scheme::Ns { bottom_levels, shrink } => write!(f, "L{bottom_levels}-S{shrink}"),
+            Scheme::Ab => f.write_str("AB"),
+            Scheme::RingShrink { bottom_levels } => write!(f, "L-{bottom_levels}"),
+            Scheme::DrPlus { bottom_levels: 6 } => f.write_str("DR+"),
+            Scheme::DrPlus { bottom_levels } => write!(f, "DR+B{bottom_levels}"),
+        }
+    }
+}
+
+/// Full ORAM instance configuration. Build with [`OramConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OramConfig {
+    /// Tree levels (`L`; the paper uses 24).
+    pub levels: u8,
+    /// Protocol/optimization stack.
+    pub scheme: Scheme,
+    /// `A`: one evictPath per `A` online accesses (paper: 5).
+    pub evict_rate_a: u8,
+    /// Levels (from the root) held in the on-chip treetop cache
+    /// (Table III, following IR-ORAM: top 10 of 24).
+    pub treetop_levels: u8,
+    /// Stash capacity in blocks (Table III: 300).
+    pub stash_capacity: usize,
+    /// Background eviction starts when stash occupancy exceeds this (§III-C).
+    pub bg_evict_threshold: usize,
+    /// DeadQ entries per tracked level (§V-B2: 1000).
+    pub deadq_capacity: usize,
+    /// Number of bottom levels with a DeadQ (§VIII-H: 6).
+    pub deadq_levels: u8,
+    /// Whether to store and encrypt actual block contents (exercises the
+    /// full data path; costs memory proportional to the tree).
+    pub store_data: bool,
+    /// Whether to record per-slot death timestamps for the Fig. 12
+    /// dead-block lifetime study (costs a hash map of live dead slots).
+    pub track_lifetimes: bool,
+    /// RNG seed for deterministic runs.
+    pub seed: u64,
+}
+
+impl OramConfig {
+    /// Starts building a configuration for a tree of `levels` levels running
+    /// `scheme`.
+    pub fn builder(levels: u8, scheme: Scheme) -> OramConfigBuilder {
+        OramConfigBuilder {
+            cfg: OramConfig {
+                levels,
+                scheme,
+                evict_rate_a: 5,
+                treetop_levels: levels.saturating_sub(14).max(1),
+                stash_capacity: 300,
+                bg_evict_threshold: 225,
+                deadq_capacity: 1000,
+                deadq_levels: 6,
+                store_data: false,
+                track_lifetimes: false,
+                seed: 0xAB0A_2023,
+            },
+        }
+    }
+
+    /// The paper's full-scale configuration: 24 levels, treetop 10.
+    pub fn paper_scale(scheme: Scheme) -> OramConfigBuilder {
+        OramConfig::builder(24, scheme)
+    }
+
+    /// Builds the tree geometry for this configuration's scheme.
+    pub fn geometry(&self) -> Result<TreeGeometry, OramError> {
+        let l = self.levels;
+        let cb = LevelConfig::new(Z_REAL, CB_S).with_overlap(CB_Y);
+        let geo = match self.scheme {
+            Scheme::PlainRing => TreeGeometry::uniform(l, LevelConfig::new(Z_REAL, PLAIN_S))?,
+            Scheme::Baseline => TreeGeometry::uniform(l, cb)?,
+            Scheme::Ir => {
+                // Y = 3 everywhere; Z' = 4 for the middle band, which for the
+                // 24-level tree is [L10, L18] — leaf offsets 5..=13.
+                let ir = LevelConfig::new(Z_REAL, CB_S).with_overlap(3);
+                let mut geo = TreeGeometry::uniform(l, ir)?;
+                let first = l.saturating_sub(14);
+                let last = l.saturating_sub(6);
+                if first < last {
+                    geo = geo.override_level_range(
+                        first.max(1),
+                        last.min(l - 1),
+                        ir.with_z_real(4),
+                    )?;
+                }
+                geo
+            }
+            Scheme::Dr { bottom_levels } => {
+                let small = LevelConfig::new(Z_REAL, 1)
+                    .with_overlap(CB_Y)
+                    .with_dynamic_extension(DR_EXTENSION);
+                TreeGeometry::uniform(l, cb)?.override_bottom_levels(bottom_levels, small)?
+            }
+            Scheme::Ns { bottom_levels, shrink } => {
+                if shrink > CB_S {
+                    return Err(OramError::BadParameter {
+                        name: "shrink",
+                        reason: format!("NS shrink {shrink} exceeds baseline S = {CB_S}"),
+                    });
+                }
+                let small = LevelConfig::new(Z_REAL, CB_S - shrink).with_overlap(CB_Y);
+                TreeGeometry::uniform(l, cb)?.override_bottom_levels(bottom_levels, small)?
+            }
+            Scheme::Ab => {
+                // [L18, L20] → offsets 3..=5: S = 1; [L21, L23] → 0..=2: S = 0.
+                let s1 = LevelConfig::new(Z_REAL, 1)
+                    .with_overlap(CB_Y)
+                    .with_dynamic_extension(DR_EXTENSION);
+                let s0 = LevelConfig::new(Z_REAL, 0)
+                    .with_overlap(CB_Y)
+                    .with_dynamic_extension(DR_EXTENSION);
+                TreeGeometry::uniform(l, cb)?
+                    .override_bottom_levels(6, s1)?
+                    .override_bottom_levels(3, s0)?
+            }
+            Scheme::RingShrink { bottom_levels } => {
+                let small = LevelConfig::new(Z_REAL, PLAIN_S - 3);
+                TreeGeometry::uniform(l, LevelConfig::new(Z_REAL, PLAIN_S))?
+                    .override_bottom_levels(bottom_levels, small)?
+            }
+            Scheme::DrPlus { bottom_levels } => {
+                let extended = cb.with_dynamic_extension(DR_EXTENSION);
+                TreeGeometry::uniform(l, cb)?.override_bottom_levels(bottom_levels, extended)?
+            }
+        };
+        Ok(geo)
+    }
+
+    /// Number of protected user blocks (§VII convention: half the baseline
+    /// `Z'` capacity, ≈ 2.5 GB for the 24-level tree).
+    pub fn real_block_count(&self) -> u64 {
+        ((1u64 << self.levels) - 1) * u64::from(Z_REAL) / 2
+    }
+
+    /// First tree level with a DeadQ (bottom `deadq_levels` levels only).
+    pub fn first_deadq_level(&self) -> Level {
+        Level(self.levels.saturating_sub(self.deadq_levels))
+    }
+}
+
+/// Builder for [`OramConfig`] (see [`OramConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct OramConfigBuilder {
+    cfg: OramConfig,
+}
+
+impl OramConfigBuilder {
+    /// Sets the evictPath rate `A`.
+    pub fn evict_rate(mut self, a: u8) -> Self {
+        self.cfg.evict_rate_a = a;
+        self
+    }
+
+    /// Sets how many top levels the treetop cache holds on chip.
+    pub fn treetop_levels(mut self, n: u8) -> Self {
+        self.cfg.treetop_levels = n;
+        self
+    }
+
+    /// Sets stash capacity and background-eviction threshold.
+    pub fn stash(mut self, capacity: usize, bg_threshold: usize) -> Self {
+        self.cfg.stash_capacity = capacity;
+        self.cfg.bg_evict_threshold = bg_threshold;
+        self
+    }
+
+    /// Sets DeadQ capacity per level.
+    pub fn deadq_capacity(mut self, entries: usize) -> Self {
+        self.cfg.deadq_capacity = entries;
+        self
+    }
+
+    /// Sets how many bottom levels keep DeadQ queues.
+    pub fn deadq_levels(mut self, levels: u8) -> Self {
+        self.cfg.deadq_levels = levels;
+        self
+    }
+
+    /// Enables/disables the encrypted data path.
+    pub fn store_data(mut self, yes: bool) -> Self {
+        self.cfg.store_data = yes;
+        self
+    }
+
+    /// Enables/disables dead-block lifetime tracking (Fig. 12).
+    pub fn track_lifetimes(mut self, yes: bool) -> Self {
+        self.cfg.track_lifetimes = yes;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BadParameter`] for inconsistent parameters and
+    /// geometry errors for invalid trees.
+    pub fn build(self) -> Result<OramConfig, OramError> {
+        let c = &self.cfg;
+        if c.levels < 8 {
+            return Err(OramError::BadParameter {
+                name: "levels",
+                reason: format!("need at least 8 levels for the paper's schemes, got {}", c.levels),
+            });
+        }
+        if c.treetop_levels >= c.levels {
+            return Err(OramError::BadParameter {
+                name: "treetop_levels",
+                reason: format!(
+                    "treetop ({}) must be smaller than the tree ({})",
+                    c.treetop_levels, c.levels
+                ),
+            });
+        }
+        if c.evict_rate_a == 0 {
+            return Err(OramError::BadParameter {
+                name: "evict_rate_a",
+                reason: "A must be at least 1".to_string(),
+            });
+        }
+        if c.bg_evict_threshold >= c.stash_capacity {
+            return Err(OramError::BadParameter {
+                name: "bg_evict_threshold",
+                reason: format!(
+                    "background-eviction threshold ({}) must be below stash capacity ({})",
+                    c.bg_evict_threshold, c.stash_capacity
+                ),
+            });
+        }
+        // Force geometry construction so invalid schemes fail here.
+        self.cfg.geometry()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_build() {
+        for scheme in Scheme::evaluated() {
+            let cfg = OramConfig::paper_scale(scheme).build().unwrap();
+            assert_eq!(cfg.levels, 24);
+            assert_eq!(cfg.treetop_levels, 10);
+            let geo = cfg.geometry().unwrap();
+            assert_eq!(geo.levels(), 24);
+        }
+    }
+
+    #[test]
+    fn baseline_and_ab_bucket_sizes() {
+        let base = OramConfig::paper_scale(Scheme::Baseline).build().unwrap().geometry().unwrap();
+        assert_eq!(base.level_config(Level(0)).z_total(), 8);
+        assert_eq!(base.level_config(Level(23)).z_total(), 8);
+
+        let ab = OramConfig::paper_scale(Scheme::Ab).build().unwrap().geometry().unwrap();
+        assert_eq!(ab.level_config(Level(17)).z_total(), 8);
+        assert_eq!(ab.level_config(Level(18)).z_total(), 6);
+        assert_eq!(ab.level_config(Level(20)).z_total(), 6);
+        assert_eq!(ab.level_config(Level(21)).z_total(), 5);
+        assert_eq!(ab.level_config(Level(23)).z_total(), 5);
+        assert!(ab.level_config(Level(23)).has_dynamic_extension());
+    }
+
+    #[test]
+    fn ir_shrinks_middle_z_real() {
+        let ir = OramConfig::paper_scale(Scheme::Ir).build().unwrap().geometry().unwrap();
+        assert_eq!(ir.level_config(Level(9)).z_real, 5);
+        assert_eq!(ir.level_config(Level(10)).z_real, 4);
+        assert_eq!(ir.level_config(Level(18)).z_real, 4);
+        assert_eq!(ir.level_config(Level(19)).z_real, 5);
+        assert_eq!(ir.level_config(Level(0)).overlap_y, 3);
+    }
+
+    #[test]
+    fn dr_and_ns_sweep_parameters() {
+        let dr3 = OramConfig::paper_scale(Scheme::Dr { bottom_levels: 3 })
+            .build()
+            .unwrap()
+            .geometry()
+            .unwrap();
+        assert_eq!(dr3.level_config(Level(20)).z_total(), 8);
+        assert_eq!(dr3.level_config(Level(21)).z_total(), 6);
+
+        let l3s3 = OramConfig::paper_scale(Scheme::Ns { bottom_levels: 3, shrink: 3 })
+            .build()
+            .unwrap()
+            .geometry()
+            .unwrap();
+        assert_eq!(l3s3.level_config(Level(23)).s_dummies, 0);
+        assert!(!l3s3.level_config(Level(23)).has_dynamic_extension());
+    }
+
+    #[test]
+    fn ns_shrink_bounded_by_s() {
+        let err = OramConfig::paper_scale(Scheme::Ns { bottom_levels: 2, shrink: 4 }).build();
+        assert!(matches!(err, Err(OramError::BadParameter { name: "shrink", .. })));
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(OramConfig::builder(4, Scheme::Baseline).build().is_err());
+        assert!(OramConfig::builder(12, Scheme::Baseline).treetop_levels(12).build().is_err());
+        assert!(OramConfig::builder(12, Scheme::Baseline).evict_rate(0).build().is_err());
+        assert!(OramConfig::builder(12, Scheme::Baseline).stash(100, 100).build().is_err());
+        assert!(OramConfig::builder(12, Scheme::Baseline).stash(100, 75).build().is_ok());
+    }
+
+    #[test]
+    fn scheme_display_names_match_paper() {
+        assert_eq!(Scheme::Baseline.to_string(), "Baseline");
+        assert_eq!(Scheme::DR.to_string(), "DR");
+        assert_eq!(Scheme::NS.to_string(), "NS");
+        assert_eq!(Scheme::Ab.to_string(), "AB");
+        assert_eq!(Scheme::Ns { bottom_levels: 3, shrink: 1 }.to_string(), "L3-S1");
+        assert_eq!(Scheme::RingShrink { bottom_levels: 4 }.to_string(), "L-4");
+    }
+
+    #[test]
+    fn real_block_count_scales() {
+        let cfg = OramConfig::builder(12, Scheme::Baseline).build().unwrap();
+        assert_eq!(cfg.real_block_count(), ((1u64 << 12) - 1) * 5 / 2);
+    }
+
+    #[test]
+    fn deadq_level_boundary() {
+        let cfg = OramConfig::paper_scale(Scheme::Ab).build().unwrap();
+        assert_eq!(cfg.first_deadq_level(), Level(18));
+    }
+}
+
+#[cfg(test)]
+mod drplus_tests {
+    use super::*;
+
+    #[test]
+    fn drplus_keeps_baseline_space_and_extends() {
+        let cfg = OramConfig::paper_scale(Scheme::DrPlus { bottom_levels: 6 }).build().unwrap();
+        let geo = cfg.geometry().unwrap();
+        // Physical allocation identical to the CB baseline (no space saved).
+        assert_eq!(geo.level_config(Level(23)).z_total(), 8);
+        assert!(geo.level_config(Level(23)).has_dynamic_extension());
+        assert!(!geo.level_config(Level(17)).has_dynamic_extension());
+        // Extended budget exceeds the baseline's.
+        assert_eq!(geo.level_config(Level(23)).sustained_reads_extended(), 9);
+        assert_eq!(geo.level_config(Level(17)).sustained_reads(), 7);
+        assert_eq!(Scheme::DrPlus { bottom_levels: 6 }.to_string(), "DR+");
+    }
+}

@@ -1,0 +1,374 @@
+//! Cycle-level simulation driver: trace CPU → ORAM controller → DRAM.
+//!
+//! Reproduces the paper's USIMM-based methodology (§VII): a trace-driven
+//! core (fetch 4 / ROB 256) issues LLC misses; each miss becomes one Ring
+//! ORAM access whose online portion blocks the core while maintenance
+//! traffic drains in the background; a cycle-level DRAM model arbitrates
+//! everything. Execution time, the Fig. 8c operation breakdown and the
+//! Fig. 9 bandwidth numbers all come from here.
+
+use crate::config::OramConfig;
+use crate::error::OramError;
+use crate::ring::{AccessKind, RingOram};
+use crate::sink::{OramOp, TimingSink};
+use aboram_crypto::CryptoLatency;
+use aboram_dram::{DramConfig, MemorySystem, RobCpu};
+use aboram_trace::{MemOp, TraceRecord};
+
+/// Bus-cycle attribution per protocol operation (Fig. 8c's stacked bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakdownReport {
+    /// Data-bus cycles consumed by each [`OramOp`] (indexed by tag).
+    pub bus_cycles: [u64; 5],
+}
+
+impl BreakdownReport {
+    /// Total attributed bus cycles.
+    pub fn total(&self) -> u64 {
+        self.bus_cycles.iter().sum()
+    }
+
+    /// The fraction of traffic belonging to `op`.
+    pub fn fraction(&self, op: OramOp) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.bus_cycles[op.tag() as usize] as f64 / t as f64
+        }
+    }
+}
+
+/// End-of-run results of one timing simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Trace records executed.
+    pub records: u64,
+    /// Instructions the trace represents (gaps plus memory ops).
+    pub instructions: u64,
+    /// Execution time in CPU cycles (all instructions retired).
+    pub exec_cycles: u64,
+    /// Per-operation bus attribution.
+    pub breakdown: BreakdownReport,
+    /// Total bytes moved on the memory bus.
+    pub bytes_transferred: u64,
+    /// DRAM row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// User ORAM accesses performed.
+    pub user_accesses: u64,
+    /// Background (dummy) accesses injected.
+    pub background_accesses: u64,
+    /// evictPath operations.
+    pub evict_paths: u64,
+    /// earlyReshuffle operations (all levels).
+    pub early_reshuffles: u64,
+    /// Peak stash occupancy.
+    pub stash_peak: usize,
+}
+
+impl SimulationReport {
+    /// Achieved bandwidth in bytes per CPU cycle.
+    pub fn bandwidth(&self) -> f64 {
+        if self.exec_cycles == 0 {
+            0.0
+        } else {
+            self.bytes_transferred as f64 / self.exec_cycles as f64
+        }
+    }
+
+    /// Instructions per cycle — the USIMM-style performance summary (tiny
+    /// under ORAM, which is the point the paper's slowdown plots make).
+    pub fn ipc(&self) -> f64 {
+        if self.exec_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.exec_cycles as f64
+        }
+    }
+}
+
+/// Drives an LLC-miss trace through a [`RingOram`] engine over the
+/// cycle-level memory system.
+///
+/// # Example
+///
+/// ```
+/// use aboram_core::{OramConfig, Scheme, TimingDriver};
+/// use aboram_dram::DramConfig;
+/// use aboram_trace::{TraceGenerator, profiles};
+///
+/// let cfg = OramConfig::builder(10, Scheme::Baseline).build().unwrap();
+/// let mut driver = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+/// let profile = &profiles::spec2017()[0];
+/// let mut gen = TraceGenerator::new(profile, 1);
+/// let report = driver.run((0..200).map(|_| gen.next_record())).unwrap();
+/// assert!(report.exec_cycles > 0);
+/// assert!(report.user_accesses == 200);
+/// ```
+#[derive(Debug)]
+pub struct TimingDriver {
+    oram: RingOram,
+    sink: TimingSink,
+    cpu: RobCpu,
+    crypto: CryptoLatency,
+    /// The ORAM controller serializes accesses; next access starts after
+    /// the previous one's online portion completes.
+    oram_free_at: u64,
+    /// Optional recursive position-map model (extension study; the paper
+    /// keeps the posmap fully on-chip).
+    posmap_model: Option<crate::recursion::PosMapHierarchy>,
+}
+
+impl TimingDriver {
+    /// Builds the driver with the Table III core model (fetch 4, ROB 256)
+    /// and default crypto-engine latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ORAM construction errors.
+    pub fn new(cfg: &OramConfig, dram: DramConfig) -> Result<Self, OramError> {
+        Ok(Self::from_oram(RingOram::new(cfg)?, dram))
+    }
+
+    /// Builds a driver around an existing (e.g. pre-warmed) engine — lets a
+    /// parameter sweep warm the protocol state once and reuse it across
+    /// timed runs.
+    pub fn from_oram(oram: RingOram, dram: DramConfig) -> Self {
+        TimingDriver {
+            oram,
+            sink: TimingSink::new(MemorySystem::new(dram)),
+            cpu: RobCpu::new(4, 256),
+            crypto: CryptoLatency::default(),
+            oram_free_at: 0,
+            posmap_model: None,
+        }
+    }
+
+    /// Enables the recursive position-map extension: PLB misses charge
+    /// additional (dummy) ORAM accesses, quantifying the cost the paper's
+    /// on-chip-posmap assumption hides.
+    pub fn enable_posmap_recursion(&mut self, cfg: crate::recursion::PlbConfig) {
+        self.posmap_model = Some(crate::recursion::PosMapHierarchy::new(
+            self.oram.config().real_block_count(),
+            cfg,
+        ));
+    }
+
+    /// The recursive position-map model, if enabled.
+    pub fn posmap_model(&self) -> Option<&crate::recursion::PosMapHierarchy> {
+        self.posmap_model.as_ref()
+    }
+
+    /// Replaces the crypto latency model (e.g. [`CryptoLatency::free`] to
+    /// isolate DRAM effects).
+    pub fn set_crypto_latency(&mut self, lat: CryptoLatency) {
+        self.crypto = lat;
+    }
+
+    /// Access to the engine (stats inspection, warm-up by protocol access).
+    pub fn oram_mut(&mut self) -> &mut RingOram {
+        &mut self.oram
+    }
+
+    /// The underlying memory system's statistics (final after
+    /// [`run`](Self::run) returns; used e.g. by the energy model).
+    pub fn memory_stats(&self) -> &aboram_dram::MemoryStats {
+        self.sink.memory().stats()
+    }
+
+    /// Warms the ORAM protocol state with `accesses` uniform random
+    /// accesses that generate no timed memory traffic — the paper's §VII
+    /// methodology (38 M of 40 M trace records warm the tree before the
+    /// timed window).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors (stash overflow).
+    pub fn warm_up(&mut self, accesses: u64) -> Result<(), OramError> {
+        use rand::{Rng, SeedableRng};
+        let mut sink = crate::sink::CountingSink::new();
+        let blocks = self.oram.config().real_block_count();
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(self.oram.config().seed ^ 0x3aa3_5717);
+        for _ in 0..accesses {
+            let block = rng.gen_range(0..blocks);
+            self.oram.access(AccessKind::Read, block, None, &mut sink)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the trace to completion and reports results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ORAM protocol errors (overflow, integrity).
+    pub fn run(
+        &mut self,
+        trace: impl IntoIterator<Item = TraceRecord>,
+    ) -> Result<SimulationReport, OramError> {
+        let mut records = 0u64;
+        let mut instructions = 0u64;
+        let block_count = self.oram.config().real_block_count();
+        // Snapshot so the report covers the timed window only, not warm-up.
+        let (users0, bg0, evicts0, resh0) = {
+            let s = self.oram.stats();
+            (s.user_accesses, s.background_accesses, s.evict_paths, s.reshuffles.total())
+        };
+        for rec in trace {
+            records += 1;
+            instructions += u64::from(rec.inst_gap) + 1;
+            let issue = self.cpu.issue_op(rec.inst_gap);
+            let start = issue.max(self.oram_free_at);
+            self.sink.set_now(start);
+
+            // Every LLC miss (read or writeback) is one ORAM access.
+            let block = (rec.addr / 64) % block_count;
+            let kind = match rec.op {
+                MemOp::Read => AccessKind::Read,
+                MemOp::Write => AccessKind::Write,
+            };
+            // Recursive position-map fetches (extension study) precede the
+            // data access: each PLB miss is one more full ORAM access.
+            if let Some(model) = &mut self.posmap_model {
+                for _ in 0..model.access(block) {
+                    self.oram.dummy_access(&mut self.sink)?;
+                }
+            }
+            self.oram.access(kind, block, None, &mut self.sink)?;
+
+            // The user-visible critical path: the access's online reads plus
+            // the crypto pipeline on the returned blocks.
+            let online = self.sink.take_online_reads();
+            let mut done = start;
+            for id in &online {
+                done = done.max(self.sink.completion_time(*id));
+            }
+            done += self.crypto.burst_cycles(online.len() as u64);
+            if rec.op == MemOp::Read {
+                self.cpu.complete_read_at(done);
+            }
+            // The ORAM controller serializes: the next access begins only
+            // after this one's maintenance traffic (evictPath, reshuffles)
+            // has been serviced. The user's load already completed at
+            // `done`; this models controller occupancy, not load latency.
+            let mut busy_until = done;
+            for id in self.sink.take_all_requests() {
+                busy_until = busy_until.max(self.sink.completion_time(id));
+            }
+            self.oram_free_at = busy_until;
+        }
+
+        let exec_cycles = self.cpu.finish().max(self.oram_free_at);
+        self.sink.memory_mut().drain();
+        let mem = self.sink.memory().stats();
+        let mut breakdown = BreakdownReport::default();
+        for op in OramOp::ALL {
+            breakdown.bus_cycles[op.tag() as usize] = mem.bus_cycles_for_tag(op.tag());
+        }
+        let s = self.oram.stats();
+        Ok(SimulationReport {
+            records,
+            instructions,
+            exec_cycles,
+            breakdown,
+            bytes_transferred: mem.bytes_transferred(),
+            row_hit_rate: mem.row_hit_rate(),
+            user_accesses: s.user_accesses - users0,
+            background_accesses: s.background_accesses - bg0,
+            evict_paths: s.evict_paths - evicts0,
+            early_reshuffles: s.reshuffles.total() - resh0,
+            stash_peak: self.oram.stash_peak(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use aboram_trace::{profiles, TraceGenerator};
+
+    fn small_run(scheme: Scheme, n: usize) -> SimulationReport {
+        let cfg = OramConfig::builder(10, scheme).seed(7).build().unwrap();
+        let mut driver = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+        let mut gen = TraceGenerator::new(&profile, 3);
+        driver.run((0..n).map(|_| gen.next_record())).unwrap()
+    }
+
+    #[test]
+    fn produces_nonzero_timing_and_traffic() {
+        let r = small_run(Scheme::Baseline, 300);
+        assert_eq!(r.records, 300);
+        assert_eq!(r.user_accesses, 300);
+        assert!(r.exec_cycles > 0);
+        assert!(r.bytes_transferred > 0);
+        assert!(r.evict_paths >= 300 / 5 - 1);
+        assert!(r.breakdown.total() > 0);
+        assert!(r.breakdown.fraction(OramOp::ReadPath) > 0.0);
+        assert!(r.breakdown.fraction(OramOp::EvictPath) > 0.0);
+        assert!(r.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn oram_latency_dominates_plain_dram() {
+        // An ORAM access takes thousands of cycles; 100 accesses must take
+        // far longer than 100 plain DRAM reads would.
+        let r = small_run(Scheme::Baseline, 100);
+        assert!(r.exec_cycles > 100 * 200, "exec = {}", r.exec_cycles);
+    }
+
+    #[test]
+    fn ab_scheme_runs_end_to_end() {
+        let r = small_run(Scheme::Ab, 300);
+        assert_eq!(r.user_accesses, 300);
+        assert!(r.early_reshuffles > 0, "shrunken buckets must reshuffle");
+    }
+
+    #[test]
+    fn crypto_latency_knob_changes_time() {
+        let cfg = OramConfig::builder(10, Scheme::Baseline).seed(7).build().unwrap();
+        let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+
+        let mut fast = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        fast.set_crypto_latency(CryptoLatency::free());
+        let mut gen = TraceGenerator::new(&profile, 3);
+        let rf = fast.run((0..200).map(|_| gen.next_record())).unwrap();
+
+        let mut slow = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        slow.set_crypto_latency(CryptoLatency::new(400, 10));
+        let mut gen = TraceGenerator::new(&profile, 3);
+        let rs = slow.run((0..200).map(|_| gen.next_record())).unwrap();
+
+        assert!(rs.exec_cycles > rf.exec_cycles);
+    }
+}
+
+#[cfg(test)]
+mod recursion_tests {
+    use super::*;
+    use crate::config::Scheme;
+    use crate::recursion::PlbConfig;
+    use aboram_trace::{profiles, TraceGenerator};
+
+    #[test]
+    fn posmap_recursion_adds_accesses_and_time() {
+        let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+        // A small on-chip budget forces recursion even at test scale.
+        let tiny = PlbConfig { plb_bytes: 1024, onchip_posmap_bytes: 1024, entry_bytes: 4 };
+        let cfg = OramConfig::builder(10, Scheme::Baseline).seed(7).build().unwrap();
+
+        let mut plain = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        let mut gen = TraceGenerator::new(&profile, 3);
+        let r_plain = plain.run((0..200).map(|_| gen.next_record())).unwrap();
+
+        let mut recursive = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        recursive.enable_posmap_recursion(tiny);
+        let mut gen = TraceGenerator::new(&profile, 3);
+        let r_rec = recursive.run((0..200).map(|_| gen.next_record())).unwrap();
+
+        assert!(r_rec.user_accesses > r_plain.user_accesses, "posmap fetches add accesses");
+        assert!(r_rec.exec_cycles > r_plain.exec_cycles, "and they cost time");
+        assert!(recursive.posmap_model().unwrap().total_misses() > 0);
+    }
+}

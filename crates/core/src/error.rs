@@ -1,0 +1,92 @@
+//! Error type for the ORAM engines.
+
+use aboram_tree::GeometryError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by ORAM construction and access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OramError {
+    /// The tree geometry was invalid.
+    Geometry(GeometryError),
+    /// A configuration parameter was rejected.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A block id beyond the protected capacity was accessed.
+    BlockOutOfRange {
+        /// The rejected block id.
+        block: u64,
+        /// Number of protected blocks.
+        count: u64,
+    },
+    /// The stash exceeded its configured capacity — a protocol failure that
+    /// a correctly configured instance (with background eviction) never hits.
+    StashOverflow {
+        /// Configured stash capacity.
+        capacity: usize,
+    },
+    /// A block fetched from the simulated memory failed authentication.
+    DataIntegrity {
+        /// The physical address whose content failed verification.
+        address: u64,
+    },
+    /// A data-path operation was requested but `store_data` is disabled.
+    DataPathDisabled,
+}
+
+impl fmt::Display for OramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OramError::Geometry(e) => write!(f, "geometry error: {e}"),
+            OramError::BadParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            OramError::BlockOutOfRange { block, count } => {
+                write!(f, "block {block} out of range for {count} protected blocks")
+            }
+            OramError::StashOverflow { capacity } => {
+                write!(f, "stash overflowed its {capacity}-entry capacity")
+            }
+            OramError::DataIntegrity { address } => {
+                write!(f, "block at {address:#x} failed authentication")
+            }
+            OramError::DataPathDisabled => {
+                write!(f, "data path disabled; build the config with store_data(true)")
+            }
+        }
+    }
+}
+
+impl Error for OramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OramError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for OramError {
+    fn from(e: GeometryError) -> Self {
+        OramError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OramError::StashOverflow { capacity: 300 };
+        assert!(e.to_string().contains("300"));
+        let g: OramError = GeometryError::BadLevelCount { levels: 1 }.into();
+        assert!(g.to_string().contains("geometry"));
+        assert!(g.source().is_some());
+    }
+}

@@ -1,0 +1,343 @@
+//! Bucket metadata (Table I): Ring ORAM's block/slot bookkeeping plus
+//! AB-ORAM's remote-allocation extensions, and the bit-exact layout
+//! accounting behind the §VIII-H storage-overhead claim.
+
+use crate::BlockId;
+use aboram_tree::{Level, PathId, SlotId, TreeGeometry};
+
+/// Physical-slot lifecycle under AB-ORAM (§V-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotStatus {
+    /// Written at the last reshuffle; content live until read.
+    Refreshed,
+    /// Content consumed by a readPath; space reclaimable.
+    Dead,
+    /// Handed to the DeadQ / a remote bucket; the home bucket must not
+    /// touch it.
+    Allocated,
+}
+
+/// Metadata for one real block mapped into a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealEntry {
+    /// The block's logical address (`addr` in Table I).
+    pub addr: BlockId,
+    /// The block's current path (`label`).
+    pub label: PathId,
+    /// Logical slot index inside the bucket (`ptr`).
+    pub ptr: u8,
+}
+
+/// Metadata of one bucket.
+///
+/// The bucket exposes a *logical* slot space: its own physical slots
+/// (possibly fewer than the paper's `Z` under DR) plus any slots borrowed
+/// from the level's DeadQ. Logical slot `i` resolves to the bucket's own
+/// physical slot `i` when `i < own_slots`, otherwise to `borrowed[i -
+/// own_slots]` — this is the extra address-mapping level of Fig. 5(b), kept
+/// in cleartext.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BucketMeta {
+    /// `count`: readPaths absorbed since the last refresh.
+    pub count: u8,
+    /// `dynamicS`: dummy budget chosen at the last refresh.
+    pub dynamic_s: u8,
+    /// Real blocks currently mapped here (≤ `Z'`), with their slots.
+    pub entries: Vec<RealEntry>,
+    /// Validity bitmap over logical slots.
+    valid: u16,
+    /// Number of logical slots at the last refresh.
+    pub logical_slots: u8,
+    /// Status of the bucket's *own* physical slots.
+    pub status: Vec<SlotStatus>,
+    /// Remote physical slots backing logical slots `own_slots..` — the
+    /// paper's `remoteAddr`/`remoteInd` entries (at most `R`). Remote slots
+    /// hold reserved dummies only; real blocks always live in own slots
+    /// (see DESIGN.md on why this is the only capacity-consistent reading).
+    pub borrowed: Vec<SlotId>,
+}
+
+impl BucketMeta {
+    /// Creates metadata for a bucket with `own_slots` physical slots, all
+    /// slots initially refreshed and invalid (empty tree).
+    pub fn new(own_slots: u8) -> Self {
+        BucketMeta {
+            count: 0,
+            dynamic_s: 0,
+            entries: Vec::new(),
+            valid: 0,
+            logical_slots: own_slots,
+            status: vec![SlotStatus::Refreshed; usize::from(own_slots)],
+            borrowed: Vec::new(),
+        }
+    }
+
+    /// Whether logical slot `logical` resolves to a borrowed (remote) slot.
+    pub fn is_remote(&self, logical: u8) -> bool {
+        logical >= self.own_slots()
+    }
+
+    /// Number of own physical slots (excludes borrowed).
+    pub fn own_slots(&self) -> u8 {
+        self.status.len() as u8
+    }
+
+    /// Whether logical slot `i` still holds unread content.
+    pub fn is_valid(&self, i: u8) -> bool {
+        self.valid & (1 << i) != 0
+    }
+
+    /// Marks logical slot `i` valid/invalid.
+    pub fn set_valid(&mut self, i: u8, v: bool) {
+        if v {
+            self.valid |= 1 << i;
+        } else {
+            self.valid &= !(1 << i);
+        }
+    }
+
+    /// Number of valid logical slots.
+    pub fn valid_count(&self) -> u8 {
+        self.valid.count_ones() as u8
+    }
+
+    /// The real entry stored for `block`, if present here.
+    pub fn entry_of(&self, block: BlockId) -> Option<&RealEntry> {
+        self.entries.iter().find(|e| e.addr == block)
+    }
+
+    /// Removes and returns the entry for `block`.
+    pub fn take_entry(&mut self, block: BlockId) -> Option<RealEntry> {
+        let i = self.entries.iter().position(|e| e.addr == block)?;
+        Some(self.entries.swap_remove(i))
+    }
+
+    /// The real entry (if any) whose `ptr` is logical slot `i`.
+    pub fn entry_at_slot(&self, i: u8) -> Option<&RealEntry> {
+        self.entries.iter().find(|e| e.ptr == i)
+    }
+
+    /// Logical slots that are valid, optionally excluding real-block slots.
+    pub fn valid_slots(&self, exclude_real: bool) -> Vec<u8> {
+        (0..self.logical_slots)
+            .filter(|&i| self.is_valid(i))
+            .filter(|&i| !exclude_real || self.entry_at_slot(i).is_none())
+            .collect()
+    }
+
+    /// readPath budget left before an earlyReshuffle is due, under a
+    /// sustained budget of `budget` accesses.
+    pub fn needs_reshuffle(&self, budget: u8) -> bool {
+        self.count >= budget
+    }
+}
+
+/// All bucket metadata plus resolution of logical slots to physical slots.
+#[derive(Debug, Clone)]
+pub struct MetadataStore {
+    buckets: Vec<BucketMeta>,
+}
+
+impl MetadataStore {
+    /// Initializes metadata for every bucket of `geometry`.
+    pub fn new(geometry: &TreeGeometry) -> Self {
+        let mut buckets = Vec::with_capacity(geometry.bucket_count() as usize);
+        for raw in 0..geometry.bucket_count() {
+            let level = aboram_tree::BucketId::new(raw).level();
+            let own = geometry.level_config(level).z_total();
+            buckets.push(BucketMeta::new(own));
+        }
+        MetadataStore { buckets }
+    }
+
+    /// Borrow the metadata of `bucket`.
+    pub fn get(&self, bucket: aboram_tree::BucketId) -> &BucketMeta {
+        &self.buckets[bucket.raw() as usize]
+    }
+
+    /// Mutably borrow the metadata of `bucket`.
+    pub fn get_mut(&mut self, bucket: aboram_tree::BucketId) -> &mut BucketMeta {
+        &mut self.buckets[bucket.raw() as usize]
+    }
+
+    /// Resolves a bucket's logical slot to its physical location: the
+    /// logical space is the bucket's own slots followed by its borrowed
+    /// slots (the Fig. 5(b) mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range for the bucket (engine bug).
+    pub fn resolve(&self, bucket: aboram_tree::BucketId, logical: u8) -> SlotId {
+        let meta = self.get(bucket);
+        let own = meta.own_slots();
+        if logical < own {
+            SlotId::new(bucket, logical)
+        } else {
+            meta.borrowed[usize::from(logical - own)]
+        }
+    }
+
+    /// Total buckets tracked.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the store is empty (never true for a valid geometry).
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// Closed-form bit widths of the Table I metadata fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataLayout {
+    /// `Z'` (real-capable slots).
+    pub z_real: u8,
+    /// `Z` (physical bucket size).
+    pub z_total: u8,
+    /// `S` (reserved dummies).
+    pub s_dummies: u8,
+    /// Tree levels `L`.
+    pub levels: u8,
+    /// Number of protected blocks.
+    pub n_block: u64,
+    /// Number of buckets.
+    pub n_bucket: u64,
+    /// `R`: max remote-allocated blocks per bucket.
+    pub r_remote: u8,
+}
+
+impl MetadataLayout {
+    /// Layout for the paper's configuration at tree level granularity.
+    pub fn for_geometry(geometry: &TreeGeometry, level: Level, r_remote: u8) -> Self {
+        let cfg = geometry.level_config(level);
+        MetadataLayout {
+            z_real: cfg.z_real,
+            z_total: cfg.z_total(),
+            s_dummies: cfg.s_dummies,
+            levels: geometry.levels(),
+            n_block: geometry.paper_real_block_count(cfg.z_real),
+            n_bucket: geometry.bucket_count(),
+            r_remote,
+        }
+    }
+
+    /// Bits of the baseline Ring ORAM metadata
+    /// (`count + addr + label + ptr + valid`, Table I).
+    pub fn ring_bits(&self) -> u64 {
+        let log_s = ceil_log2(u64::from(self.s_dummies.max(2)));
+        let log_nblock = ceil_log2(self.n_block);
+        let log_z = ceil_log2(u64::from(self.z_total.max(2)));
+        let zr = u64::from(self.z_real);
+        log_s
+            + zr * log_nblock
+            + zr * (u64::from(self.levels) + 1)
+            + zr * log_z
+            + u64::from(self.z_total)
+    }
+
+    /// Extra bits AB-ORAM adds
+    /// (`remote + remoteAddr + remoteInd + dynamicS + status`, Table I).
+    pub fn aboram_extra_bits(&self) -> u64 {
+        let r = u64::from(self.r_remote);
+        let log_nbucket = ceil_log2(self.n_bucket);
+        let log_z = ceil_log2(u64::from(self.z_total.max(2)));
+        let log_s = ceil_log2(u64::from(self.s_dummies.max(2)));
+        r + r * log_nbucket + r * log_z + log_s + u64::from(self.z_total) * 2
+    }
+
+    /// Total AB-ORAM metadata bits per bucket.
+    pub fn aboram_total_bits(&self) -> u64 {
+        self.ring_bits() + self.aboram_extra_bits()
+    }
+}
+
+fn ceil_log2(v: u64) -> u64 {
+    u64::from(64 - (v.max(2) - 1).leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aboram_tree::{BucketId, LevelConfig};
+
+    #[test]
+    fn validity_bitmap_roundtrip() {
+        let mut m = BucketMeta::new(8);
+        assert_eq!(m.valid_count(), 0);
+        m.set_valid(0, true);
+        m.set_valid(7, true);
+        assert!(m.is_valid(0) && m.is_valid(7) && !m.is_valid(3));
+        assert_eq!(m.valid_count(), 2);
+        m.set_valid(0, false);
+        assert_eq!(m.valid_count(), 1);
+    }
+
+    #[test]
+    fn entries_and_slots() {
+        let mut m = BucketMeta::new(8);
+        m.logical_slots = 8;
+        m.entries.push(RealEntry { addr: 42, label: PathId::new(3), ptr: 2 });
+        for i in 0..4 {
+            m.set_valid(i, true);
+        }
+        assert_eq!(m.entry_of(42).unwrap().ptr, 2);
+        assert!(m.entry_at_slot(2).is_some());
+        assert!(m.entry_at_slot(3).is_none());
+        // Dummy candidates exclude the real slot.
+        assert_eq!(m.valid_slots(true), vec![0, 1, 3]);
+        assert_eq!(m.valid_slots(false), vec![0, 1, 2, 3]);
+        assert_eq!(m.take_entry(42).unwrap().addr, 42);
+        assert!(m.entry_of(42).is_none());
+    }
+
+    #[test]
+    fn store_resolves_borrowed_slots() {
+        let geo = TreeGeometry::uniform(4, LevelConfig::new(2, 1)).unwrap();
+        let mut store = MetadataStore::new(&geo);
+        assert_eq!(store.len(), 15);
+        let b = BucketId::from_level_index(Level(3), 2);
+        let foreign = SlotId::new(BucketId::from_level_index(Level(3), 5), 1);
+        {
+            let m = store.get_mut(b);
+            m.borrowed.push(foreign);
+            m.logical_slots = m.own_slots() + 1;
+        }
+        assert_eq!(store.resolve(b, 0), SlotId::new(b, 0));
+        assert_eq!(store.resolve(b, 3), foreign);
+    }
+
+    #[test]
+    fn remote_boundary_is_own_slot_count() {
+        let mut m = BucketMeta::new(6);
+        m.borrowed.push(SlotId::new(BucketId::new(3), 1));
+        m.logical_slots = 7;
+        assert!(!m.is_remote(5));
+        assert!(m.is_remote(6));
+    }
+
+    /// §VIII-H: Ring metadata ≈ 33 B, AB-ORAM extra ≤ 28 B with R = 6, both
+    /// fitting one 64 B block.
+    #[test]
+    fn paper_metadata_fits_one_block() {
+        let geo = TreeGeometry::uniform(24, LevelConfig::new(5, 7)).unwrap();
+        let layout = MetadataLayout::for_geometry(&geo, Level(23), 6);
+        let ring_bytes = layout.ring_bits() as f64 / 8.0;
+        let extra_bytes = layout.aboram_extra_bits() as f64 / 8.0;
+        assert!(
+            (30.0..=37.0).contains(&ring_bytes),
+            "ring metadata {ring_bytes:.1} B vs paper's 33 B"
+        );
+        assert!(extra_bytes <= 28.0, "AB extra {extra_bytes:.1} B vs paper's 28 B budget");
+        assert!(layout.aboram_total_bits() <= 64 * 8);
+    }
+
+    #[test]
+    fn ceil_log2_basics() {
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(1 << 24), 24);
+    }
+}

@@ -1,0 +1,267 @@
+//! Path ORAM (§III-A) — the substrate protocol Ring ORAM builds on, kept as
+//! an independent engine for cross-protocol comparisons (IR-ORAM was
+//! originally a Path ORAM optimization; §VIII-A discusses the contrast).
+//!
+//! Path ORAM services every request with a full read-path / write-path pair:
+//! `L × Z` block reads and writes per access, against Ring ORAM's one block
+//! per bucket online. The engine shares the stash, position-map and
+//! geometry substrates with [`crate::RingOram`].
+
+use crate::config::OramConfig;
+use crate::error::OramError;
+use crate::posmap::PositionMap;
+use crate::sink::{MemorySink, OramOp};
+use crate::stash::{Stash, StashBlock};
+use crate::{BlockId, BLOCK_BYTES};
+use aboram_tree::{BucketId, Level, PathId, PhysicalLayout, TreeGeometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-bucket state: which real blocks currently sit in the bucket.
+#[derive(Debug, Clone, Default)]
+struct PathBucket {
+    blocks: Vec<(BlockId, PathId)>,
+}
+
+/// A Path ORAM engine.
+///
+/// # Example
+///
+/// ```
+/// use aboram_core::{OramConfig, Scheme, PathOram, CountingSink, OramOp};
+///
+/// let cfg = OramConfig::builder(10, Scheme::PlainRing).build().unwrap();
+/// let mut oram = PathOram::new(&cfg).unwrap();
+/// let mut sink = CountingSink::new();
+/// oram.access(3, &mut sink).unwrap();
+/// // Path ORAM reads and writes whole paths.
+/// assert!(sink.total(OramOp::ReadPath) > 10);
+/// ```
+#[derive(Debug)]
+pub struct PathOram {
+    cfg: OramConfig,
+    geo: TreeGeometry,
+    layout: PhysicalLayout,
+    posmap: PositionMap,
+    buckets: Vec<PathBucket>,
+    stash: Stash,
+    rng: StdRng,
+    accesses: u64,
+}
+
+impl PathOram {
+    /// Builds the engine and bulk-loads all blocks.
+    ///
+    /// Path ORAM uses the whole bucket for real blocks (`Z' = Z`), at 50 %
+    /// load; the configured geometry's `z_real` is the per-bucket capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors; fails with
+    /// [`OramError::StashOverflow`] if bulk load cannot place the blocks.
+    pub fn new(cfg: &OramConfig) -> Result<Self, OramError> {
+        let geo = cfg.geometry()?;
+        let layout = PhysicalLayout::new(&geo);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let blocks = cfg.real_block_count();
+        let posmap = PositionMap::new_random(blocks, geo.leaf_count(), &mut rng);
+        let mut engine = PathOram {
+            cfg: cfg.clone(),
+            buckets: vec![PathBucket::default(); geo.bucket_count() as usize],
+            geo,
+            layout,
+            posmap,
+            stash: Stash::new(cfg.stash_capacity),
+            rng,
+            accesses: 0,
+        };
+        engine.bulk_load()?;
+        Ok(engine)
+    }
+
+    fn bulk_load(&mut self) -> Result<(), OramError> {
+        let levels = self.geo.levels();
+        for block in 0..self.posmap.len() {
+            let label = self.posmap.path_of(block);
+            let mut placed = false;
+            for l in (0..levels).rev() {
+                let bucket = self.geo.bucket_on_path(label, Level(l));
+                let cap = usize::from(self.geo.level_config(Level(l)).z_real);
+                let pb = &mut self.buckets[bucket.raw() as usize];
+                if pb.blocks.len() < cap {
+                    pb.blocks.push((block, label));
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                self.stash.insert(StashBlock { block, label, data: [0; BLOCK_BYTES] });
+                if self.stash.overflowed() {
+                    return Err(OramError::StashOverflow { capacity: self.stash.capacity() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Current stash occupancy.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// One full Path ORAM access: read path, remap, write path (§III-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BlockOutOfRange`] or
+    /// [`OramError::StashOverflow`].
+    pub fn access(
+        &mut self,
+        block: BlockId,
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
+        if block >= self.posmap.len() {
+            return Err(OramError::BlockOutOfRange { block, count: self.posmap.len() });
+        }
+        self.accesses += 1;
+        let label = self.posmap.path_of(block);
+        let new_label = self.posmap.remap(block, &mut self.rng);
+        let path: Vec<BucketId> = self.geo.path_buckets(label).collect();
+
+        // (1) Read path: all Z slots of every bucket into the stash.
+        for &bucket in &path {
+            let z = self.geo.level_config(bucket.level()).z_total();
+            for s in 0..z {
+                if self.off_chip(bucket) {
+                    let addr = self
+                        .layout
+                        .slot_addr(aboram_tree::SlotId::new(bucket, s))
+                        .expect("valid slot");
+                    sink.read(addr, OramOp::ReadPath, true);
+                }
+            }
+            let pb = &mut self.buckets[bucket.raw() as usize];
+            for (b, l) in pb.blocks.drain(..) {
+                self.stash.insert(StashBlock { block: b, label: l, data: [0; BLOCK_BYTES] });
+            }
+        }
+        // (2) Remap.
+        self.stash.relabel(block, new_label);
+        if self.stash.overflowed() {
+            return Err(OramError::StashOverflow { capacity: self.stash.capacity() });
+        }
+
+        // (3) Write path, leaf to root, greedily placing matching blocks.
+        for &bucket in path.iter().rev() {
+            let level = bucket.level();
+            let cap = usize::from(self.geo.level_config(level).z_real);
+            let geo = &self.geo;
+            let candidates =
+                self.stash.matching_blocks(|l| geo.common_prefix_levels(l, label) > level.0);
+            for b in candidates.into_iter().take(cap) {
+                let e = self.stash.remove(b).expect("candidate from stash");
+                self.buckets[bucket.raw() as usize].blocks.push((e.block, e.label));
+            }
+            let z = self.geo.level_config(level).z_total();
+            for s in 0..z {
+                if self.off_chip(bucket) {
+                    let addr = self
+                        .layout
+                        .slot_addr(aboram_tree::SlotId::new(bucket, s))
+                        .expect("valid slot");
+                    sink.write(addr, OramOp::ReadPath, false);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that a block is findable (stash or its path) — test hook.
+    pub fn check_block_reachable(&self, block: BlockId) -> bool {
+        if block >= self.posmap.len() {
+            return false;
+        }
+        if self.stash.get(block).is_some() {
+            return true;
+        }
+        let label = self.posmap.path_of(block);
+        self.geo
+            .path_buckets(label)
+            .any(|bucket| self.buckets[bucket.raw() as usize].blocks.iter().any(|(b, _)| *b == block))
+    }
+
+    fn off_chip(&self, bucket: BucketId) -> bool {
+        bucket.level().0 >= self.cfg.treetop_levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use crate::sink::{CountingSink, OramOp};
+    use rand::{Rng, SeedableRng};
+
+    fn engine(levels: u8) -> PathOram {
+        let cfg = OramConfig::builder(levels, Scheme::PlainRing).seed(5).build().unwrap();
+        PathOram::new(&cfg).unwrap()
+    }
+
+    #[test]
+    fn all_blocks_reachable_after_bulk_load_and_churn() {
+        let mut oram = engine(10);
+        let mut sink = CountingSink::new();
+        let blocks = ((1u64 << 10) - 1) * 5 / 2;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..3_000 {
+            oram.access(rng.gen_range(0..blocks), &mut sink).unwrap();
+        }
+        for b in 0..blocks {
+            assert!(oram.check_block_reachable(b), "block {b} lost");
+        }
+    }
+
+    #[test]
+    fn access_costs_full_paths() {
+        let mut oram = engine(10);
+        let mut sink = CountingSink::new();
+        oram.access(0, &mut sink).unwrap();
+        // With treetop level 1 cached: 9 off-chip buckets x Z = 12, read + write.
+        assert_eq!(sink.reads(OramOp::ReadPath), 9 * 12);
+        assert_eq!(sink.writes(OramOp::ReadPath), 9 * 12);
+    }
+
+    #[test]
+    fn stash_stays_small_at_half_load() {
+        let mut oram = engine(12);
+        let mut sink = CountingSink::new();
+        let blocks = ((1u64 << 12) - 1) * 5 / 2;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            oram.access(rng.gen_range(0..blocks), &mut sink).unwrap();
+        }
+        assert!(oram.stash_len() < 50, "Path ORAM stash should stay small, got {}", oram.stash_len());
+    }
+
+    #[test]
+    fn invalid_block_rejected() {
+        let mut oram = engine(10);
+        let mut sink = CountingSink::new();
+        assert!(oram.access(u64::MAX, &mut sink).is_err());
+    }
+
+    #[test]
+    fn accesses_counted() {
+        let mut oram = engine(10);
+        let mut sink = CountingSink::new();
+        for b in 0..7 {
+            oram.access(b, &mut sink).unwrap();
+        }
+        assert_eq!(oram.accesses(), 7);
+    }
+}

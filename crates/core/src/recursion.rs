@@ -1,0 +1,199 @@
+//! Recursive position-map accounting (optional extension).
+//!
+//! The paper models the position map as fully on-chip (Table III's 64 KB
+//! PLB + 512 KB PosMap), following Freecursive ORAM [13]: the final levels
+//! of the recursive position map fit on chip, and a PLB caches blocks of
+//! the off-chip levels. For a 2.5 GB protected space the first position-map
+//! level alone is ~160 MB, so PLB misses *do* cost extra ORAM accesses in a
+//! real system.
+//!
+//! This module provides the accounting model: how many additional ORAM
+//! accesses each user access incurs, given the PLB and on-chip posmap
+//! budgets. [`crate::TimingDriver`] can enable it to quantify the cost the
+//! paper's assumption hides (an extension study; disabled by default to
+//! match the paper's methodology).
+
+use std::collections::HashMap;
+
+/// On-chip budgets for position-map state (defaults from Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlbConfig {
+    /// PLB capacity in bytes (cache of off-chip posmap blocks).
+    pub plb_bytes: u64,
+    /// On-chip storage for the final recursion levels, in bytes.
+    pub onchip_posmap_bytes: u64,
+    /// Bytes per position-map entry (a path label).
+    pub entry_bytes: u64,
+}
+
+impl Default for PlbConfig {
+    fn default() -> Self {
+        PlbConfig { plb_bytes: 64 * 1024, onchip_posmap_bytes: 512 * 1024, entry_bytes: 4 }
+    }
+}
+
+impl PlbConfig {
+    /// Position-map entries per 64 B block.
+    pub fn entries_per_block(&self) -> u64 {
+        64 / self.entry_bytes
+    }
+}
+
+/// The recursion ladder and PLB model.
+///
+/// Level 0 is the data tree's position map (one entry per protected
+/// block); level `k` stores the position map of level `k-1`, shrinking by
+/// `entries_per_block` each step, until a level fits in the on-chip posmap.
+///
+/// # Example
+///
+/// ```
+/// use aboram_core::{PlbConfig, PosMapHierarchy};
+///
+/// // 41 M protected blocks: the paper-scale tree.
+/// let mut h = PosMapHierarchy::new(41_943_037, PlbConfig::default());
+/// assert!(h.offchip_levels() >= 1, "paper-scale posmap cannot fit on chip");
+/// let extra = h.access(12345);
+/// assert!(extra <= h.offchip_levels());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PosMapHierarchy {
+    /// Entry counts of the off-chip recursion levels, finest first.
+    offchip_levels: Vec<u64>,
+    /// PLB: set of resident (level, posmap-block) pairs with LRU stamps.
+    plb: HashMap<(u8, u64), u64>,
+    plb_capacity_blocks: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    cfg: PlbConfig,
+}
+
+impl PosMapHierarchy {
+    /// Builds the ladder for `protected_blocks` data blocks.
+    pub fn new(protected_blocks: u64, cfg: PlbConfig) -> Self {
+        let mut offchip = Vec::new();
+        let mut entries = protected_blocks;
+        while entries * cfg.entry_bytes > cfg.onchip_posmap_bytes {
+            offchip.push(entries);
+            entries = entries.div_ceil(cfg.entries_per_block());
+        }
+        PosMapHierarchy {
+            offchip_levels: offchip,
+            plb: HashMap::new(),
+            plb_capacity_blocks: (cfg.plb_bytes / 64) as usize,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            cfg,
+        }
+    }
+
+    /// Number of recursion levels that live off-chip.
+    pub fn offchip_levels(&self) -> u32 {
+        self.offchip_levels.len() as u32
+    }
+
+    /// Resolves the position of `block`, returning how many extra ORAM
+    /// accesses (position-map block fetches) the lookup costs. A PLB hit at
+    /// the finest level costs zero; each consecutive miss walks one level
+    /// up the ladder (Freecursive's early termination).
+    pub fn access(&mut self, block: u64) -> u32 {
+        self.clock += 1;
+        let mut extra = 0u32;
+        let mut index = block;
+        for k in 0..self.offchip_levels.len() as u8 {
+            let posmap_block = index / self.cfg.entries_per_block();
+            if self.plb.contains_key(&(k, posmap_block)) {
+                self.plb.insert((k, posmap_block), self.clock);
+                self.hits += 1;
+                return extra;
+            }
+            self.misses += 1;
+            extra += 1;
+            self.insert_plb(k, posmap_block);
+            index = posmap_block;
+        }
+        extra
+    }
+
+    fn insert_plb(&mut self, level: u8, block: u64) {
+        if self.plb.len() >= self.plb_capacity_blocks {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self.plb.iter().min_by_key(|(_, &stamp)| stamp) {
+                self.plb.remove(&victim);
+            }
+        }
+        self.plb.insert((level, block), self.clock);
+    }
+
+    /// PLB hit rate over all level lookups so far.
+    pub fn plb_hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total extra ORAM accesses charged so far.
+    pub fn total_misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_posmap_lives_on_chip() {
+        // 100k entries * 4 B = 400 KB < 512 KB: no recursion needed.
+        let mut h = PosMapHierarchy::new(100_000, PlbConfig::default());
+        assert_eq!(h.offchip_levels(), 0);
+        assert_eq!(h.access(42), 0);
+        assert_eq!(h.total_misses(), 0);
+    }
+
+    #[test]
+    fn paper_scale_needs_two_offchip_levels() {
+        // 41 M entries -> 160 MB; /16 -> 10 MB; /16 -> 655 KB; /16 -> 41 KB on chip.
+        let h = PosMapHierarchy::new(41_943_037, PlbConfig::default());
+        assert_eq!(h.offchip_levels(), 3);
+    }
+
+    #[test]
+    fn locality_turns_misses_into_hits() {
+        let mut h = PosMapHierarchy::new(10_000_000, PlbConfig::default());
+        let cold = h.access(4096);
+        assert!(cold >= 1, "first touch misses");
+        // The same block — and its 15 neighbours in the posmap block — hit.
+        assert_eq!(h.access(4096), 0);
+        assert_eq!(h.access(4097), 0);
+    }
+
+    #[test]
+    fn plb_capacity_is_bounded() {
+        let cfg = PlbConfig { plb_bytes: 64 * 64, ..PlbConfig::default() }; // 64 blocks
+        let mut h = PosMapHierarchy::new(10_000_000, cfg);
+        for b in 0..100_000u64 {
+            let _ = h.access(b * 16);
+        }
+        assert!(h.plb.len() <= 64);
+        assert!(h.plb_hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn random_traffic_pays_more_than_sequential() {
+        let mut seq = PosMapHierarchy::new(50_000_000, PlbConfig::default());
+        let mut rnd = PosMapHierarchy::new(50_000_000, PlbConfig::default());
+        let mut state = 1u64;
+        for i in 0..20_000u64 {
+            let _ = seq.access(i);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let _ = rnd.access((state >> 16) % 50_000_000);
+        }
+        assert!(seq.total_misses() < rnd.total_misses());
+    }
+}

@@ -1,0 +1,95 @@
+//! The empirical security experiment of §VI-C.
+//!
+//! An attacker watching the memory bus sees, per readPath, one block read
+//! from each of the `L` buckets on the path and tries to guess which of the
+//! `L` returned blocks is the real one. Ring ORAM's indistinguishability
+//! means a random guess — success rate `1/L` — is the best strategy; the
+//! experiment verifies AB-ORAM preserves this (the paper measures 0.041670
+//! for AB-ORAM vs 0.041665 baseline on a 24-level tree, both ≈ 1/24).
+
+use crate::config::OramConfig;
+use crate::error::OramError;
+use crate::ring::RingOram;
+use crate::sink::CountingSink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one attacker simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityReport {
+    /// readPaths observed.
+    pub accesses: u64,
+    /// Accesses where the attacker's random guess hit the real block.
+    pub correct_guesses: u64,
+    /// Tree levels (the guess space).
+    pub levels: u8,
+}
+
+impl SecurityReport {
+    /// The attacker's measured success rate.
+    pub fn success_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.correct_guesses as f64 / self.accesses as f64
+        }
+    }
+
+    /// The ideal (indistinguishable) rate `1/L`.
+    pub fn ideal_rate(&self) -> f64 {
+        1.0 / f64::from(self.levels)
+    }
+}
+
+/// Runs the §VI-C experiment: `accesses` uniformly random block requests
+/// against a fresh ORAM built from `cfg`, with the attacker guessing one of
+/// the `L` returned blocks uniformly at random per access.
+///
+/// # Errors
+///
+/// Propagates engine construction/access errors.
+pub fn attack_success_rate(cfg: &OramConfig, accesses: u64) -> Result<SecurityReport, OramError> {
+    let mut oram = RingOram::new(cfg)?;
+    let mut sink = CountingSink::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5ec0_11d5);
+    let blocks = cfg.real_block_count();
+    let mut correct = 0u64;
+    for _ in 0..accesses {
+        let block = rng.gen_range(0..blocks);
+        let served = oram.access_observed(block, &mut sink)?;
+        let guess = rng.gen_range(0..cfg.levels);
+        if served.map(|l| l.0) == Some(guess) {
+            correct += 1;
+        }
+    }
+    Ok(SecurityReport { accesses, correct_guesses: correct, levels: cfg.levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    #[test]
+    fn success_rate_math() {
+        let r = SecurityReport { accesses: 1000, correct_guesses: 40, levels: 24 };
+        assert!((r.success_rate() - 0.04).abs() < 1e-12);
+        assert!((r.ideal_rate() - 1.0 / 24.0).abs() < 1e-12);
+        let empty = SecurityReport { accesses: 0, correct_guesses: 0, levels: 24 };
+        assert_eq!(empty.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn baseline_and_ab_are_close_to_ideal() {
+        for scheme in [Scheme::Baseline, Scheme::Ab] {
+            let cfg = OramConfig::builder(10, scheme).build().unwrap();
+            let report = attack_success_rate(&cfg, 4000).unwrap();
+            let rate = report.success_rate();
+            let ideal = report.ideal_rate();
+            assert!(
+                (rate - ideal).abs() < 0.35 * ideal,
+                "{scheme}: rate {rate:.4} vs ideal {ideal:.4}"
+            );
+        }
+    }
+}

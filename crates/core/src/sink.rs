@@ -1,0 +1,255 @@
+//! Memory back-ends for the ORAM engine.
+//!
+//! The engine emits every off-chip block/metadata access through the
+//! [`MemorySink`] trait. Two implementations cover the paper's two
+//! evaluation modes:
+//!
+//! * [`CountingSink`] — protocol-level runs (dead-block studies, reshuffle
+//!   counts, security experiment) where only traffic *counts* matter;
+//! * [`TimingSink`] — cycle-level runs backed by the `aboram-dram` memory
+//!   system, producing execution times, breakdowns and bandwidth.
+
+use aboram_dram::{MemOpKind, MemorySystem, Priority, RequestId};
+use aboram_tree::SlotAddr;
+
+/// Which protocol operation a memory access belongs to. Used both as the
+/// DRAM traffic tag (Fig. 8c breakdown) and for per-op counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OramOp {
+    /// Online access servicing a user request (§III-B).
+    ReadPath,
+    /// Background path reshuffle, every `A` accesses.
+    EvictPath,
+    /// Bucket reshuffle after exhausting its dummy budget.
+    EarlyReshuffle,
+    /// Dummy accesses injected to relieve stash pressure (§III-C).
+    BackgroundEvict,
+    /// Bucket metadata reads/writes.
+    Metadata,
+}
+
+impl OramOp {
+    /// All operation kinds, in tag order.
+    pub const ALL: [OramOp; 5] = [
+        OramOp::ReadPath,
+        OramOp::EvictPath,
+        OramOp::EarlyReshuffle,
+        OramOp::BackgroundEvict,
+        OramOp::Metadata,
+    ];
+
+    /// Stable small integer for DRAM traffic attribution.
+    pub fn tag(self) -> u32 {
+        match self {
+            OramOp::ReadPath => 0,
+            OramOp::EvictPath => 1,
+            OramOp::EarlyReshuffle => 2,
+            OramOp::BackgroundEvict => 3,
+            OramOp::Metadata => 4,
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OramOp::ReadPath => "readPath",
+            OramOp::EvictPath => "evictPath",
+            OramOp::EarlyReshuffle => "earlyReshuffle",
+            OramOp::BackgroundEvict => "backgroundEvict",
+            OramOp::Metadata => "metadata",
+        }
+    }
+}
+
+/// Receiver of the engine's off-chip memory accesses.
+///
+/// `online` marks requests on the processor's critical path (readPath block
+/// and metadata fetches); everything else is maintenance traffic the memory
+/// scheduler may defer.
+pub trait MemorySink {
+    /// One 64 B read at `addr`.
+    fn read(&mut self, addr: SlotAddr, op: OramOp, online: bool);
+    /// One 64 B write at `addr`.
+    fn write(&mut self, addr: SlotAddr, op: OramOp, online: bool);
+}
+
+/// A sink that only counts traffic (protocol-level evaluation mode).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    reads: [u64; 5],
+    writes: [u64; 5],
+    online: u64,
+    offline: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counter sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads recorded for `op`.
+    pub fn reads(&self, op: OramOp) -> u64 {
+        self.reads[op.tag() as usize]
+    }
+
+    /// Writes recorded for `op`.
+    pub fn writes(&self, op: OramOp) -> u64 {
+        self.writes[op.tag() as usize]
+    }
+
+    /// Total accesses recorded for `op`.
+    pub fn total(&self, op: OramOp) -> u64 {
+        self.reads(op) + self.writes(op)
+    }
+
+    /// Total accesses across all ops.
+    pub fn grand_total(&self) -> u64 {
+        OramOp::ALL.iter().map(|&o| self.total(o)).sum()
+    }
+
+    /// Accesses flagged online.
+    pub fn online_total(&self) -> u64 {
+        self.online
+    }
+
+    /// Accesses flagged offline.
+    pub fn offline_total(&self) -> u64 {
+        self.offline
+    }
+}
+
+impl MemorySink for CountingSink {
+    fn read(&mut self, _addr: SlotAddr, op: OramOp, online: bool) {
+        self.reads[op.tag() as usize] += 1;
+        if online {
+            self.online += 1;
+        } else {
+            self.offline += 1;
+        }
+    }
+
+    fn write(&mut self, _addr: SlotAddr, op: OramOp, online: bool) {
+        self.writes[op.tag() as usize] += 1;
+        if online {
+            self.online += 1;
+        } else {
+            self.offline += 1;
+        }
+    }
+}
+
+/// A sink backed by the cycle-level DRAM model.
+///
+/// The driver sets the CPU timestamp with [`set_now`](TimingSink::set_now)
+/// before each ORAM access; online reads are collected so the driver can ask
+/// when the access's critical path completed
+/// ([`take_online_reads`](TimingSink::take_online_reads)).
+#[derive(Debug)]
+pub struct TimingSink {
+    memory: MemorySystem,
+    now: u64,
+    online_reads: Vec<RequestId>,
+    all_requests: Vec<RequestId>,
+}
+
+impl TimingSink {
+    /// Wraps a memory system.
+    pub fn new(memory: MemorySystem) -> Self {
+        TimingSink { memory, now: 0, online_reads: Vec::new(), all_requests: Vec::new() }
+    }
+
+    /// Sets the arrival timestamp for subsequent requests. Timestamps must
+    /// be non-decreasing (the memory model's contract).
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    /// Drains the identifiers of online reads issued since the last call.
+    pub fn take_online_reads(&mut self) -> Vec<RequestId> {
+        std::mem::take(&mut self.online_reads)
+    }
+
+    /// Drains the identifiers of *all* requests issued since the last call
+    /// (the ORAM controller serializes on these: the next access begins
+    /// after the previous one's maintenance traffic completes).
+    pub fn take_all_requests(&mut self) -> Vec<RequestId> {
+        std::mem::take(&mut self.all_requests)
+    }
+
+    /// The completion cycle of `id` (forces scheduling as needed).
+    pub fn completion_time(&mut self, id: RequestId) -> u64 {
+        self.memory.completion_time(id)
+    }
+
+    /// Access to the underlying memory system (stats, drain).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// Mutable access to the underlying memory system.
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.memory
+    }
+}
+
+impl MemorySink for TimingSink {
+    fn read(&mut self, addr: SlotAddr, op: OramOp, online: bool) {
+        let pri = if online { Priority::Online } else { Priority::Offline };
+        let id = self.memory.enqueue(MemOpKind::Read, addr.byte(), pri, op.tag(), self.now);
+        if online {
+            self.online_reads.push(id);
+        }
+        self.all_requests.push(id);
+    }
+
+    fn write(&mut self, addr: SlotAddr, op: OramOp, online: bool) {
+        let pri = if online { Priority::Online } else { Priority::Offline };
+        let id = self.memory.enqueue(MemOpKind::Write, addr.byte(), pri, op.tag(), self.now);
+        self.all_requests.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aboram_dram::DramConfig;
+
+    #[test]
+    fn counting_sink_attributes_per_op() {
+        let mut s = CountingSink::new();
+        s.read(SlotAddr(0), OramOp::ReadPath, true);
+        s.read(SlotAddr(64), OramOp::Metadata, true);
+        s.write(SlotAddr(0), OramOp::EvictPath, false);
+        s.write(SlotAddr(64), OramOp::EvictPath, false);
+        assert_eq!(s.reads(OramOp::ReadPath), 1);
+        assert_eq!(s.total(OramOp::EvictPath), 2);
+        assert_eq!(s.grand_total(), 4);
+        assert_eq!(s.online_total(), 2);
+        assert_eq!(s.offline_total(), 2);
+    }
+
+    #[test]
+    fn timing_sink_tracks_online_reads() {
+        let mut s = TimingSink::new(MemorySystem::new(DramConfig::default()));
+        s.set_now(100);
+        s.read(SlotAddr(0), OramOp::ReadPath, true);
+        s.read(SlotAddr(4096), OramOp::EvictPath, false);
+        s.write(SlotAddr(128), OramOp::EvictPath, false);
+        let online = s.take_online_reads();
+        assert_eq!(online.len(), 1);
+        assert!(s.completion_time(online[0]) > 100);
+        assert!(s.take_online_reads().is_empty(), "drained");
+        s.memory_mut().drain();
+        assert_eq!(s.memory().stats().total_requests(), 3);
+    }
+
+    #[test]
+    fn op_tags_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OramOp::ALL {
+            assert!(seen.insert(op.tag()));
+            assert!(!op.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The on-chip stash.
+
+use crate::{BlockId, BLOCK_BYTES};
+use aboram_tree::PathId;
+use std::collections::HashMap;
+
+/// One block buffered in the stash: its current path label and (optionally)
+/// its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StashBlock {
+    /// The block's logical id.
+    pub block: BlockId,
+    /// The path the block is mapped to.
+    pub label: PathId,
+    /// Block contents when the data path is enabled; zeroes otherwise.
+    pub data: [u8; BLOCK_BYTES],
+}
+
+/// Fixed-capacity stash with peak-occupancy tracking.
+///
+/// Ring ORAM's stash buffers blocks between a readPath and a later eviction.
+/// Overflow is a protocol failure; the CB baseline prevents it with
+/// background eviction above a threshold (§III-C).
+#[derive(Debug, Clone)]
+pub struct Stash {
+    blocks: HashMap<BlockId, StashBlock>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl Stash {
+    /// Creates an empty stash with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Stash { blocks: HashMap::new(), capacity, peak: 0 }
+    }
+
+    /// Current number of buffered blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the stash holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether occupancy currently exceeds the stash's capacity — the
+    /// condition the engine reports as [`crate::OramError::StashOverflow`].
+    pub fn overflowed(&self) -> bool {
+        self.blocks.len() > self.capacity
+    }
+
+    /// Inserts or updates a block. Returns the previous copy, if any.
+    pub fn insert(&mut self, entry: StashBlock) -> Option<StashBlock> {
+        let prev = self.blocks.insert(entry.block, entry);
+        self.peak = self.peak.max(self.blocks.len());
+        prev
+    }
+
+    /// Looks up a block without removing it.
+    pub fn get(&self, block: BlockId) -> Option<&StashBlock> {
+        self.blocks.get(&block)
+    }
+
+    /// Updates the label of a buffered block (block remap while in stash).
+    pub fn relabel(&mut self, block: BlockId, label: PathId) -> bool {
+        match self.blocks.get_mut(&block) {
+            Some(e) => {
+                e.label = label;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns a block.
+    pub fn remove(&mut self, block: BlockId) -> Option<StashBlock> {
+        self.blocks.remove(&block)
+    }
+
+    /// Iterates over buffered blocks in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &StashBlock> {
+        self.blocks.values()
+    }
+
+    /// Collects the ids of blocks whose labels satisfy `pred` — the eviction
+    /// scan ("searches the entire stash", §III-A).
+    pub fn matching_blocks(&self, mut pred: impl FnMut(PathId) -> bool) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> =
+            self.blocks.values().filter(|e| pred(e.label)).map(|e| e.block).collect();
+        // Deterministic order for reproducible simulations.
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(id: BlockId, leaf: u64) -> StashBlock {
+        StashBlock { block: id, label: PathId::new(leaf), data: [0; BLOCK_BYTES] }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Stash::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(blk(1, 5)).is_none());
+        assert_eq!(s.get(1).unwrap().label, PathId::new(5));
+        assert_eq!(s.len(), 1);
+        let old = s.insert(blk(1, 9)).unwrap();
+        assert_eq!(old.label, PathId::new(5));
+        assert_eq!(s.len(), 1, "re-insert replaces");
+        assert!(s.remove(1).is_some());
+        assert!(s.remove(1).is_none());
+    }
+
+    #[test]
+    fn relabel_in_place() {
+        let mut s = Stash::new(10);
+        s.insert(blk(3, 1));
+        assert!(s.relabel(3, PathId::new(7)));
+        assert_eq!(s.get(3).unwrap().label, PathId::new(7));
+        assert!(!s.relabel(99, PathId::new(0)));
+    }
+
+    #[test]
+    fn peak_and_overflow_tracking() {
+        let mut s = Stash::new(2);
+        s.insert(blk(1, 0));
+        s.insert(blk(2, 0));
+        assert!(!s.overflowed());
+        s.insert(blk(3, 0));
+        assert!(s.overflowed());
+        assert_eq!(s.peak(), 3);
+        s.remove(1);
+        s.remove(2);
+        assert!(!s.overflowed());
+        assert_eq!(s.peak(), 3, "peak is sticky");
+    }
+
+    #[test]
+    fn matching_blocks_is_sorted_and_filtered() {
+        let mut s = Stash::new(10);
+        s.insert(blk(5, 1));
+        s.insert(blk(2, 1));
+        s.insert(blk(9, 3));
+        let hits = s.matching_blocks(|p| p.leaf() == 1);
+        assert_eq!(hits, vec![2, 5]);
+    }
+}

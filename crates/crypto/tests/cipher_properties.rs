@@ -1,0 +1,50 @@
+//! Property-based tests of the crypto substrate.
+
+use aboram_crypto::{BlockCipher, CryptoLatency, BLOCK_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seal/open round-trips arbitrary data under arbitrary keys/nonces.
+    #[test]
+    fn roundtrip(key in any::<[u8; 32]>(), seedbytes in any::<[u8; 32]>(), addr in any::<u64>(), ctr in any::<u64>()) {
+        let cipher = BlockCipher::new(key);
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..32].copy_from_slice(&seedbytes);
+        block[32..].copy_from_slice(&seedbytes);
+        let sealed = cipher.seal(&block, addr, ctr);
+        prop_assert_eq!(cipher.open(&sealed, addr, ctr).unwrap(), block);
+    }
+
+    /// Ciphertexts of the same plaintext under different nonces differ —
+    /// re-encryption at reshuffle must re-randomize.
+    #[test]
+    fn nonce_separation(key in any::<[u8; 32]>(), addr in any::<u64>(), ctr in any::<u64>()) {
+        let cipher = BlockCipher::new(key);
+        let block = [0u8; BLOCK_BYTES];
+        let a = cipher.seal(&block, addr, ctr);
+        let b = cipher.seal(&block, addr, ctr.wrapping_add(1));
+        prop_assert_ne!(a.ciphertext, b.ciphertext);
+    }
+
+    /// Opening under the wrong address or counter always fails.
+    #[test]
+    fn binding(key in any::<[u8; 32]>(), addr in any::<u64>(), ctr in any::<u64>(), delta in 1u64..1000) {
+        let cipher = BlockCipher::new(key);
+        let block = [7u8; BLOCK_BYTES];
+        let sealed = cipher.seal(&block, addr, ctr);
+        prop_assert!(cipher.open(&sealed, addr.wrapping_add(delta * 64), ctr).is_err());
+        prop_assert!(cipher.open(&sealed, addr, ctr.wrapping_add(delta)).is_err());
+    }
+
+    /// Burst latency is monotone in burst length and exact for the
+    /// pipelined formula.
+    #[test]
+    fn latency_model(fill in 0u64..1000, per in 0u64..16, n in 1u64..10_000) {
+        let lat = CryptoLatency::new(fill, per);
+        prop_assert_eq!(lat.burst_cycles(n), fill + (n - 1) * per);
+        prop_assert!(lat.burst_cycles(n + 1) >= lat.burst_cycles(n));
+        prop_assert_eq!(lat.burst_cycles(0), 0);
+    }
+}

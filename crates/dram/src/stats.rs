@@ -1,0 +1,221 @@
+//! Memory-system statistics: row-buffer behaviour, bandwidth, per-tag
+//! traffic (the inputs to Fig. 8c's breakdown and Fig. 9's bandwidth plot).
+
+use crate::channel::{MemOpKind, Priority};
+
+/// What a request found in the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowBufferOutcome {
+    /// Target row already open.
+    Hit,
+    /// Bank idle/closed: activate only.
+    Miss,
+    /// Different row open: precharge + activate.
+    Conflict,
+}
+
+/// Aggregated counters for a [`crate::MemorySystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryStats {
+    reads: u64,
+    writes: u64,
+    online: u64,
+    offline: u64,
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+    /// Data-bus busy cycles attributed to each opaque tag value.
+    bus_cycles_by_tag: Vec<u64>,
+    /// Requests per tag.
+    requests_by_tag: Vec<u64>,
+    last_completion: u64,
+}
+
+impl MemoryStats {
+    /// Creates counters able to attribute traffic to tags `0..tags`.
+    pub fn new(tags: usize) -> Self {
+        MemoryStats {
+            reads: 0,
+            writes: 0,
+            online: 0,
+            offline: 0,
+            hits: 0,
+            misses: 0,
+            conflicts: 0,
+            bus_cycles_by_tag: vec![0; tags],
+            requests_by_tag: vec![0; tags],
+            last_completion: 0,
+        }
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        kind: MemOpKind,
+        priority: Priority,
+        tag: u32,
+        outcome: RowBufferOutcome,
+        burst_cycles: u64,
+        completion: u64,
+    ) {
+        match kind {
+            MemOpKind::Read => self.reads += 1,
+            MemOpKind::Write => self.writes += 1,
+        }
+        match priority {
+            Priority::Online => self.online += 1,
+            Priority::Offline => self.offline += 1,
+        }
+        match outcome {
+            RowBufferOutcome::Hit => self.hits += 1,
+            RowBufferOutcome::Miss => self.misses += 1,
+            RowBufferOutcome::Conflict => self.conflicts += 1,
+        }
+        let t = tag as usize;
+        if t < self.bus_cycles_by_tag.len() {
+            self.bus_cycles_by_tag[t] += burst_cycles;
+            self.requests_by_tag[t] += 1;
+        }
+        self.last_completion = self.last_completion.max(completion);
+    }
+
+    /// Merges counters from another instance (used to sum channels).
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.online += other.online;
+        self.offline += other.offline;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.conflicts += other.conflicts;
+        for (a, b) in self.bus_cycles_by_tag.iter_mut().zip(&other.bus_cycles_by_tag) {
+            *a += b;
+        }
+        for (a, b) in self.requests_by_tag.iter_mut().zip(&other.requests_by_tag) {
+            *a += b;
+        }
+        self.last_completion = self.last_completion.max(other.last_completion);
+    }
+
+    /// Total requests serviced.
+    pub fn total_requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Serviced read count.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Serviced write count.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Serviced requests in the given priority class.
+    pub fn by_priority(&self, p: Priority) -> u64 {
+        match p {
+            Priority::Online => self.online,
+            Priority::Offline => self.offline,
+        }
+    }
+
+    /// Count of the given row-buffer outcome.
+    pub fn row_outcomes(&self, o: RowBufferOutcome) -> u64 {
+        match o {
+            RowBufferOutcome::Hit => self.hits,
+            RowBufferOutcome::Miss => self.misses,
+            RowBufferOutcome::Conflict => self.conflicts,
+        }
+    }
+
+    /// Row-buffer hit rate over all serviced requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Data-bus busy cycles attributed to `tag`.
+    pub fn bus_cycles_for_tag(&self, tag: u32) -> u64 {
+        self.bus_cycles_by_tag.get(tag as usize).copied().unwrap_or(0)
+    }
+
+    /// Requests attributed to `tag`.
+    pub fn requests_for_tag(&self, tag: u32) -> u64 {
+        self.requests_by_tag.get(tag as usize).copied().unwrap_or(0)
+    }
+
+    /// Total bytes moved (64 B per request).
+    pub fn bytes_transferred(&self) -> u64 {
+        self.total_requests() * 64
+    }
+
+    /// Completion cycle of the last request serviced.
+    pub fn last_completion(&self) -> u64 {
+        self.last_completion
+    }
+
+    /// Achieved bandwidth in bytes per cycle over `elapsed_cycles`.
+    pub fn bandwidth(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.bytes_transferred() as f64 / elapsed_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MemoryStats::new(4);
+        s.record(MemOpKind::Read, Priority::Online, 1, RowBufferOutcome::Hit, 16, 100);
+        s.record(MemOpKind::Write, Priority::Offline, 1, RowBufferOutcome::Conflict, 16, 250);
+        assert_eq!(s.total_requests(), 2);
+        assert_eq!(s.reads(), 1);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.by_priority(Priority::Online), 1);
+        assert_eq!(s.row_outcomes(RowBufferOutcome::Hit), 1);
+        assert_eq!(s.bus_cycles_for_tag(1), 32);
+        assert_eq!(s.requests_for_tag(1), 2);
+        assert_eq!(s.bytes_transferred(), 128);
+        assert_eq!(s.last_completion(), 250);
+        assert_eq!(s.row_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn out_of_range_tag_is_ignored_not_panicking() {
+        let mut s = MemoryStats::new(1);
+        s.record(MemOpKind::Read, Priority::Online, 9, RowBufferOutcome::Miss, 16, 10);
+        assert_eq!(s.bus_cycles_for_tag(9), 0);
+        assert_eq!(s.total_requests(), 1);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = MemoryStats::new(2);
+        let mut b = MemoryStats::new(2);
+        a.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 50);
+        b.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 80);
+        a.merge(&b);
+        assert_eq!(a.total_requests(), 2);
+        assert_eq!(a.bus_cycles_for_tag(0), 32);
+        assert_eq!(a.last_completion(), 80);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let mut s = MemoryStats::new(1);
+        for _ in 0..10 {
+            s.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 160);
+        }
+        assert!((s.bandwidth(160) - 4.0).abs() < 1e-12);
+        assert_eq!(s.bandwidth(0), 0.0);
+    }
+}

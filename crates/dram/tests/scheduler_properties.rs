@@ -1,0 +1,102 @@
+//! Property-based tests of the DRAM scheduler: for arbitrary request
+//! streams, service must be complete, causal, and respect bus capacity.
+
+use aboram_dram::{DramConfig, MemOpKind, MemorySystem, Priority};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Req {
+    addr: u64,
+    write: bool,
+    offline: bool,
+    gap: u64,
+}
+
+fn arb_req() -> impl Strategy<Value = Req> {
+    (any::<u32>(), any::<bool>(), any::<bool>(), 0u64..200).prop_map(|(a, w, o, gap)| Req {
+        addr: u64::from(a) & !63,
+        write: w,
+        offline: o,
+        gap,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every enqueued request is eventually serviced, never before its
+    /// arrival, and the stats account for all of them.
+    #[test]
+    fn all_requests_serviced_causally(reqs in proptest::collection::vec(arb_req(), 1..200)) {
+        let mut mem = MemorySystem::new(DramConfig::default());
+        let mut now = 0u64;
+        let mut handles = Vec::new();
+        for r in &reqs {
+            now += r.gap;
+            let kind = if r.write { MemOpKind::Write } else { MemOpKind::Read };
+            let pri = if r.offline { Priority::Offline } else { Priority::Online };
+            handles.push((mem.enqueue(kind, r.addr, pri, 0, now), now));
+        }
+        mem.drain();
+        prop_assert_eq!(mem.pending(), 0);
+        prop_assert_eq!(mem.stats().total_requests(), reqs.len() as u64);
+        for (id, arrival) in handles {
+            let done = mem.completion_time(id);
+            prop_assert!(done > arrival, "service before arrival");
+        }
+    }
+
+    /// The data bus cannot exceed its capacity: total serviced bytes per
+    /// elapsed cycle stays at or below the theoretical peak.
+    #[test]
+    fn bandwidth_never_exceeds_peak(reqs in proptest::collection::vec(arb_req(), 16..256)) {
+        let cfg = DramConfig::default();
+        let mut mem = MemorySystem::new(cfg);
+        for r in &reqs {
+            let kind = if r.write { MemOpKind::Write } else { MemOpKind::Read };
+            mem.enqueue(kind, r.addr, Priority::Online, 0, 0);
+        }
+        mem.drain();
+        let elapsed = mem.stats().last_completion();
+        prop_assert!(elapsed > 0);
+        let bw = mem.stats().bandwidth(elapsed);
+        prop_assert!(bw <= cfg.peak_bytes_per_cpu_cycle() * 1.0001, "bw {bw} over peak");
+    }
+
+    /// Row-buffer outcomes partition the request count.
+    #[test]
+    fn outcomes_partition_requests(reqs in proptest::collection::vec(arb_req(), 1..200)) {
+        use aboram_dram::RowBufferOutcome as O;
+        let mut mem = MemorySystem::new(DramConfig::default());
+        for r in &reqs {
+            let kind = if r.write { MemOpKind::Write } else { MemOpKind::Read };
+            mem.enqueue(kind, r.addr, Priority::Online, 0, 0);
+        }
+        mem.drain();
+        let s = mem.stats();
+        prop_assert_eq!(
+            s.row_outcomes(O::Hit) + s.row_outcomes(O::Miss) + s.row_outcomes(O::Conflict),
+            s.total_requests()
+        );
+        prop_assert_eq!(s.reads() + s.writes(), s.total_requests());
+    }
+
+    /// Determinism: identical request streams produce identical timings.
+    #[test]
+    fn scheduling_is_deterministic(reqs in proptest::collection::vec(arb_req(), 1..100)) {
+        let run = || {
+            let mut mem = MemorySystem::new(DramConfig::default());
+            let mut now = 0;
+            let ids: Vec<_> = reqs
+                .iter()
+                .map(|r| {
+                    now += r.gap;
+                    let kind = if r.write { MemOpKind::Write } else { MemOpKind::Read };
+                    mem.enqueue(kind, r.addr, Priority::Online, 0, now)
+                })
+                .collect();
+            ids.into_iter().map(|id| mem.completion_time(id)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the statistics crate.
+
+use aboram_stats::{arithmetic_mean, geometric_mean, LevelHistogram, MinAvgMax, Table, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MinAvgMax: min ≤ avg ≤ max, count matches, merge equals bulk record.
+    #[test]
+    fn min_avg_max_invariants(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut t = MinAvgMax::new();
+        for &v in &values {
+            t.record(v);
+        }
+        let (min, avg, max) = (t.min().unwrap(), t.avg().unwrap(), t.max().unwrap());
+        prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9);
+        prop_assert_eq!(t.count(), values.len() as u64);
+
+        // Splitting then merging gives the same summary.
+        let (a, b) = values.split_at(values.len() / 2);
+        let mut ta = MinAvgMax::new();
+        let mut tb = MinAvgMax::new();
+        a.iter().for_each(|&v| ta.record(v));
+        b.iter().for_each(|&v| tb.record(v));
+        ta.merge(&tb);
+        prop_assert_eq!(ta.count(), t.count());
+        prop_assert_eq!(ta.min(), t.min());
+        prop_assert_eq!(ta.max(), t.max());
+        prop_assert!((ta.avg().unwrap() - avg).abs() < 1e-6);
+    }
+
+    /// Geometric mean ≤ arithmetic mean for positive inputs (AM–GM).
+    #[test]
+    fn am_gm_inequality(values in proptest::collection::vec(0.001f64..1e4, 1..50)) {
+        let gm = geometric_mean(&values);
+        let am = arithmetic_mean(&values);
+        prop_assert!(gm <= am * (1.0 + 1e-9), "gm {gm} > am {am}");
+    }
+
+    /// Histogram totals equal the sum of per-level adds minus saturating subs.
+    #[test]
+    fn histogram_total_consistency(ops in proptest::collection::vec((0u8..8, 0u64..100, any::<bool>()), 0..200)) {
+        let mut h = LevelHistogram::new("x", 8);
+        let mut shadow = [0u64; 8];
+        for (level, amount, add) in ops {
+            if add {
+                h.add(level, amount);
+                shadow[level as usize] += amount;
+            } else {
+                h.sub(level, amount);
+                shadow[level as usize] = shadow[level as usize].saturating_sub(amount);
+            }
+        }
+        prop_assert_eq!(h.total(), shadow.iter().sum::<u64>());
+        prop_assert_eq!(h.bins(), &shadow[..]);
+    }
+
+    /// Tables render every row they were given, and find() agrees.
+    #[test]
+    fn table_roundtrip(rows in proptest::collection::vec(("[a-z]{1,8}", -1e6f64..1e6), 1..30)) {
+        let mut t = Table::new("t", &["k", "v"]);
+        for (k, v) in &rows {
+            t.row(&[k], &[*v]);
+        }
+        prop_assert_eq!(t.rows(), rows.len());
+        let csv = t.to_csv();
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+        let (k0, v0) = &rows[0];
+        let found = t.find(&[k0]).unwrap();
+        prop_assert!((found[0] - v0).abs() < 1e-9 || rows.iter().any(|(k, v)| k == k0 && (v - found[0]).abs() < 1e-9));
+    }
+
+    /// Series averages preserve the x grid and average the y values.
+    #[test]
+    fn series_average_properties(ys in proptest::collection::vec((0f64..1e6, 0f64..1e6), 1..50)) {
+        let mut a = TimeSeries::new("a", "x", "y");
+        let mut b = TimeSeries::new("b", "x", "y");
+        for (i, (ya, yb)) in ys.iter().enumerate() {
+            a.push(i as f64, *ya);
+            b.push(i as f64, *yb);
+        }
+        let avg = TimeSeries::average("avg", &[a, b]);
+        prop_assert_eq!(avg.len(), ys.len());
+        for (i, (ya, yb)) in ys.iter().enumerate() {
+            let (x, y) = avg.samples()[i];
+            prop_assert_eq!(x, i as f64);
+            prop_assert!((y - (ya + yb) / 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Set-associative write-back cache hierarchy (Table III: 4-way 64 KB L1,
+//! 8-way 256 KB L2, 16-way 2 MB LLC).
+//!
+//! Used to filter raw address streams into the LLC-miss traces the ORAM
+//! controller sees, exercising the full paper pipeline in examples and
+//! validating the direct miss-trace generator.
+
+use crate::record::{MemOp, TraceRecord};
+
+const LINE_BYTES: u64 = 64;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Set associativity (ways).
+    pub ways: u16,
+}
+
+impl CacheLevelConfig {
+    /// Creates a level configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an integer number of sets of 64 B lines.
+    pub fn new(capacity_bytes: u64, ways: u16) -> Self {
+        let cfg = CacheLevelConfig { capacity_bytes, ways };
+        assert!(cfg.sets() > 0 && cfg.sets().is_power_of_two(), "sets must be a power of two");
+        cfg
+    }
+
+    fn sets(&self) -> u64 {
+        self.capacity_bytes / LINE_BYTES / u64::from(self.ways)
+    }
+}
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// L1 data cache.
+    pub l1: CacheLevelConfig,
+    /// L2 cache.
+    pub l2: CacheLevelConfig,
+    /// Last-level cache.
+    pub llc: CacheLevelConfig,
+}
+
+impl Default for CacheConfig {
+    /// Table III: 4-way 64 KB L1, 8-way 256 KB L2, 16-way 2 MB LLC.
+    fn default() -> Self {
+        CacheConfig {
+            l1: CacheLevelConfig::new(64 * 1024, 4),
+            l2: CacheLevelConfig::new(256 * 1024, 8),
+            llc: CacheLevelConfig::new(2 * 1024 * 1024, 16),
+        }
+    }
+}
+
+/// One set-associative, true-LRU, write-back write-allocate cache level.
+#[derive(Debug, Clone)]
+struct CacheLevel {
+    sets: u64,
+    ways: usize,
+    /// `tags[set][way]` — line address (addr / 64) or `u64::MAX` if invalid;
+    /// ways kept in LRU order (index 0 = most recent).
+    tags: Vec<Vec<u64>>,
+    dirty: Vec<Vec<bool>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    fn new(cfg: CacheLevelConfig) -> Self {
+        let sets = cfg.sets();
+        CacheLevel {
+            sets,
+            ways: usize::from(cfg.ways),
+            tags: vec![vec![u64::MAX; usize::from(cfg.ways)]; sets as usize],
+            dirty: vec![vec![false; usize::from(cfg.ways)]; sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets) as usize
+    }
+
+    /// Looks up `line`; on hit, promotes to MRU (and marks dirty on writes).
+    fn access(&mut self, line: u64, write: bool) -> bool {
+        let set = self.set_of(line);
+        if let Some(pos) = self.tags[set].iter().position(|&t| t == line) {
+            let tag = self.tags[set].remove(pos);
+            let d = self.dirty[set].remove(pos) || write;
+            self.tags[set].insert(0, tag);
+            self.dirty[set].insert(0, d);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `line` as MRU; returns the evicted dirty victim line, if any.
+    fn fill(&mut self, line: u64, dirty: bool) -> Option<u64> {
+        let set = self.set_of(line);
+        self.tags[set].insert(0, line);
+        self.dirty[set].insert(0, dirty);
+        if self.tags[set].len() > self.ways {
+            let victim = self.tags[set].pop().expect("over-full set");
+            let was_dirty = self.dirty[set].pop().expect("over-full set");
+            if victim != u64::MAX && was_dirty {
+                return Some(victim);
+            }
+        }
+        None
+    }
+}
+
+/// Three-level inclusive-enough hierarchy that converts raw accesses into
+/// memory-side (LLC-miss + writeback) traffic.
+///
+/// # Example
+///
+/// ```
+/// use aboram_trace::{CacheHierarchy, MemOp};
+///
+/// let mut h = CacheHierarchy::new(Default::default());
+/// // First touch misses all the way to memory...
+/// assert_eq!(h.access(MemOp::Read, 0x1000).len(), 1);
+/// // ...the second touch hits in L1 and produces no memory traffic.
+/// assert!(h.access(MemOp::Read, 0x1000).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    llc: CacheLevel,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from a configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        CacheHierarchy {
+            l1: CacheLevel::new(cfg.l1),
+            l2: CacheLevel::new(cfg.l2),
+            llc: CacheLevel::new(cfg.llc),
+        }
+    }
+
+    /// Performs one CPU access; returns the memory-side operations it
+    /// causes: at most one demand `Read` (the LLC miss) plus any dirty
+    /// writebacks evicted from the LLC.
+    pub fn access(&mut self, op: MemOp, addr: u64) -> Vec<(MemOp, u64)> {
+        let line = addr / LINE_BYTES;
+        let write = op == MemOp::Write;
+        let mut memory_ops = Vec::new();
+
+        if self.l1.access(line, write) {
+            return memory_ops;
+        }
+        if self.l2.access(line, false) {
+            // Fill upward.
+            if let Some(victim) = self.l1.fill(line, write) {
+                // L1 victim lands in L2 (write-back).
+                if !self.l2.access(victim, true) {
+                    if let Some(v2) = self.l2.fill(victim, true) {
+                        if !self.llc.access(v2, true) {
+                            if let Some(v3) = self.llc.fill(v2, true) {
+                                memory_ops.push((MemOp::Write, v3 * LINE_BYTES));
+                            }
+                        }
+                    }
+                }
+            }
+            return memory_ops;
+        }
+        if !self.llc.access(line, false) {
+            // True LLC miss: fetch from memory.
+            memory_ops.push((MemOp::Read, line * LINE_BYTES));
+            if let Some(victim) = self.llc.fill(line, false) {
+                memory_ops.push((MemOp::Write, victim * LINE_BYTES));
+            }
+        }
+        // Fill L2 and L1, pushing dirty victims down.
+        if let Some(v1) = self.l2.fill(line, false) {
+            if !self.llc.access(v1, true) {
+                if let Some(v2) = self.llc.fill(v1, true) {
+                    memory_ops.push((MemOp::Write, v2 * LINE_BYTES));
+                }
+            }
+        }
+        if let Some(victim) = self.l1.fill(line, write) {
+            if !self.l2.access(victim, true) {
+                if let Some(v2) = self.l2.fill(victim, true) {
+                    if !self.llc.access(v2, true) {
+                        if let Some(v3) = self.llc.fill(v2, true) {
+                            memory_ops.push((MemOp::Write, v3 * LINE_BYTES));
+                        }
+                    }
+                }
+            }
+        }
+        memory_ops
+    }
+
+    /// Filters a raw trace into the LLC-miss trace (demand reads and
+    /// writebacks) with instruction gaps preserved and accumulated across
+    /// cache hits.
+    pub fn filter_trace(&mut self, raw: impl IntoIterator<Item = TraceRecord>) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        let mut pending_gap: u64 = 0;
+        for rec in raw {
+            pending_gap += u64::from(rec.inst_gap) + 1;
+            for (op, addr) in self.access(rec.op, rec.addr) {
+                let gap = (pending_gap.saturating_sub(1)).min(u64::from(u32::MAX)) as u32;
+                out.push(TraceRecord::new(gap, op, addr));
+                pending_gap = 0;
+            }
+        }
+        out
+    }
+
+    /// LLC miss ratio observed so far.
+    pub fn llc_miss_ratio(&self) -> f64 {
+        let total = self.llc.hits + self.llc.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.llc.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut h = CacheHierarchy::new(CacheConfig::default());
+        let ops = h.access(MemOp::Read, 4096);
+        assert_eq!(ops, vec![(MemOp::Read, 4096)]);
+        assert!(h.access(MemOp::Read, 4096).is_empty());
+        assert!(h.access(MemOp::Write, 4096).is_empty());
+    }
+
+    #[test]
+    fn small_working_set_fits_after_warmup() {
+        let mut h = CacheHierarchy::new(CacheConfig::default());
+        // 32 KB working set fits in L1 (64 KB).
+        for round in 0..3 {
+            let mut misses = 0;
+            for line in 0..512u64 {
+                misses += h.access(MemOp::Read, line * 64).len();
+            }
+            if round > 0 {
+                assert_eq!(misses, 0, "resident set must hit");
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        // Tiny custom hierarchy to force evictions quickly.
+        let cfg = CacheConfig {
+            l1: CacheLevelConfig::new(64 * 2, 1),  // 2 sets, direct-mapped
+            l2: CacheLevelConfig::new(64 * 4, 1),  // 4 sets
+            llc: CacheLevelConfig::new(64 * 8, 1), // 8 sets
+        };
+        let mut h = CacheHierarchy::new(cfg);
+        let mut writebacks = 0;
+        // Write a footprint much larger than the LLC, twice.
+        for _ in 0..2 {
+            for line in 0..64u64 {
+                for (op, _) in h.access(MemOp::Write, line * 64) {
+                    if op == MemOp::Write {
+                        writebacks += 1;
+                    }
+                }
+            }
+        }
+        assert!(writebacks > 0, "dirty lines must be written back");
+    }
+
+    #[test]
+    fn streaming_misses_every_new_line() {
+        let mut h = CacheHierarchy::new(CacheConfig::default());
+        let mut demand = 0;
+        for line in 0..100_000u64 {
+            demand += h
+                .access(MemOp::Read, line * 64)
+                .iter()
+                .filter(|(op, _)| *op == MemOp::Read)
+                .count();
+        }
+        assert_eq!(demand, 100_000);
+        assert!(h.llc_miss_ratio() > 0.99);
+    }
+
+    #[test]
+    fn filter_trace_accumulates_gaps() {
+        let mut h = CacheHierarchy::new(CacheConfig::default());
+        let raw = vec![
+            TraceRecord::new(10, MemOp::Read, 0),
+            TraceRecord::new(10, MemOp::Read, 0), // hit, folds into gap
+            TraceRecord::new(10, MemOp::Read, 64 * 1024 * 1024),
+        ];
+        let out = h.filter_trace(raw);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].inst_gap, 10);
+        // 11 (hit) + 11 (miss) - 1 = 21 instructions since the last miss.
+        assert_eq!(out[1].inst_gap, 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = CacheLevelConfig::new(3 * 64, 1);
+    }
+}

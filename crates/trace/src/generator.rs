@@ -1,0 +1,228 @@
+//! Deterministic trace generation from benchmark profiles.
+
+use crate::profiles::BenchmarkProfile;
+use crate::record::{MemOp, TraceRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LINE: u64 = 64;
+
+/// Generates an LLC-miss trace matching a [`BenchmarkProfile`].
+///
+/// Instruction gaps between misses are geometrically distributed around the
+/// profile's mean (memoryless miss arrivals); the read/write split follows
+/// the profile's MPKI ratio; addresses come from the profile's
+/// [`AddressMix`](crate::AddressMix) over its working set. Generation is
+/// fully deterministic for a given `(profile, seed)` pair.
+///
+/// # Example
+///
+/// ```
+/// use aboram_trace::{profiles, TraceGenerator, MpkiMeter};
+///
+/// let lbm = profiles::spec2017().into_iter().find(|p| p.name == "lbm").unwrap();
+/// let mut gen = TraceGenerator::new(&lbm, 1);
+/// let mut meter = MpkiMeter::new();
+/// for _ in 0..50_000 {
+///     meter.observe(&gen.next_record());
+/// }
+/// // The generated trace reproduces Table IV's MPKI within a few percent.
+/// assert!((meter.write_mpki() - lbm.write_mpki).abs() / lbm.write_mpki < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    rng: StdRng,
+    read_fraction: f64,
+    /// Probability per instruction of an LLC miss (drives geometric gaps).
+    miss_prob: f64,
+    working_set_lines: u64,
+    hot_lines: u64,
+    mix: crate::profiles::AddressMix,
+    stream_cursor: u64,
+    records_emitted: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile`, deterministic in `seed`.
+    pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
+        assert!(profile.mix.is_valid(), "profile mix must sum to 1");
+        let working_set_lines = (profile.working_set_bytes / LINE).max(16);
+        TraceGenerator {
+            rng: StdRng::seed_from_u64(seed ^ hash_name(profile.name)),
+            read_fraction: profile.read_fraction(),
+            miss_prob: (profile.total_mpki() / 1000.0).min(1.0),
+            working_set_lines,
+            hot_lines: (working_set_lines / 10).max(4),
+            mix: profile.mix,
+            stream_cursor: 0,
+            records_emitted: 0,
+        }
+    }
+
+    /// Produces the next trace record.
+    pub fn next_record(&mut self) -> TraceRecord {
+        // Geometric inter-arrival: instructions until the next miss.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = (u.ln() / (1.0 - self.miss_prob).ln()).floor().min(u32::MAX as f64) as u32;
+
+        let op = if self.rng.gen_bool(self.read_fraction) { MemOp::Read } else { MemOp::Write };
+
+        let class: f64 = self.rng.gen();
+        let line = if class < self.mix.streaming {
+            self.stream_cursor = (self.stream_cursor + 1) % self.working_set_lines;
+            self.stream_cursor
+        } else if class < self.mix.streaming + self.mix.pointer_chase {
+            self.rng.gen_range(0..self.working_set_lines)
+        } else {
+            self.rng.gen_range(0..self.hot_lines)
+        };
+
+        self.records_emitted += 1;
+        TraceRecord::new(gap, op, line * LINE)
+    }
+
+    /// Number of records generated so far.
+    pub fn records_emitted(&self) -> u64 {
+        self.records_emitted
+    }
+
+    /// Convenience: materializes `n` records into a vector.
+    pub fn take_records(&mut self, n: usize) -> Vec<TraceRecord> {
+        (0..n).map(|_| self.next_record()).collect()
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a so each benchmark gets a distinct stream under the same seed.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Measures read/write MPKI of an observed trace, for validating generators
+/// against Table IV and for the `table4_benchmarks` harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpkiMeter {
+    reads: u64,
+    writes: u64,
+    instructions: u64,
+}
+
+impl MpkiMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one record (its gap counts as instructions, plus the op itself).
+    pub fn observe(&mut self, record: &TraceRecord) {
+        self.instructions += u64::from(record.inst_gap) + 1;
+        match record.op {
+            MemOp::Read => self.reads += 1,
+            MemOp::Write => self.writes += 1,
+        }
+    }
+
+    /// Total instructions observed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Read misses per kilo-instruction.
+    pub fn read_mpki(&self) -> f64 {
+        self.mpki(self.reads)
+    }
+
+    /// Write misses per kilo-instruction.
+    pub fn write_mpki(&self) -> f64 {
+        self.mpki(self.writes)
+    }
+
+    fn mpki(&self, count: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = &profiles::spec2017()[0];
+        let a: Vec<_> = TraceGenerator::new(p, 9).take_records(100);
+        let b: Vec<_> = TraceGenerator::new(p, 9).take_records(100);
+        let c: Vec<_> = TraceGenerator::new(p, 10).take_records(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn benchmarks_have_distinct_streams_under_same_seed() {
+        let s = profiles::spec2017();
+        let a: Vec<_> = TraceGenerator::new(&s[0], 1).take_records(50);
+        let b: Vec<_> = TraceGenerator::new(&s[1], 1).take_records(50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mpki_calibration_matches_table_iv() {
+        for p in profiles::spec2017() {
+            let mut gen = TraceGenerator::new(&p, 7);
+            let mut meter = MpkiMeter::new();
+            for _ in 0..60_000 {
+                meter.observe(&gen.next_record());
+            }
+            let total = meter.read_mpki() + meter.write_mpki();
+            let expect = p.total_mpki();
+            let rel = (total - expect).abs() / expect;
+            assert!(rel < 0.08, "{}: generated {total:.3} vs Table IV {expect:.3}", p.name);
+            // Read/write split tracks the profile.
+            let rf = meter.read_mpki() / total;
+            assert!((rf - p.read_fraction()).abs() < 0.05, "{} read fraction", p.name);
+        }
+    }
+
+    #[test]
+    fn addresses_stay_inside_working_set() {
+        let p = &profiles::spec2017()[1]; // mcf, large set
+        let mut gen = TraceGenerator::new(p, 3);
+        for _ in 0..10_000 {
+            let r = gen.next_record();
+            assert!(r.addr < p.working_set_bytes);
+        }
+    }
+
+    #[test]
+    fn hot_reuse_concentrates_accesses() {
+        use crate::profiles::{AddressMix, BenchmarkProfile, Suite};
+        let hot_only = BenchmarkProfile {
+            name: "synthetic-hot",
+            suite: Suite::Spec2017,
+            read_mpki: 10.0,
+            write_mpki: 0.0,
+            working_set_bytes: 64 * 1024 * 1024,
+            mix: AddressMix { streaming: 0.0, pointer_chase: 0.0, hot_reuse: 1.0 },
+        };
+        let mut gen = TraceGenerator::new(&hot_only, 5);
+        let hot_bytes = hot_only.working_set_bytes / 10;
+        for _ in 0..5_000 {
+            assert!(gen.next_record().addr < hot_bytes + 64);
+        }
+    }
+
+    #[test]
+    fn meter_on_empty_trace() {
+        let m = MpkiMeter::new();
+        assert_eq!(m.read_mpki(), 0.0);
+        assert_eq!(m.write_mpki(), 0.0);
+    }
+}

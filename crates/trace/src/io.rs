@@ -1,0 +1,187 @@
+//! USIMM-style trace file I/O.
+//!
+//! The paper's methodology replays Pin-collected traces through USIMM;
+//! USIMM traces are text files with one record per line:
+//!
+//! ```text
+//! <non-memory-instruction-gap> <R|W> <hex address>
+//! ```
+//!
+//! This module reads and writes that format so externally collected traces
+//! can drive the simulator, and synthetic traces can be exported for other
+//! tools.
+
+use crate::record::{MemOp, TraceRecord};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A malformed line in a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Parses a USIMM-style trace from a reader. Blank lines and `#` comments
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on the first malformed line; I/O errors are
+/// folded into the same type with the failing line number.
+///
+/// # Example
+///
+/// ```
+/// use aboram_trace::io::parse_trace;
+///
+/// let text = "# my trace\n100 R 0x1000\n5 W 0x2040\n";
+/// let records = parse_trace(text.as_bytes()).unwrap();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].inst_gap, 100);
+/// ```
+pub fn parse_trace(reader: impl BufRead) -> Result<Vec<TraceRecord>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| ParseTraceError { line: lineno, reason: e.to_string() })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let gap: u32 = parts
+            .next()
+            .ok_or_else(|| missing(lineno, "instruction gap"))?
+            .parse()
+            .map_err(|_| malformed(lineno, "instruction gap"))?;
+        let op = match parts.next().ok_or_else(|| missing(lineno, "operation"))? {
+            "R" | "r" => MemOp::Read,
+            "W" | "w" => MemOp::Write,
+            other => {
+                return Err(ParseTraceError {
+                    line: lineno,
+                    reason: format!("operation must be R or W, got `{other}`"),
+                })
+            }
+        };
+        let addr_str = parts.next().ok_or_else(|| missing(lineno, "address"))?;
+        let addr = parse_addr(addr_str).ok_or_else(|| malformed(lineno, "address"))?;
+        if parts.next().is_some() {
+            return Err(ParseTraceError {
+                line: lineno,
+                reason: "trailing fields after address".to_string(),
+            });
+        }
+        out.push(TraceRecord::new(gap, op, addr));
+    }
+    Ok(out)
+}
+
+fn parse_addr(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn missing(line: usize, what: &str) -> ParseTraceError {
+    ParseTraceError { line, reason: format!("missing {what}") }
+}
+
+fn malformed(line: usize, what: &str) -> ParseTraceError {
+    ParseTraceError { line, reason: format!("malformed {what}") }
+}
+
+/// Writes records in the USIMM text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use aboram_trace::io::{parse_trace, write_trace};
+/// use aboram_trace::{MemOp, TraceRecord};
+///
+/// let records = vec![TraceRecord::new(7, MemOp::Read, 0x40)];
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &records)?;
+/// assert_eq!(parse_trace(buf.as_slice()).unwrap(), records);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_trace(mut writer: impl Write, records: &[TraceRecord]) -> std::io::Result<()> {
+    for r in records {
+        writeln!(writer, "{} {} {:#x}", r.inst_gap, r.op, r.addr)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            TraceRecord::new(0, MemOp::Read, 0),
+            TraceRecord::new(1000, MemOp::Write, 0xdead_bec0),
+            TraceRecord::new(u32::MAX, MemOp::Read, 64),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        assert_eq!(parse_trace(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn accepts_comments_blanks_and_decimal_addresses() {
+        let text = "# header\n\n10 R 4096\n  20 w 0x80 \n";
+        let records = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].addr, 4096);
+        assert_eq!(records[1].op, MemOp::Write);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        for (text, needle) in [
+            ("abc R 0x0", "malformed instruction gap"),
+            ("5 X 0x0", "operation must be R or W"),
+            ("5 R zz", "malformed address"),
+            ("5 R", "missing address"),
+            ("5", "missing operation"),
+            ("5 R 0x0 extra", "trailing fields"),
+        ] {
+            let err = parse_trace(text.as_bytes()).unwrap_err();
+            assert!(err.reason.contains(needle.split(' ').next_back().unwrap()), "{text}: {err}");
+            assert_eq!(err.line, 1);
+        }
+        let err = parse_trace("1 R 0x0\nbad".as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn generated_trace_exports_cleanly() {
+        use crate::generator::TraceGenerator;
+        use crate::profiles;
+        let p = &profiles::spec2017()[0];
+        let mut gen = TraceGenerator::new(p, 5);
+        let records = gen.take_records(100);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        assert_eq!(parse_trace(buf.as_slice()).unwrap(), records);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic workload generation for the AB-ORAM reproduction.
+//!
+//! The paper drives its evaluation with Pin-collected memory traces of SPEC
+//! CPU2017 (Table IV) and PARSEC, replayed through USIMM. Those traces are
+//! proprietary-tool artifacts we cannot ship, so this crate builds the
+//! closest synthetic equivalent (see DESIGN.md, substitutions): per-benchmark
+//! generators calibrated to the paper's read/write LLC-miss MPKI, with
+//! address streams mixing streaming, strided, pointer-chasing and hot-set
+//! reuse behaviour over a configurable working set.
+//!
+//! Two usage modes:
+//!
+//! * [`TraceGenerator`] emits LLC-miss records directly (the rates in
+//!   Table IV are LLC MPKI, so this is what the ORAM controller consumes);
+//! * [`CacheHierarchy`] filters a raw access stream through the Table III
+//!   L1/L2/LLC hierarchy, for end-to-end examples and for validating that
+//!   the direct generator's rates survive a cache model.
+//!
+//! # Example
+//!
+//! ```
+//! use aboram_trace::{profiles, TraceGenerator};
+//!
+//! let mcf = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+//! let mut gen = TraceGenerator::new(&mcf, 42);
+//! let rec = gen.next_record();
+//! assert!(rec.addr % 64 == 0, "trace addresses are cache-line aligned");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod io;
+mod generator;
+mod phases;
+pub mod profiles;
+mod record;
+
+pub use cache::{CacheConfig, CacheHierarchy, CacheLevelConfig};
+pub use generator::{MpkiMeter, TraceGenerator};
+pub use profiles::{AddressMix, BenchmarkProfile, Suite};
+pub use phases::{Phase, PhasedGenerator};
+pub use record::{MemOp, TraceRecord};

@@ -1,0 +1,162 @@
+//! Phased workload behaviour.
+//!
+//! Real applications alternate execution phases with different miss rates
+//! and locality (loop nests, data-structure rebuilds, I/O bursts). This
+//! module layers a phase machine on top of [`TraceGenerator`]: the workload
+//! cycles through a list of phases, each its own profile variant, with
+//! deterministic dwell lengths. Used by long-running studies to exercise
+//! the protocol under non-stationary load.
+
+use crate::generator::TraceGenerator;
+use crate::profiles::{AddressMix, BenchmarkProfile};
+use crate::record::TraceRecord;
+
+/// One phase: a profile variant plus how many records it lasts.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// The behaviour during the phase.
+    pub profile: BenchmarkProfile,
+    /// Records emitted before advancing to the next phase.
+    pub records: u64,
+}
+
+/// A generator cycling through phases.
+///
+/// # Example
+///
+/// ```
+/// use aboram_trace::{profiles, PhasedGenerator, Phase};
+///
+/// let base = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+/// let phases = PhasedGenerator::compute_vs_scan(&base, 1_000);
+/// let mut gen = PhasedGenerator::new(phases, 7);
+/// let r = gen.next_record();
+/// assert_eq!(r.addr % 64, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedGenerator {
+    phases: Vec<Phase>,
+    generators: Vec<TraceGenerator>,
+    current: usize,
+    remaining: u64,
+    emitted: u64,
+}
+
+impl PhasedGenerator {
+    /// Builds a phased generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has zero records.
+    pub fn new(phases: Vec<Phase>, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(phases.iter().all(|p| p.records > 0), "phases must be non-empty");
+        let generators = phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TraceGenerator::new(&p.profile, seed.wrapping_add(i as u64)))
+            .collect();
+        let remaining = phases[0].records;
+        PhasedGenerator { phases, generators, current: 0, remaining, emitted: 0 }
+    }
+
+    /// A common two-phase pattern derived from `base`: a compute phase
+    /// (low MPKI, hot-set reuse) alternating with a scan phase (the base
+    /// profile's full miss rate, streaming).
+    pub fn compute_vs_scan(base: &BenchmarkProfile, dwell: u64) -> Vec<Phase> {
+        let compute = BenchmarkProfile {
+            read_mpki: (base.read_mpki * 0.2).max(0.01),
+            write_mpki: (base.write_mpki * 0.2).max(0.01),
+            mix: AddressMix { streaming: 0.1, pointer_chase: 0.1, hot_reuse: 0.8 },
+            ..base.clone()
+        };
+        let scan = BenchmarkProfile {
+            mix: AddressMix { streaming: 0.8, pointer_chase: 0.1, hot_reuse: 0.1 },
+            ..base.clone()
+        };
+        vec![Phase { profile: compute, records: dwell }, Phase { profile: scan, records: dwell }]
+    }
+
+    /// Emits the next record, advancing phases as dwell times expire.
+    pub fn next_record(&mut self) -> TraceRecord {
+        let record = self.generators[self.current].next_record();
+        self.emitted += 1;
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            self.current = (self.current + 1) % self.phases.len();
+            self.remaining = self.phases[self.current].records;
+        }
+        record
+    }
+
+    /// Index of the phase the next record will come from.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Total records emitted.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MpkiMeter;
+    use crate::profiles;
+
+    fn base() -> BenchmarkProfile {
+        profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap()
+    }
+
+    #[test]
+    fn phases_cycle_deterministically() {
+        let phases = PhasedGenerator::compute_vs_scan(&base(), 10);
+        let mut gen = PhasedGenerator::new(phases, 1);
+        let mut seen = Vec::new();
+        for _ in 0..40 {
+            seen.push(gen.current_phase());
+            let _ = gen.next_record();
+        }
+        assert_eq!(&seen[..12], &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1]);
+        assert_eq!(seen[20], 0, "cycles back to phase 0");
+        assert_eq!(gen.emitted(), 40);
+    }
+
+    #[test]
+    fn phase_mpki_differs() {
+        let phases = PhasedGenerator::compute_vs_scan(&base(), 30_000);
+        let mut gen = PhasedGenerator::new(phases, 5);
+        let mut compute = MpkiMeter::new();
+        let mut scan = MpkiMeter::new();
+        for _ in 0..60_000 {
+            let phase = gen.current_phase();
+            let rec = gen.next_record();
+            if phase == 0 {
+                compute.observe(&rec);
+            } else {
+                scan.observe(&rec);
+            }
+        }
+        let c = compute.read_mpki() + compute.write_mpki();
+        let s = scan.read_mpki() + scan.write_mpki();
+        assert!(s > 3.0 * c, "scan phase ({s:.2}) must miss far more than compute ({c:.2})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedGenerator::new(vec![], 0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mk = |seed| {
+            let mut g = PhasedGenerator::new(PhasedGenerator::compute_vs_scan(&base(), 50), seed);
+            (0..200).map(|_| g.next_record()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(9), mk(9));
+        assert_ne!(mk(9), mk(10));
+    }
+}

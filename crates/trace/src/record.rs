@@ -1,0 +1,65 @@
+//! Trace record types.
+
+use std::fmt;
+
+/// Direction of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// A demand load (blocks the core until data returns).
+    Read,
+    /// A writeback/store (retired from a write buffer, non-blocking).
+    Write,
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOp::Read => f.write_str("R"),
+            MemOp::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One record of a memory trace, in the USIMM style: the number of
+/// non-memory instructions executed since the previous record, then one
+/// memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Non-memory instructions preceding this operation.
+    pub inst_gap: u32,
+    /// Operation direction.
+    pub op: MemOp,
+    /// Byte address, cache-line (64 B) aligned.
+    pub addr: u64,
+}
+
+impl TraceRecord {
+    /// Creates a record, aligning the address down to a 64 B line.
+    pub fn new(inst_gap: u32, op: MemOp, addr: u64) -> Self {
+        TraceRecord { inst_gap, op, addr: addr & !63 }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {:#x}", self.inst_gap, self.op, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_aligns_address() {
+        let r = TraceRecord::new(10, MemOp::Read, 0x1234_5678);
+        assert_eq!(r.addr, 0x1234_5640);
+        assert_eq!(r.addr % 64, 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = TraceRecord::new(3, MemOp::Write, 64);
+        assert_eq!(r.to_string(), "3 W 0x40");
+    }
+}

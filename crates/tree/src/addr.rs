@@ -1,0 +1,207 @@
+//! Physical byte layout of the ORAM tree in (simulated) main memory.
+//!
+//! The data region lays buckets out level by level, each bucket occupying
+//! `Z_level` consecutive 64-byte blocks; the metadata region is a dense array
+//! of one 64-byte metadata block per bucket, placed after the data region.
+//! This mirrors how Ring ORAM implementations place the "separate small
+//! metadata tree" (§III-B) and is what gives AB-ORAM's remote allocation its
+//! measurable DRAM row-buffer effect: a remote slot lives at a different
+//! physical address than the in-place slot it replaces.
+
+use crate::error::GeometryError;
+use crate::geometry::TreeGeometry;
+use crate::path::{BucketId, Level, SlotId};
+
+/// Size of one data block (a cache line), in bytes.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Size reserved for one bucket's metadata, in bytes. The paper keeps Ring
+/// ORAM's 33 B plus AB-ORAM's 28 B of additional metadata within one block
+/// (§VIII-H), so a single 64 B access covers a bucket's metadata.
+pub const METADATA_BLOCK_BYTES: u64 = 64;
+
+/// A physical byte address of one slot (or metadata block) in the simulated
+/// memory, used as the DRAM request address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotAddr(pub u64);
+
+impl SlotAddr {
+    /// The raw byte address.
+    pub const fn byte(self) -> u64 {
+        self.0
+    }
+}
+
+/// Precomputed physical layout for one [`TreeGeometry`].
+///
+/// Construction is `O(levels)`; address computations are `O(1)`.
+///
+/// # Example
+///
+/// ```
+/// use aboram_tree::{TreeGeometry, LevelConfig, PhysicalLayout, BucketId, SlotId};
+///
+/// let geo = TreeGeometry::uniform(4, LevelConfig::new(5, 3)).unwrap();
+/// let layout = PhysicalLayout::new(&geo);
+/// let root_slot0 = layout.slot_addr(SlotId::new(BucketId::new(0), 0)).unwrap();
+/// assert_eq!(root_slot0.byte(), 0);
+/// // Total footprint: 15 buckets * 8 slots * 64 B data + 15 * 64 B metadata.
+/// assert_eq!(layout.total_bytes(), 15 * 8 * 64 + 15 * 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalLayout {
+    levels: u8,
+    /// First data-region *block* index of each level.
+    level_base_block: Vec<u64>,
+    /// Physical slots per bucket (`Z`) at each level.
+    level_z: Vec<u8>,
+    /// First byte of the metadata region.
+    metadata_base: u64,
+    bucket_count: u64,
+}
+
+impl PhysicalLayout {
+    /// Builds the layout for `geometry`.
+    pub fn new(geometry: &TreeGeometry) -> Self {
+        let levels = geometry.levels();
+        let mut level_base_block = Vec::with_capacity(levels as usize);
+        let mut level_z = Vec::with_capacity(levels as usize);
+        let mut next_block = 0u64;
+        for l in 0..levels {
+            let level = Level(l);
+            let z = geometry.level_config(level).z_total();
+            level_base_block.push(next_block);
+            level_z.push(z);
+            next_block += geometry.buckets_at_level(level) * u64::from(z);
+        }
+        let metadata_base = next_block * BLOCK_BYTES;
+        PhysicalLayout {
+            levels,
+            level_base_block,
+            level_z,
+            metadata_base,
+            bucket_count: geometry.bucket_count(),
+        }
+    }
+
+    /// Byte address of a data slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::BucketOutOfRange`] or
+    /// [`GeometryError::SlotOutOfRange`] for invalid identifiers.
+    pub fn slot_addr(&self, slot: SlotId) -> Result<SlotAddr, GeometryError> {
+        if slot.bucket.raw() >= self.bucket_count {
+            return Err(GeometryError::BucketOutOfRange {
+                bucket: slot.bucket.raw(),
+                buckets: self.bucket_count,
+            });
+        }
+        let level = slot.bucket.level();
+        let z = self.level_z[level.0 as usize];
+        if slot.index >= z {
+            return Err(GeometryError::SlotOutOfRange { slot: slot.index, z_total: z });
+        }
+        let block = self.level_base_block[level.0 as usize]
+            + slot.bucket.index_in_level() * u64::from(z)
+            + u64::from(slot.index);
+        Ok(SlotAddr(block * BLOCK_BYTES))
+    }
+
+    /// Byte address of a bucket's metadata block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::BucketOutOfRange`] for invalid buckets.
+    pub fn metadata_addr(&self, bucket: BucketId) -> Result<SlotAddr, GeometryError> {
+        if bucket.raw() >= self.bucket_count {
+            return Err(GeometryError::BucketOutOfRange {
+                bucket: bucket.raw(),
+                buckets: self.bucket_count,
+            });
+        }
+        Ok(SlotAddr(self.metadata_base + bucket.raw() * METADATA_BLOCK_BYTES))
+    }
+
+    /// Total simulated memory footprint: data region plus metadata region.
+    pub fn total_bytes(&self) -> u64 {
+        self.metadata_base + self.bucket_count * METADATA_BLOCK_BYTES
+    }
+
+    /// Bytes occupied by the data region alone.
+    pub fn data_bytes(&self) -> u64 {
+        self.metadata_base
+    }
+
+    /// Number of levels in the underlying geometry.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::LevelConfig;
+
+    fn layout(levels: u8) -> (TreeGeometry, PhysicalLayout) {
+        let geo = TreeGeometry::uniform(levels, LevelConfig::new(5, 3).with_overlap(4)).unwrap();
+        let l = PhysicalLayout::new(&geo);
+        (geo, l)
+    }
+
+    #[test]
+    fn addresses_are_unique_and_block_aligned() {
+        let geo = TreeGeometry::uniform(5, LevelConfig::new(2, 1))
+            .unwrap()
+            .override_bottom_levels(2, LevelConfig::new(2, 3))
+            .unwrap();
+        let layout = PhysicalLayout::new(&geo);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..geo.bucket_count() {
+            let bucket = BucketId::new(b);
+            let z = geo.level_config(bucket.level()).z_total();
+            for s in 0..z {
+                let a = layout.slot_addr(SlotId::new(bucket, s)).unwrap();
+                assert_eq!(a.byte() % BLOCK_BYTES, 0);
+                assert!(seen.insert(a.byte()), "duplicate address {}", a.byte());
+            }
+            let m = layout.metadata_addr(bucket).unwrap();
+            assert!(seen.insert(m.byte()), "metadata collides with data");
+        }
+        assert_eq!(seen.len() as u64 * BLOCK_BYTES, layout.total_bytes());
+    }
+
+    #[test]
+    fn non_uniform_levels_pack_densely() {
+        // 3 levels: root Z=8, middle Z=8, leaves Z=6.
+        let geo = TreeGeometry::uniform(3, LevelConfig::new(5, 3))
+            .unwrap()
+            .override_bottom_levels(1, LevelConfig::new(5, 1))
+            .unwrap();
+        let layout = PhysicalLayout::new(&geo);
+        // data blocks: 1*8 + 2*8 + 4*6 = 48
+        assert_eq!(layout.data_bytes(), 48 * BLOCK_BYTES);
+        let leaf0 = BucketId::from_level_index(Level(2), 0);
+        let addr = layout.slot_addr(SlotId::new(leaf0, 0)).unwrap();
+        assert_eq!(addr.byte(), 24 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (geo, layout) = layout(4);
+        let bad_bucket = BucketId::new(geo.bucket_count());
+        assert!(layout.slot_addr(SlotId::new(bad_bucket, 0)).is_err());
+        assert!(layout.metadata_addr(bad_bucket).is_err());
+        let ok_bucket = BucketId::new(0);
+        assert!(layout.slot_addr(SlotId::new(ok_bucket, 8)).is_err());
+        assert!(layout.slot_addr(SlotId::new(ok_bucket, 7)).is_ok());
+    }
+
+    #[test]
+    fn paper_footprint_8gb_tree() {
+        // §VII: 24 levels, Z = 8, 64 B blocks → (2^24 - 1) * 8 * 64 B ≈ 8 GB.
+        let (_, layout) = layout(24);
+        assert_eq!(layout.data_bytes(), ((1u64 << 24) - 1) * 8 * 64);
+    }
+}

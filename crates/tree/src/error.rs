@@ -1,0 +1,76 @@
+//! Error type for geometry construction and addressing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing or querying a [`crate::TreeGeometry`]
+/// with invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// The requested number of levels is outside the supported `2..=40` range.
+    BadLevelCount {
+        /// The rejected level count.
+        levels: u8,
+    },
+    /// A per-level configuration list did not match the level count.
+    ConfigLengthMismatch {
+        /// Number of levels requested.
+        levels: u8,
+        /// Number of level configurations supplied.
+        configs: usize,
+    },
+    /// A bucket has zero total slots, which cannot hold any block.
+    EmptyBucket {
+        /// Level at which the empty bucket configuration was found.
+        level: u8,
+    },
+    /// A path id is out of range for the tree (must be `< 2^(levels-1)`).
+    PathOutOfRange {
+        /// The rejected path id value.
+        path: u64,
+        /// Number of leaves in the tree.
+        leaves: u64,
+    },
+    /// A bucket id is out of range for the tree.
+    BucketOutOfRange {
+        /// The rejected bucket id value.
+        bucket: u64,
+        /// Number of buckets in the tree.
+        buckets: u64,
+    },
+    /// A slot index exceeds the bucket's physical size at its level.
+    SlotOutOfRange {
+        /// The rejected slot index.
+        slot: u8,
+        /// Physical bucket size at the slot's level.
+        z_total: u8,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::BadLevelCount { levels } => {
+                write!(f, "tree level count {levels} outside supported range 2..=40")
+            }
+            GeometryError::ConfigLengthMismatch { levels, configs } => {
+                write!(f, "{configs} level configs supplied for a {levels}-level tree")
+            }
+            GeometryError::EmptyBucket { level } => {
+                write!(f, "bucket configuration at level {level} has zero slots")
+            }
+            GeometryError::PathOutOfRange { path, leaves } => {
+                write!(f, "path id {path} out of range for tree with {leaves} leaves")
+            }
+            GeometryError::BucketOutOfRange { bucket, buckets } => {
+                write!(f, "bucket id {bucket} out of range for tree with {buckets} buckets")
+            }
+            GeometryError::SlotOutOfRange { slot, z_total } => {
+                write!(f, "slot index {slot} out of range for bucket of {z_total} slots")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}

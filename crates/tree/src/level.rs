@@ -1,0 +1,155 @@
+//! Per-level bucket configuration.
+
+/// Bucket sizing parameters for one tree level.
+///
+/// In the paper's notation a bucket holds `Z = Z' + S` physical slots, of
+/// which `Z'` may hold real blocks and `S` are reserved dummies. Under the
+/// bucket-compaction (CB) optimization of Cao et al. an additional *overlap*
+/// `Y` lets a bucket sustain `S + Y` readPath accesses before an
+/// earlyReshuffle, by serving "green" blocks out of the `Z'` portion once the
+/// reserved dummies are exhausted.
+///
+/// AB-ORAM makes this configuration non-uniform across levels: NS shrinks `S`
+/// for bottom levels; DR physically allocates `S` fewer slots and recovers
+/// the access budget at runtime by borrowing reclaimed dead slots
+/// (`dynamic_s_extension`).
+///
+/// # Example
+///
+/// ```
+/// use aboram_tree::LevelConfig;
+///
+/// // Plain Ring ORAM typical setting: Z' = 5, S = 7, Z = 12.
+/// let ring = LevelConfig::new(5, 7);
+/// assert_eq!(ring.z_total(), 12);
+/// assert_eq!(ring.sustained_reads(), 7);
+///
+/// // CB baseline: Z = 8 physical slots, sustains 3 + 4 = 7 reads.
+/// let cb = LevelConfig::new(5, 3).with_overlap(4);
+/// assert_eq!(cb.z_total(), 8);
+/// assert_eq!(cb.sustained_reads(), 7);
+///
+/// // AB bottom level: Z = 5 physical, S = 0, DR extends by 2 at runtime.
+/// let ab = LevelConfig::new(5, 0).with_overlap(4).with_dynamic_extension(2);
+/// assert_eq!(ab.z_total(), 5);
+/// assert_eq!(ab.sustained_reads(), 4);           // before extension
+/// assert_eq!(ab.sustained_reads_extended(), 6);  // after extension
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LevelConfig {
+    /// `Z'`: slots eligible to hold real blocks.
+    pub z_real: u8,
+    /// `S`: physically allocated reserved-dummy slots.
+    pub s_dummies: u8,
+    /// `Y`: CB overlap — extra readPaths served from the `Z'` portion.
+    pub overlap_y: u8,
+    /// `r`: DR runtime extension of the access budget via remote allocation.
+    pub dynamic_s_extension: u8,
+}
+
+impl LevelConfig {
+    /// Creates a configuration with `Z' = z_real` and `S = s_dummies`,
+    /// no overlap and no dynamic extension.
+    pub const fn new(z_real: u8, s_dummies: u8) -> Self {
+        LevelConfig { z_real, s_dummies, overlap_y: 0, dynamic_s_extension: 0 }
+    }
+
+    /// Returns a copy with the CB overlap `Y` set.
+    pub const fn with_overlap(mut self, y: u8) -> Self {
+        self.overlap_y = y;
+        self
+    }
+
+    /// Returns a copy with the DR dynamic-S extension set.
+    pub const fn with_dynamic_extension(mut self, r: u8) -> Self {
+        self.dynamic_s_extension = r;
+        self
+    }
+
+    /// Returns a copy with `Z'` replaced (used by the IR scheme, which
+    /// shrinks `Z'` for middle levels).
+    pub const fn with_z_real(mut self, z_real: u8) -> Self {
+        self.z_real = z_real;
+        self
+    }
+
+    /// Returns a copy with `S` replaced (used by NS, which shrinks `S` for
+    /// bottom levels).
+    pub const fn with_s_dummies(mut self, s: u8) -> Self {
+        self.s_dummies = s;
+        self
+    }
+
+    /// `Z`: physical slots allocated per bucket at this level.
+    pub const fn z_total(&self) -> u8 {
+        self.z_real + self.s_dummies
+    }
+
+    /// Number of readPath accesses a bucket sustains before requiring an
+    /// earlyReshuffle, *without* any DR extension: `S + Y`.
+    pub const fn sustained_reads(&self) -> u8 {
+        self.s_dummies + self.overlap_y
+    }
+
+    /// Number of readPath accesses sustained once DR has extended the bucket
+    /// with reclaimed dead slots: `S + r + Y`.
+    pub const fn sustained_reads_extended(&self) -> u8 {
+        self.s_dummies + self.dynamic_s_extension + self.overlap_y
+    }
+
+    /// Whether DR remote allocation is enabled at this level.
+    pub const fn has_dynamic_extension(&self) -> bool {
+        self.dynamic_s_extension > 0
+    }
+}
+
+impl Default for LevelConfig {
+    /// The paper's typical Ring ORAM setting: `Z' = 5, S = 7` (`Z = 12`).
+    fn default() -> Self {
+        LevelConfig::new(5, 7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_typical_setting() {
+        let c = LevelConfig::default();
+        assert_eq!(c.z_real, 5);
+        assert_eq!(c.s_dummies, 7);
+        assert_eq!(c.z_total(), 12);
+        assert_eq!(c.sustained_reads(), 7);
+        assert_eq!(c.sustained_reads_extended(), 7);
+        assert!(!c.has_dynamic_extension());
+    }
+
+    #[test]
+    fn cb_baseline_sustains_same_reads_with_fewer_slots() {
+        let ring = LevelConfig::new(5, 7);
+        let cb = LevelConfig::new(5, 3).with_overlap(4);
+        assert_eq!(cb.sustained_reads(), ring.sustained_reads());
+        assert_eq!(cb.z_total(), 8);
+        assert!(cb.z_total() < ring.z_total());
+    }
+
+    #[test]
+    fn dr_extension_recovers_budget() {
+        // DR on top of CB: S drops from 3 to 1, extension of 2 recovers it.
+        let cb = LevelConfig::new(5, 3).with_overlap(4);
+        let dr = LevelConfig::new(5, 1).with_overlap(4).with_dynamic_extension(2);
+        assert_eq!(dr.sustained_reads_extended(), cb.sustained_reads());
+        assert_eq!(dr.sustained_reads(), 5);
+        assert!(dr.has_dynamic_extension());
+    }
+
+    #[test]
+    fn builder_setters_replace_fields() {
+        let c = LevelConfig::new(5, 3).with_z_real(4).with_s_dummies(2).with_overlap(3);
+        assert_eq!(c.z_real, 4);
+        assert_eq!(c.s_dummies, 2);
+        assert_eq!(c.overlap_y, 3);
+        assert_eq!(c.z_total(), 6);
+    }
+}

@@ -1,0 +1,269 @@
+//! Path, bucket and slot identifiers, plus the reverse-lexicographic
+//! eviction order used by Ring ORAM's `evictPath`.
+
+use std::fmt;
+
+/// A tree level, numbered from the root (`Level(0)` is the root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Level(pub u8);
+
+impl Level {
+    /// Returns the raw level index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A root-to-leaf path, identified by its leaf index in `0..2^(levels-1)`.
+///
+/// The position map assigns each protected block a `PathId`; the block must
+/// reside somewhere on that path (or in the stash, or — under AB-ORAM — in a
+/// remote slot pointed to by the path's metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PathId(u64);
+
+impl PathId {
+    /// Wraps a leaf index as a path id. Range checking happens at the
+    /// geometry boundary ([`crate::TreeGeometry::path_buckets`]).
+    pub const fn new(leaf: u64) -> Self {
+        PathId(leaf)
+    }
+
+    /// Returns the leaf index.
+    pub const fn leaf(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path#{}", self.0)
+    }
+}
+
+impl From<PathId> for u64 {
+    fn from(p: PathId) -> u64 {
+        p.0
+    }
+}
+
+/// A bucket (tree node), identified by its index in heap order:
+/// the root is bucket `0`, and level `l` occupies ids
+/// `2^l - 1 .. 2^(l+1) - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BucketId(u64);
+
+impl BucketId {
+    /// Wraps a raw heap-order bucket index.
+    pub const fn new(raw: u64) -> Self {
+        BucketId(raw)
+    }
+
+    /// Constructs the bucket at `level` with in-level index `index`.
+    pub const fn from_level_index(level: Level, index: u64) -> Self {
+        BucketId(((1u64 << level.0) - 1) + index)
+    }
+
+    /// Returns the raw heap-order index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The level this bucket sits at (`floor(log2(raw + 1))`).
+    pub const fn level(self) -> Level {
+        Level((u64::BITS - 1 - (self.0 + 1).leading_zeros()) as u8)
+    }
+
+    /// The bucket's index within its level (`0..2^level`).
+    pub const fn index_in_level(self) -> u64 {
+        let l = self.level().0;
+        self.0 - ((1u64 << l) - 1)
+    }
+
+    /// The parent bucket, or `None` for the root.
+    pub const fn parent(self) -> Option<BucketId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(BucketId((self.0 - 1) / 2))
+        }
+    }
+}
+
+impl fmt::Display for BucketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bucket#{}", self.0)
+    }
+}
+
+/// A physical slot inside a bucket.
+///
+/// AB-ORAM's `DeadQ` entries are exactly this pair (the paper's
+/// `{slotAddr, slotInd}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId {
+    /// The bucket that physically owns the slot.
+    pub bucket: BucketId,
+    /// The slot offset inside the bucket, `0..Z` for that bucket's level.
+    pub index: u8,
+}
+
+impl SlotId {
+    /// Creates a slot identifier.
+    pub const fn new(bucket: BucketId, index: u8) -> Self {
+        SlotId { bucket, index }
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.bucket, self.index)
+    }
+}
+
+/// Returns the path chosen by the `g`-th `evictPath` under Ring ORAM's
+/// reverse-lexicographic order.
+///
+/// The order enumerates leaves by the bit-reversal of a counter `g` over
+/// `levels - 1` bits, which guarantees that within any window of `2^k`
+/// consecutive evictions every bucket at level `k` is touched exactly once —
+/// the property Ring ORAM relies on to bound stash occupancy.
+///
+/// # Example
+///
+/// ```
+/// use aboram_tree::reverse_lex_path;
+///
+/// // A 4-level tree has 8 leaves; the order alternates halves of the tree.
+/// let order: Vec<u64> = (0..8).map(|g| reverse_lex_path(g, 4).leaf()).collect();
+/// assert_eq!(order, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+/// ```
+pub fn reverse_lex_path(g: u64, levels: u8) -> PathId {
+    let bits = (levels - 1) as u32;
+    if bits == 0 {
+        return PathId::new(0);
+    }
+    let period = 1u64 << bits;
+    let g = g % period;
+    PathId::new(g.reverse_bits() >> (64 - bits))
+}
+
+/// Iterator over the buckets of one path, from the root to the leaf.
+///
+/// Produced by [`crate::TreeGeometry::path_buckets`].
+#[derive(Debug, Clone)]
+pub struct PathBuckets {
+    leaf: u64,
+    levels: u8,
+    next_level: u8,
+}
+
+impl PathBuckets {
+    pub(crate) fn new(leaf: u64, levels: u8) -> Self {
+        PathBuckets { leaf, levels, next_level: 0 }
+    }
+}
+
+impl Iterator for PathBuckets {
+    type Item = BucketId;
+
+    fn next(&mut self) -> Option<BucketId> {
+        if self.next_level >= self.levels {
+            return None;
+        }
+        let level = Level(self.next_level);
+        let shift = (self.levels - 1 - self.next_level) as u32;
+        let index = self.leaf >> shift;
+        self.next_level += 1;
+        Some(BucketId::from_level_index(level, index))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.levels - self.next_level) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PathBuckets {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_level_and_index_roundtrip() {
+        for level in 0..20u8 {
+            let width = 1u64 << level;
+            for index in [0, width / 2, width - 1] {
+                let b = BucketId::from_level_index(Level(level), index);
+                assert_eq!(b.level(), Level(level));
+                assert_eq!(b.index_in_level(), index);
+            }
+        }
+    }
+
+    #[test]
+    fn root_has_no_parent_and_children_chain_up() {
+        assert_eq!(BucketId::new(0).parent(), None);
+        let b = BucketId::from_level_index(Level(3), 5);
+        let p = b.parent().unwrap();
+        assert_eq!(p.level(), Level(2));
+        assert_eq!(p.index_in_level(), 2);
+    }
+
+    #[test]
+    fn path_buckets_walks_root_to_leaf() {
+        let buckets: Vec<_> = PathBuckets::new(6, 4).collect();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], BucketId::new(0));
+        assert_eq!(buckets[3], BucketId::from_level_index(Level(3), 6));
+        // Each bucket is the parent of the next one down the path.
+        for w in buckets.windows(2) {
+            assert_eq!(w[1].parent(), Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn reverse_lex_visits_every_leaf_once_per_period() {
+        let levels = 6u8;
+        let leaves = 1u64 << (levels - 1);
+        let mut seen = vec![false; leaves as usize];
+        for g in 0..leaves {
+            let p = reverse_lex_path(g, levels);
+            assert!(!seen[p.leaf() as usize], "leaf repeated within a period");
+            seen[p.leaf() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn reverse_lex_touches_each_level_k_bucket_once_per_2k_window() {
+        // The load-balancing property Ring ORAM depends on.
+        let levels = 6u8;
+        for k in 1..levels {
+            let window = 1u64 << k;
+            for start in [0u64, 7, 31] {
+                let mut seen = vec![false; window as usize];
+                for g in start..start + window {
+                    let leaf = reverse_lex_path(g, levels).leaf();
+                    let bucket_index = leaf >> (levels - 1 - k);
+                    assert!(!seen[bucket_index as usize]);
+                    seen[bucket_index as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_lex_two_level_tree() {
+        assert_eq!(reverse_lex_path(0, 2).leaf(), 0);
+        assert_eq!(reverse_lex_path(1, 2).leaf(), 1);
+        assert_eq!(reverse_lex_path(2, 2).leaf(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Closed-form space accounting (Fig. 4 top, Fig. 8a/8b, Fig. 11/13/15 space
+//! series).
+//!
+//! Space demand and utilization in the paper are pure functions of the tree
+//! geometry, so they are computed analytically here rather than measured from
+//! a simulation. The per-experiment harness normalizes these reports exactly
+//! the way the paper does (ORAM tree size relative to the CB baseline;
+//! utilization = user data / tree size).
+
+use crate::addr::BLOCK_BYTES;
+use crate::level::LevelConfig;
+use crate::path::Level;
+
+/// Space occupied by one tree level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSpace {
+    /// The level described.
+    pub level: Level,
+    /// Number of buckets at this level (`2^level`).
+    pub buckets: u64,
+    /// The bucket configuration in force at this level.
+    pub config: LevelConfig,
+}
+
+impl LevelSpace {
+    /// Creates the record for one level.
+    pub fn new(level: Level, buckets: u64, config: LevelConfig) -> Self {
+        LevelSpace { level, buckets, config }
+    }
+
+    /// Physical slots at this level.
+    pub fn slots(&self) -> u64 {
+        self.buckets * u64::from(self.config.z_total())
+    }
+
+    /// Data bytes at this level.
+    pub fn bytes(&self) -> u64 {
+        self.slots() * BLOCK_BYTES
+    }
+}
+
+/// Whole-tree space report.
+///
+/// # Example
+///
+/// ```
+/// use aboram_tree::{TreeGeometry, LevelConfig};
+///
+/// let cb = TreeGeometry::uniform(24, LevelConfig::new(5, 3).with_overlap(4)).unwrap();
+/// let report = cb.space_report(cb.paper_real_block_count(5));
+/// // §VIII-A: CB baseline utilization is 31.2 %.
+/// assert!((report.utilization() - 0.3125).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceReport {
+    per_level: Vec<LevelSpace>,
+    real_block_count: u64,
+}
+
+impl SpaceReport {
+    /// Assembles a report from per-level records and the protected user-data
+    /// size in blocks.
+    pub fn new(per_level: Vec<LevelSpace>, real_block_count: u64) -> Self {
+        SpaceReport { per_level, real_block_count }
+    }
+
+    /// Per-level breakdown, root first.
+    pub fn per_level(&self) -> &[LevelSpace] {
+        &self.per_level
+    }
+
+    /// Total physical slots in the tree.
+    pub fn total_slots(&self) -> u64 {
+        self.per_level.iter().map(LevelSpace::slots).sum()
+    }
+
+    /// Total tree size in bytes (data region; excludes metadata).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_slots() * BLOCK_BYTES
+    }
+
+    /// Protected user data in bytes.
+    pub fn user_data_bytes(&self) -> u64 {
+        self.real_block_count * BLOCK_BYTES
+    }
+
+    /// Space utilization: user data over ORAM tree size (§I definition).
+    pub fn utilization(&self) -> f64 {
+        self.user_data_bytes() as f64 / self.total_bytes() as f64
+    }
+
+    /// This report's tree size relative to `baseline` (the paper's
+    /// "normalized space consumption", Fig. 8a).
+    pub fn normalized_to(&self, baseline: &SpaceReport) -> f64 {
+        self.total_bytes() as f64 / baseline.total_bytes() as f64
+    }
+
+    /// Fraction of total capacity held by the `count` levels closest to the
+    /// leaves (the paper notes the bottom 7 levels hold ~99 %).
+    pub fn bottom_levels_fraction(&self, count: usize) -> f64 {
+        let n = self.per_level.len();
+        let start = n.saturating_sub(count);
+        let bottom: u64 = self.per_level[start..].iter().map(LevelSpace::slots).sum();
+        bottom as f64 / self.total_slots() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::geometry::TreeGeometry;
+    use crate::level::LevelConfig;
+
+    fn cb() -> LevelConfig {
+        LevelConfig::new(5, 3).with_overlap(4)
+    }
+
+    fn dr_small() -> LevelConfig {
+        LevelConfig::new(5, 1).with_overlap(4).with_dynamic_extension(2)
+    }
+
+    /// §VIII-A headline numbers, computed in closed form for L = 24.
+    #[test]
+    fn paper_space_headline_numbers() {
+        let baseline = TreeGeometry::uniform(24, cb()).unwrap();
+        let real = baseline.paper_real_block_count(5);
+        let base_rep = baseline.space_report(real);
+        assert!((base_rep.utilization() - 0.3125).abs() < 1e-6);
+
+        // DR: Z = 6 for the bottom six levels [L18, L23].
+        let dr = TreeGeometry::uniform(24, cb())
+            .unwrap()
+            .override_bottom_levels(6, dr_small())
+            .unwrap();
+        let dr_rep = dr.space_report(real);
+        let dr_norm = dr_rep.normalized_to(&base_rep);
+        // Paper: DR lowers space demand to 75 % of Baseline, utilization 41.5 %.
+        assert!((dr_norm - 0.754).abs() < 0.002, "dr_norm = {dr_norm}");
+        assert!((dr_rep.utilization() - 0.415).abs() < 0.002);
+
+        // NS: Z = 6 for bottom two levels [L22, L23].
+        let ns = TreeGeometry::uniform(24, cb())
+            .unwrap()
+            .override_bottom_levels(2, LevelConfig::new(5, 1).with_overlap(4))
+            .unwrap();
+        let ns_rep = ns.space_report(real);
+        // Paper: NS reduces space demand by 19 %.
+        assert!((ns_rep.normalized_to(&base_rep) - 0.8125).abs() < 1e-6);
+
+        // AB: Z = 6 for [L18, L20], Z = 5 for [L21, L23].
+        let ab = TreeGeometry::uniform(24, cb())
+            .unwrap()
+            .override_level_range(18, 20, dr_small())
+            .unwrap()
+            .override_level_range(
+                21,
+                23,
+                LevelConfig::new(5, 0).with_overlap(4).with_dynamic_extension(2),
+            )
+            .unwrap();
+        let ab_rep = ab.space_report(real);
+        let ab_norm = ab_rep.normalized_to(&base_rep);
+        // Paper: AB achieves 36 % space reduction and 48.5 % utilization.
+        assert!((ab_norm - 0.645).abs() < 0.005, "ab_norm = {ab_norm}");
+        assert!((ab_rep.utilization() - 0.485).abs() < 0.005, "util = {}", ab_rep.utilization());
+    }
+
+    #[test]
+    fn bottom_seven_levels_hold_99_percent() {
+        // §IV-B: the bottom seven levels account for 99 % of capacity.
+        let geo = TreeGeometry::uniform(24, LevelConfig::new(5, 7)).unwrap();
+        let rep = geo.space_report(geo.paper_real_block_count(5));
+        assert!(rep.bottom_levels_fraction(7) > 0.99);
+        assert!(rep.bottom_levels_fraction(24) > 0.999_999);
+        // §VIII-C: the top 17 levels account for less than 1 %.
+        assert!(1.0 - rep.bottom_levels_fraction(7) < 0.01);
+    }
+
+    #[test]
+    fn plain_ring_utilization_21_percent() {
+        // §I: typical Ring ORAM setting has 2.5/12 ≈ 21 % utilization.
+        let geo = TreeGeometry::uniform(24, LevelConfig::new(5, 7)).unwrap();
+        let rep = geo.space_report(geo.paper_real_block_count(5));
+        assert!((rep.utilization() - 2.5 / 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_is_relative() {
+        let geo = TreeGeometry::uniform(10, cb()).unwrap();
+        let rep = geo.space_report(100);
+        assert!((rep.normalized_to(&rep) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! What an attacker on the memory bus actually sees — and why it is
+//! useless: without ORAM, two workloads with different secrets produce
+//! visibly different address histograms; through AB-ORAM the histograms are
+//! statistically indistinguishable, even though the tree itself has
+//! (public, data-independent) structural hot spots. Ends with the §VI-C
+//! guessing game.
+//!
+//! Run with: `cargo run --release --example attack_demo`
+
+use aboram::core::{CountingSink, OramConfig, OramError, RingOram, Scheme};
+use std::collections::HashMap;
+
+/// Bus observer: histograms the physical lines it sees.
+#[derive(Default)]
+struct BusObserver {
+    touches: HashMap<u64, f64>,
+    total: f64,
+}
+
+impl BusObserver {
+    fn observe(&mut self, addr: u64) {
+        *self.touches.entry(addr / 64).or_default() += 1.0;
+        self.total += 1.0;
+    }
+
+    /// Total-variation distance between two observed address distributions:
+    /// 0 = identical, 1 = disjoint. The attacker's distinguishing power.
+    fn distance(&self, other: &BusObserver) -> f64 {
+        let keys: std::collections::HashSet<_> =
+            self.touches.keys().chain(other.touches.keys()).collect();
+        let mut d = 0.0;
+        for k in keys {
+            let p = self.touches.get(k).copied().unwrap_or(0.0) / self.total.max(1.0);
+            let q = other.touches.get(k).copied().unwrap_or(0.0) / other.total.max(1.0);
+            d += (p - q).abs();
+        }
+        d / 2.0
+    }
+}
+
+struct Spy<'a>(&'a mut BusObserver);
+
+impl aboram::core::MemorySink for Spy<'_> {
+    fn read(&mut self, addr: aboram::tree::SlotAddr, _: aboram::core::OramOp, _: bool) {
+        self.0.observe(addr.byte());
+    }
+    fn write(&mut self, addr: aboram::tree::SlotAddr, _: aboram::core::OramOp, _: bool) {
+        self.0.observe(addr.byte());
+    }
+}
+
+/// Workload: 90 % of accesses go to `hot_block` (the secret), 10 % sweep.
+fn workload(secret_hot_block: u64, i: u64, blocks: u64) -> u64 {
+    if i % 10 < 9 {
+        secret_hot_block
+    } else {
+        (i * 131) % blocks
+    }
+}
+
+fn main() -> Result<(), OramError> {
+    let accesses = 20_000u64;
+    let blocks = 1u64 << 16;
+
+    // --- Without ORAM: the raw addresses hit the bus. Two runs whose only
+    // difference is the secret hot block are trivially distinguishable.
+    let mut plain_a = BusObserver::default();
+    let mut plain_b = BusObserver::default();
+    for i in 0..accesses {
+        plain_a.observe(workload(1111, i, blocks) * 64);
+        plain_b.observe(workload(9999, i, blocks) * 64);
+    }
+    println!(
+        "without ORAM : distance between secret=1111 and secret=9999 runs = {:.3}",
+        plain_a.distance(&plain_b)
+    );
+
+    // --- With AB-ORAM: same two workloads, fresh engine each, same seed so
+    // the only difference entering the system is the secret.
+    let mut oram_obs = Vec::new();
+    for secret in [1111u64, 9999u64] {
+        let cfg = OramConfig::builder(14, Scheme::Ab).seed(42).build()?;
+        let mut oram = RingOram::new(&cfg)?;
+        let mut obs = BusObserver::default();
+        let n = cfg.real_block_count();
+        for i in 0..accesses {
+            let block = workload(secret, i, n);
+            oram.access(aboram::core::AccessKind::Read, block, None, &mut Spy(&mut obs))?;
+        }
+        oram_obs.push(obs);
+    }
+    let d = oram_obs[0].distance(&oram_obs[1]);
+    println!("with AB-ORAM : distance between the same two runs           = {d:.3}");
+    println!("               (sampling noise floor for uncorrelated runs is similar)");
+
+    // --- The §VI-C guessing game on a fresh instance.
+    let cfg = OramConfig::builder(14, Scheme::Ab).seed(7).build()?;
+    let mut oram = RingOram::new(&cfg)?;
+    let mut sink = CountingSink::new();
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let trials = 20_000u64;
+    let n = cfg.real_block_count();
+    let mut correct = 0u64;
+    for _ in 0..trials {
+        let served = oram.access_observed(rng.gen_range(0..n), &mut sink)?;
+        if served.map(|l| l.index()) == Some(rng.gen_range(0..cfg.levels)) {
+            correct += 1;
+        }
+    }
+    println!(
+        "guessing game: attacker success {:.5} vs ideal 1/L = {:.5}",
+        correct as f64 / trials as f64,
+        1.0 / f64::from(cfg.levels)
+    );
+    println!("\nAB-ORAM's space optimizations change none of this — dead-block");
+    println!("tracking, remote mappings and dynamicS are all public knowledge.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Capacity planning: closed-form space demand and utilization for every
+//! scheme at any tree size — the tool a deployer would use to size an ORAM
+//! for a memory budget (Fig. 8a/8b as a calculator).
+//!
+//! Run with: `cargo run --release --example space_planner [levels]`
+
+use aboram::core::{OramConfig, OramError, Scheme};
+use aboram::stats::Table;
+
+fn main() -> Result<(), OramError> {
+    let levels: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    println!("ORAM space planning for a {levels}-level tree\n");
+    let base_cfg = OramConfig::builder(levels, Scheme::Baseline).build()?;
+    let base = base_cfg.geometry()?.space_report(base_cfg.real_block_count());
+
+    let mut table = Table::new(
+        format!("space demand, L = {levels}"),
+        &["scheme", "tree GiB", "normalized", "utilization %"],
+    );
+    for scheme in
+        [Scheme::PlainRing, Scheme::Baseline, Scheme::Ir, Scheme::DR, Scheme::NS, Scheme::Ab]
+    {
+        let cfg = OramConfig::builder(levels, scheme).build()?;
+        let report = cfg.geometry()?.space_report(cfg.real_block_count());
+        table.row(
+            &[&scheme.to_string()],
+            &[
+                report.total_bytes() as f64 / (1u64 << 30) as f64,
+                report.normalized_to(&base),
+                100.0 * report.utilization(),
+            ],
+        );
+    }
+    println!("{}", table.to_markdown());
+
+    println!("per-level footprint of the AB scheme (bottom levels dominate):");
+    let ab_cfg = OramConfig::builder(levels, Scheme::Ab).build()?;
+    let ab = ab_cfg.geometry()?.space_report(ab_cfg.real_block_count());
+    for ls in ab.per_level().iter().rev().take(8) {
+        println!(
+            "  {:5} : {:8} buckets x Z={:2} = {:6} MiB",
+            ls.level.to_string(),
+            ls.buckets,
+            ls.config.z_total(),
+            ls.bytes() >> 20
+        );
+    }
+    println!(
+        "\nprotected user data: {} GiB at 64 B blocks",
+        ab_cfg.real_block_count() * 64 / (1 << 30)
+    );
+    Ok(())
+}

@@ -1,0 +1,207 @@
+//! `aboram` — command-line front end for the AB-ORAM simulator.
+//!
+//! Subcommands:
+//!
+//! * `space [--levels L]` — closed-form space/utilization table for every
+//!   scheme (Fig. 8a/8b as a calculator).
+//! * `simulate --scheme S [--levels L] [--trace FILE | --benchmark NAME]
+//!   [--records N] [--warmup N]` — run a timing simulation and print the
+//!   report. `--trace` accepts a USIMM-format text trace.
+//! * `gen-trace --benchmark NAME --records N [--out FILE]` — export a
+//!   synthetic Table IV workload in USIMM format.
+//! * `security --scheme S [--accesses N]` — run the §VI-C attacker
+//!   experiment.
+//!
+//! Examples:
+//!
+//! ```text
+//! aboram space --levels 24
+//! aboram gen-trace --benchmark mcf --records 100000 --out mcf.trace
+//! aboram simulate --scheme ab --trace mcf.trace --warmup 500000
+//! aboram security --scheme ab --accesses 200000
+//! ```
+
+use aboram::core::{attack_success_rate, OramConfig, OramOp, Scheme, TimingDriver};
+use aboram::dram::DramConfig;
+use aboram::stats::Table;
+use aboram::trace::io::{parse_trace, write_trace};
+use aboram::trace::{profiles, TraceGenerator, TraceRecord};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "space" => cmd_space(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "gen-trace" => cmd_gen_trace(&args[1..]),
+        "security" => cmd_security(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  aboram space      [--levels L]
+  aboram simulate   --scheme S [--levels L] [--trace FILE | --benchmark NAME]
+                    [--records N] [--warmup N]
+  aboram gen-trace  --benchmark NAME --records N [--out FILE]
+  aboram security   --scheme S [--levels L] [--accesses N]
+
+schemes: ring | baseline | ir | dr | ns | ab | dr+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "ring" => Scheme::PlainRing,
+        "baseline" | "cb" => Scheme::Baseline,
+        "ir" => Scheme::Ir,
+        "dr" => Scheme::DR,
+        "ns" => Scheme::NS,
+        "ab" => Scheme::Ab,
+        "dr+" | "drplus" => Scheme::DrPlus { bottom_levels: 6 },
+        other => return Err(format!("unknown scheme `{other}`")),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_space(args: &[String]) -> Result<(), String> {
+    let levels: u8 = parse_num(args, "--levels", 24)?;
+    let base = OramConfig::builder(levels, Scheme::Baseline).build().map_err(|e| e.to_string())?;
+    let base_rep =
+        base.geometry().map_err(|e| e.to_string())?.space_report(base.real_block_count());
+    let mut t = Table::new(
+        format!("space demand, L = {levels}"),
+        &["scheme", "tree MiB", "normalized", "utilization %"],
+    );
+    for scheme in [
+        Scheme::PlainRing,
+        Scheme::Baseline,
+        Scheme::Ir,
+        Scheme::DR,
+        Scheme::NS,
+        Scheme::Ab,
+        Scheme::DrPlus { bottom_levels: 6 },
+    ] {
+        let cfg = OramConfig::builder(levels, scheme).build().map_err(|e| e.to_string())?;
+        let rep = cfg.geometry().map_err(|e| e.to_string())?.space_report(cfg.real_block_count());
+        t.row(
+            &[&scheme.to_string()],
+            &[
+                rep.total_bytes() as f64 / (1 << 20) as f64,
+                rep.normalized_to(&base_rep),
+                100.0 * rep.utilization(),
+            ],
+        );
+    }
+    println!("{}", t.to_markdown());
+    Ok(())
+}
+
+fn load_or_generate(
+    args: &[String],
+    records: usize,
+) -> Result<Vec<TraceRecord>, String> {
+    if let Some(path) = flag(args, "--trace") {
+        let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+        let recs = parse_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
+        Ok(recs.into_iter().take(records).collect())
+    } else {
+        let name = flag(args, "--benchmark").unwrap_or_else(|| "mcf".to_string());
+        let profile = profiles::spec2017()
+            .into_iter()
+            .chain(profiles::parsec())
+            .find(|p| p.name == name)
+            .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+        let mut gen = TraceGenerator::new(&profile, 2023);
+        Ok(gen.take_records(records))
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let scheme = parse_scheme(&flag(args, "--scheme").ok_or("--scheme is required")?)?;
+    let levels: u8 = parse_num(args, "--levels", 16)?;
+    let records: usize = parse_num(args, "--records", 10_000)?;
+    let warmup: u64 = parse_num(args, "--warmup", 200_000)?;
+    let trace = load_or_generate(args, records)?;
+
+    let cfg = OramConfig::builder(levels, scheme).build().map_err(|e| e.to_string())?;
+    let mut driver = TimingDriver::new(&cfg, DramConfig::default()).map_err(|e| e.to_string())?;
+    eprintln!("[warming {warmup} accesses]");
+    driver.warm_up(warmup).map_err(|e| e.to_string())?;
+    eprintln!("[replaying {} records]", trace.len());
+    let report = driver.run(trace).map_err(|e| e.to_string())?;
+
+    println!("scheme            : {scheme}");
+    println!("tree levels       : {levels}");
+    println!("records           : {}", report.records);
+    println!("execution cycles  : {}", report.exec_cycles);
+    println!("bandwidth         : {:.2} B/cycle", report.bandwidth());
+    println!("row-buffer hits   : {:.1} %", 100.0 * report.row_hit_rate);
+    println!("evictPaths        : {}", report.evict_paths);
+    println!("earlyReshuffles   : {}", report.early_reshuffles);
+    println!("background evicts : {}", report.background_accesses);
+    println!("stash peak        : {}", report.stash_peak);
+    println!("traffic breakdown :");
+    for op in OramOp::ALL {
+        println!("  {:16}: {:5.1} %", op.name(), 100.0 * report.breakdown.fraction(op));
+    }
+    Ok(())
+}
+
+fn cmd_gen_trace(args: &[String]) -> Result<(), String> {
+    let name = flag(args, "--benchmark").ok_or("--benchmark is required")?;
+    let records: usize = parse_num(args, "--records", 100_000)?;
+    let profile = profiles::spec2017()
+        .into_iter()
+        .chain(profiles::parsec())
+        .find(|p| p.name == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let mut gen = TraceGenerator::new(&profile, 2023);
+    let recs = gen.take_records(records);
+    match flag(args, "--out") {
+        Some(path) => {
+            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            write_trace(std::io::BufWriter::new(file), &recs).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} records to {path}", recs.len());
+        }
+        None => write_trace(std::io::stdout().lock(), &recs).map_err(|e| e.to_string())?,
+    }
+    Ok(())
+}
+
+fn cmd_security(args: &[String]) -> Result<(), String> {
+    let scheme = parse_scheme(&flag(args, "--scheme").ok_or("--scheme is required")?)?;
+    let levels: u8 = parse_num(args, "--levels", 16)?;
+    let accesses: u64 = parse_num(args, "--accesses", 100_000)?;
+    let cfg = OramConfig::builder(levels, scheme).build().map_err(|e| e.to_string())?;
+    let report = attack_success_rate(&cfg, accesses).map_err(|e| e.to_string())?;
+    println!("scheme          : {scheme}");
+    println!("accesses        : {}", report.accesses);
+    println!("attacker rate   : {:.6}", report.success_rate());
+    println!("ideal rate 1/L  : {:.6}", report.ideal_rate());
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # AB-ORAM
+//!
+//! A from-scratch Rust reproduction of *AB-ORAM: Constructing Adjustable
+//! Buckets for Space Reduction in Ring ORAM* (HPCA 2023): the Ring ORAM
+//! protocol family (Path ORAM, Ring ORAM, Bucket Compaction, IR-ORAM, and
+//! the paper's DR / NS / AB schemes), a cycle-level DRAM simulator standing
+//! in for USIMM, synthetic SPEC/PARSEC-like workloads, and the experiment
+//! harness that regenerates every figure and table of the paper's
+//! evaluation.
+//!
+//! This facade crate re-exports the workspace's sub-crates under one roof:
+//!
+//! * [`tree`] — ORAM tree geometry, non-uniform bucket sizing, addressing;
+//! * [`crypto`] — memory encryption/authentication model;
+//! * [`stats`] — metric collection and table rendering;
+//! * [`trace`] — synthetic benchmark workload generation;
+//! * [`dram`] — cycle-level DDR3 memory-system model;
+//! * [`core`] — the ORAM engines and simulation drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aboram::core::{OramConfig, Scheme, RingOram, CountingSink};
+//!
+//! // Build a small AB-ORAM instance with the encrypted data path enabled.
+//! let cfg = OramConfig::builder(12, Scheme::Ab).store_data(true).build()?;
+//! let mut oram = RingOram::new(&cfg)?;
+//! let mut sink = CountingSink::new();
+//!
+//! oram.write(42, [7u8; 64], &mut sink)?;
+//! assert_eq!(oram.read(42, &mut sink)?, [7u8; 64]);
+//! # Ok::<(), aboram::core::OramError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! paper-figure harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aboram_core as core;
+pub use aboram_crypto as crypto;
+pub use aboram_dram as dram;
+pub use aboram_stats as stats;
+pub use aboram_trace as trace;
+pub use aboram_tree as tree;

@@ -1,0 +1,124 @@
+//! Regression tests pinning the paper's qualitative result shapes: these
+//! are the claims EXPERIMENTS.md reports, asserted at test scale so a
+//! protocol regression that would silently change a figure fails CI.
+
+use aboram::core::{AccessKind, CountingSink, OramConfig, RingOram, Scheme};
+use rand::{Rng, SeedableRng};
+
+fn run_protocol(scheme: Scheme, levels: u8, accesses: u64) -> RingOram {
+    let cfg = OramConfig::builder(levels, scheme).seed(42).build().unwrap();
+    let mut oram = RingOram::new(&cfg).unwrap();
+    let mut sink = CountingSink::new();
+    let blocks = cfg.real_block_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for _ in 0..accesses {
+        oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink).unwrap();
+    }
+    oram
+}
+
+/// Fig. 8a/8b at L = 24: the headline space numbers, exact.
+#[test]
+fn fig8_space_numbers() {
+    let norm = |scheme: Scheme| {
+        let base = OramConfig::paper_scale(Scheme::Baseline).build().unwrap();
+        let base = base.geometry().unwrap().space_report(base.real_block_count());
+        let cfg = OramConfig::paper_scale(scheme).build().unwrap();
+        let rep = cfg.geometry().unwrap().space_report(cfg.real_block_count());
+        (rep.normalized_to(&base), rep.utilization())
+    };
+    let (dr, dr_util) = norm(Scheme::DR);
+    assert!((dr - 0.754).abs() < 0.002);
+    assert!((dr_util - 0.415).abs() < 0.002);
+    let (ns, _) = norm(Scheme::NS);
+    assert!((ns - 0.8125).abs() < 1e-6);
+    let (ab, ab_util) = norm(Scheme::Ab);
+    assert!((ab - 0.6445).abs() < 0.001, "AB space reduction ~36 %");
+    assert!((ab_util - 0.485).abs() < 0.002, "AB utilization ~48.5 %");
+}
+
+/// Fig. 10 shape: DR's reshuffle count stays near Baseline; NS's jumps at
+/// its two shrunken levels; AB's is elevated on its bottom three.
+#[test]
+fn fig10_reshuffle_shape() {
+    let levels = 12u8;
+    let accesses = 60_000;
+    let base = run_protocol(Scheme::Baseline, levels, accesses);
+    let dr = run_protocol(Scheme::DR, levels, accesses);
+    let ns = run_protocol(Scheme::NS, levels, accesses);
+
+    let leaf = levels - 1;
+    let b = base.stats().reshuffles.get(leaf) as f64;
+    let d = dr.stats().reshuffles.get(leaf) as f64;
+    let n = ns.stats().reshuffles.get(leaf) as f64;
+    assert!(d < 1.5 * b, "DR leaf reshuffles ({d}) should stay near Baseline ({b})");
+    assert!(n > 1.8 * b, "NS leaf reshuffles ({n}) should spike vs Baseline ({b})");
+    // NS's untouched levels stay near Baseline.
+    let untouched = levels - 3;
+    let b_u = base.stats().reshuffles.get(untouched) as f64;
+    let n_u = ns.stats().reshuffles.get(untouched) as f64;
+    assert!((n_u - b_u).abs() < 0.3 * b_u, "NS untouched level near Baseline");
+}
+
+/// Fig. 14: DR extends nearly all refreshes; AB extends a clear majority
+/// but fewer than DR (paper: ~100 % vs 74 %).
+#[test]
+fn fig14_extension_ordering() {
+    let dr = run_protocol(Scheme::DR, 12, 80_000);
+    let ab = run_protocol(Scheme::Ab, 12, 80_000);
+    let dr_ratio = dr.stats().extension_ratio();
+    let ab_ratio = ab.stats().extension_ratio();
+    assert!(dr_ratio > 0.85, "DR extension ratio {dr_ratio}");
+    assert!(ab_ratio > 0.55, "AB extension ratio {ab_ratio}");
+    assert!(dr_ratio > ab_ratio, "DR must extend more often than AB");
+}
+
+/// Fig. 2/3 shape: the dead-block census stabilizes (stops growing) and
+/// concentrates at the bottom levels.
+#[test]
+fn fig2_fig3_dead_block_shape() {
+    let cfg = OramConfig::builder(12, Scheme::PlainRing).seed(42).build().unwrap();
+    let mut oram = RingOram::new(&cfg).unwrap();
+    let mut sink = CountingSink::new();
+    let blocks = cfg.real_block_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut mid = 0;
+    for i in 0..120_000u64 {
+        oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink).unwrap();
+        if i == 60_000 {
+            mid = oram.stats().dead_total();
+        }
+    }
+    let end = oram.stats().dead_total();
+    assert!(mid > 0);
+    let growth = (end as f64 - mid as f64).abs() / mid as f64;
+    assert!(growth < 0.10, "dead census should be stable after warm-up (grew {growth:.3})");
+    // Bottom two levels hold the majority of dead blocks.
+    let bottom: u64 =
+        (10..12).map(|l| oram.stats().dead_blocks.get(l)).sum();
+    assert!(bottom as f64 > 0.6 * end as f64, "dead blocks concentrate near the leaves");
+}
+
+/// §VI-C: the attacker success rate tracks 1/L for Baseline and AB alike.
+#[test]
+fn fig7_security_rates() {
+    for scheme in [Scheme::Baseline, Scheme::Ab] {
+        let cfg = OramConfig::builder(12, scheme).seed(3).build().unwrap();
+        let report = aboram::core::attack_success_rate(&cfg, 30_000).unwrap();
+        let rate = report.success_rate();
+        let ideal = report.ideal_rate();
+        assert!(
+            (rate - ideal).abs() < 0.2 * ideal,
+            "{scheme}: rate {rate:.5} vs ideal {ideal:.5}"
+        );
+    }
+}
+
+/// Table I / §VIII-H: both metadata layouts fit one 64 B block.
+#[test]
+fn table1_metadata_budget() {
+    use aboram::tree::{Level, LevelConfig, TreeGeometry};
+    let geo = TreeGeometry::uniform(24, LevelConfig::new(5, 7)).unwrap();
+    let layout = aboram::core::MetadataLayout::for_geometry(&geo, Level(23), 6);
+    assert!(layout.aboram_total_bits() <= 512);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the core data structures and the whole
+//! protocol: arbitrary workloads and geometries must preserve the DESIGN.md
+//! §5 invariants.
+
+use aboram::core::{AccessKind, CountingSink, OramConfig, RingOram, Scheme};
+use aboram::crypto::{BlockCipher, BLOCK_BYTES};
+use aboram::tree::{reverse_lex_path, LevelConfig, PathId, PhysicalLayout, TreeGeometry};
+use proptest::prelude::*;
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::PlainRing),
+        Just(Scheme::Baseline),
+        Just(Scheme::Ir),
+        Just(Scheme::DR),
+        Just(Scheme::NS),
+        Just(Scheme::Ab),
+        (1u8..=6).prop_map(|b| Scheme::Dr { bottom_levels: b }),
+        (1u8..=4, 1u8..=3).prop_map(|(y, x)| Scheme::Ns { bottom_levels: y, shrink: x }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any scheme, any seed, any workload: blocks remain reachable and the
+    /// access sequence completes without protocol failure.
+    #[test]
+    fn random_workloads_preserve_reachability(
+        scheme in arb_scheme(),
+        seed in 0u64..1_000,
+        accesses in 200usize..800,
+    ) {
+        let cfg = OramConfig::builder(9, scheme).seed(seed).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for _ in 0..accesses {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let b = (state >> 16) % blocks;
+            oram.access(AccessKind::Read, b, None, &mut sink).unwrap();
+        }
+        // Spot-check reachability on a sample (full scan is O(N * L)).
+        for b in (0..blocks).step_by(97) {
+            prop_assert!(oram.check_block_reachable(b));
+        }
+    }
+
+    /// Data integrity holds under arbitrary interleavings of reads and
+    /// writes.
+    #[test]
+    fn random_rw_sequences_are_linearizable(
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec((0u64..200, any::<bool>(), any::<u8>()), 50..200),
+    ) {
+        let cfg = OramConfig::builder(8, Scheme::Ab).store_data(true).seed(seed).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut reference = std::collections::HashMap::new();
+        for (raw, is_write, byte) in ops {
+            let b = raw % blocks;
+            if is_write {
+                let data = [byte; 64];
+                oram.write(b, data, &mut sink).unwrap();
+                reference.insert(b, data);
+            } else {
+                let got = oram.read(b, &mut sink).unwrap();
+                let expect = reference.get(&b).copied().unwrap_or([0u8; 64]);
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    /// Tree geometry: every slot address is unique and in bounds for
+    /// arbitrary non-uniform configurations.
+    #[test]
+    fn layout_addresses_unique(
+        levels in 3u8..9,
+        z_real in 1u8..5,
+        s_top in 0u8..4,
+        s_bottom in 0u8..4,
+        bottom in 1u8..3,
+    ) {
+        let geo = TreeGeometry::uniform(levels, LevelConfig::new(z_real, s_top))
+            .unwrap()
+            .override_bottom_levels(bottom.min(levels), LevelConfig::new(z_real, s_bottom))
+            .unwrap();
+        let layout = PhysicalLayout::new(&geo);
+        let mut seen = std::collections::HashSet::new();
+        for raw in 0..geo.bucket_count() {
+            let bucket = aboram::tree::BucketId::new(raw);
+            let z = geo.level_config(bucket.level()).z_total();
+            for s in 0..z {
+                let addr = layout.slot_addr(aboram::tree::SlotId::new(bucket, s)).unwrap();
+                prop_assert!(addr.byte() < layout.data_bytes());
+                prop_assert!(seen.insert(addr.byte()));
+            }
+        }
+    }
+
+    /// Reverse-lexicographic order visits every leaf exactly once per period
+    /// from any starting counter.
+    #[test]
+    fn reverse_lex_period_property(levels in 2u8..12, start in 0u64..10_000) {
+        let leaves = 1u64 << (levels - 1);
+        let mut seen = std::collections::HashSet::new();
+        for g in start..start + leaves {
+            prop_assert!(seen.insert(reverse_lex_path(g, levels).leaf()));
+        }
+    }
+
+    /// The cipher round-trips arbitrary blocks and rejects any single-bit
+    /// corruption of the ciphertext.
+    #[test]
+    fn cipher_roundtrip_and_tamper(
+        key in any::<[u8; 32]>(),
+        data in any::<[u8; 32]>(),
+        addr in any::<u64>(),
+        ctr in any::<u64>(),
+        flip_byte in 0usize..BLOCK_BYTES,
+        flip_bit in 0u8..8,
+    ) {
+        let cipher = BlockCipher::new(key);
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..32].copy_from_slice(&data);
+        let sealed = cipher.seal(&block, addr, ctr);
+        prop_assert_eq!(cipher.open(&sealed, addr, ctr).unwrap(), block);
+        let mut bad = sealed;
+        bad.ciphertext[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(cipher.open(&bad, addr, ctr).is_err());
+    }
+
+    /// Path/bucket addressing: a bucket is on a path iff the path routes
+    /// through it.
+    #[test]
+    fn bucket_path_consistency(levels in 2u8..14, leaf_seed in any::<u64>()) {
+        let geo = TreeGeometry::uniform(levels, LevelConfig::new(2, 1)).unwrap();
+        let path = PathId::new(leaf_seed % geo.leaf_count());
+        let on_path: Vec<_> = geo.path_buckets(path).collect();
+        for (l, bucket) in on_path.iter().enumerate() {
+            prop_assert_eq!(bucket.level().index(), l as u8);
+            prop_assert!(geo.bucket_is_on_path(*bucket, path));
+        }
+        // The sibling of the leaf bucket is never on the path (heap order:
+        // children of p are 2p+1 and 2p+2, so odd nodes pair with raw + 1).
+        let leaf = on_path.last().unwrap();
+        let sibling_raw = if leaf.raw() % 2 == 1 { leaf.raw() + 1 } else { leaf.raw() - 1 };
+        let sibling = aboram::tree::BucketId::new(sibling_raw);
+        prop_assert!(!geo.bucket_is_on_path(sibling, path));
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the core protocol invariants of
+//! DESIGN.md §5, exercised across every scheme.
+
+use aboram::core::{AccessKind, CountingSink, OramConfig, RingOram, Scheme};
+use rand::{Rng, SeedableRng};
+
+fn schemes() -> Vec<Scheme> {
+    vec![Scheme::PlainRing, Scheme::Baseline, Scheme::Ir, Scheme::DR, Scheme::NS, Scheme::Ab]
+}
+
+/// No block is ever lost: after thousands of accesses under every scheme,
+/// every protected block is findable on its path or in the stash.
+#[test]
+fn no_lost_blocks_under_any_scheme() {
+    for scheme in schemes() {
+        let cfg = OramConfig::builder(10, scheme).seed(11).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..5_000 {
+            let b = rng.gen_range(0..blocks);
+            oram.access(AccessKind::Read, b, None, &mut sink).unwrap();
+        }
+        for b in 0..blocks {
+            assert!(oram.check_block_reachable(b), "{scheme}: block {b} lost");
+        }
+    }
+}
+
+/// The stash never exceeds its configured capacity by more than the
+/// transient path-pull bound (L * Z' blocks in flight during an eviction).
+#[test]
+fn stash_bounded_under_load() {
+    for scheme in schemes() {
+        let cfg = OramConfig::builder(12, scheme).seed(3).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..30_000 {
+            let b = rng.gen_range(0..blocks);
+            oram.access(AccessKind::Read, b, None, &mut sink).unwrap();
+        }
+        let transient = usize::from(cfg.levels) * 5;
+        assert!(
+            oram.stash_peak() <= cfg.stash_capacity + transient,
+            "{scheme}: stash peak {} above bound",
+            oram.stash_peak()
+        );
+    }
+}
+
+/// Accesses are deterministic for a fixed seed: two engines replaying the
+/// same workload produce identical statistics.
+#[test]
+fn deterministic_replay() {
+    let cfg = OramConfig::builder(10, Scheme::Ab).seed(77).build().unwrap();
+    let run = || {
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for _ in 0..3_000 {
+            let b = rng.gen_range(0..blocks);
+            oram.access(AccessKind::Read, b, None, &mut sink).unwrap();
+        }
+        (
+            sink.grand_total(),
+            oram.stats().evict_paths,
+            oram.stats().reshuffles.total(),
+            oram.stats().dead_total(),
+            oram.stash_len(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Out-of-range block ids are rejected, not mangled.
+#[test]
+fn invalid_block_rejected() {
+    let cfg = OramConfig::builder(10, Scheme::Baseline).build().unwrap();
+    let mut oram = RingOram::new(&cfg).unwrap();
+    let mut sink = CountingSink::new();
+    let err = oram.access(AccessKind::Read, cfg.real_block_count(), None, &mut sink);
+    assert!(err.is_err());
+}
+
+/// Every readPath costs exactly one block read per tree bucket below the
+/// treetop (Ring ORAM's bandwidth advantage over Path ORAM).
+#[test]
+fn ring_online_cost_is_one_block_per_bucket() {
+    let cfg = OramConfig::builder(12, Scheme::Baseline).seed(8).build().unwrap();
+    let mut oram = RingOram::new(&cfg).unwrap();
+    let mut sink = CountingSink::new();
+    let blocks = cfg.real_block_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let n = 500u64;
+    for _ in 0..n {
+        oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink).unwrap();
+    }
+    let off_chip_levels = u64::from(cfg.levels - cfg.treetop_levels);
+    let online = oram.stats().online_accesses();
+    assert_eq!(
+        sink.reads(aboram::core::OramOp::ReadPath)
+            + sink.reads(aboram::core::OramOp::BackgroundEvict),
+        online * off_chip_levels,
+        "one online block read per off-chip bucket per access"
+    );
+}
+
+/// The extension machinery only activates for remote-allocation schemes.
+#[test]
+fn extension_only_for_dr_and_ab() {
+    for (scheme, expect) in [
+        (Scheme::Baseline, false),
+        (Scheme::NS, false),
+        (Scheme::DR, true),
+        (Scheme::Ab, true),
+    ] {
+        let cfg = OramConfig::builder(12, scheme).seed(4).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..20_000 {
+            oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink).unwrap();
+        }
+        let attempted = oram.stats().extensions_attempted > 0;
+        assert_eq!(attempted, expect, "{scheme}: extension attempts");
+        if expect {
+            assert!(
+                oram.stats().extension_ratio() > 0.5,
+                "{scheme}: extension ratio {}",
+                oram.stats().extension_ratio()
+            );
+        }
+    }
+}
