@@ -20,16 +20,12 @@ fn bench_ring_access(c: &mut Criterion) {
         for _ in 0..20_000 {
             oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink).unwrap();
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.to_string()),
-            &scheme,
-            |b, _| {
-                b.iter(|| {
-                    let block = rng.gen_range(0..blocks);
-                    oram.access(AccessKind::Read, block, None, &mut sink).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.to_string()), &scheme, |b, _| {
+            b.iter(|| {
+                let block = rng.gen_range(0..blocks);
+                oram.access(AccessKind::Read, block, None, &mut sink).unwrap()
+            })
+        });
     }
     group.finish();
 }

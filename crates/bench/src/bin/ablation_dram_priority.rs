@@ -32,17 +32,15 @@ fn main() {
         }
         table.row(
             &[&scheme.to_string()],
-            &[
-                cycles[0] as f64 / 1e6,
-                cycles[1] as f64 / 1e6,
-                cycles[1] as f64 / cycles[0] as f64,
-            ],
+            &[cycles[0] as f64 / 1e6, cycles[1] as f64 / 1e6, cycles[1] as f64 / cycles[0] as f64],
         );
     }
 
     let mut out = String::from("# Ablation — online/offline DRAM priority\n\n");
     out.push_str(&format!("tree: {} levels; {} timed records (mcf)\n\n", env.levels, env.timed));
     out.push_str(&table.to_markdown());
-    out.push_str("\nexpected: removing the priority classes lets maintenance bursts delay online reads.\n");
+    out.push_str(
+        "\nexpected: removing the priority classes lets maintenance bursts delay online reads.\n",
+    );
     emit("ablation_dram_priority.md", &out);
 }

@@ -108,8 +108,8 @@ fn main() {
             .space_report(cfg.real_block_count())
             .normalized_to(&base_space);
         let (oram, _) = run(&cfg, accesses / 2);
-        let resh = 1000.0 * oram.stats().reshuffles.total() as f64
-            / oram.stats().online_accesses() as f64;
+        let resh =
+            1000.0 * oram.stats().reshuffles.total() as f64 / oram.stats().online_accesses() as f64;
         s1.row(&[&scheme.to_string()], &[space, resh, oram.stats().extension_ratio()]);
         eprintln!("[strategy {scheme} done]");
     }

@@ -26,14 +26,14 @@ fn main() {
         let mut sink = CountingSink::new();
         let mut gen = TraceGenerator::new(profile, env.seed);
         let blocks = cfg.real_block_count();
-        let mut series =
-            TimeSeries::new(profile.name, "online accesses", "dead blocks");
+        let mut series = TimeSeries::new(profile.name, "online accesses", "dead blocks");
         for i in 0..total_accesses {
             let rec = gen.next_record();
             let block = (rec.addr / 64) % blocks;
             oram.access(AccessKind::Read, block, None, &mut sink).expect("protocol ok");
             if i % sample_every == 0 {
-                series.push(oram.stats().online_accesses() as f64, oram.stats().dead_total() as f64);
+                series
+                    .push(oram.stats().online_accesses() as f64, oram.stats().dead_total() as f64);
             }
         }
         all_series.push(series);

@@ -30,7 +30,8 @@ fn main() {
             let rec = gen.next_record();
             // Mix trace addressing with uniform touches so the census covers
             // the whole block space like the paper's 400 M-access run.
-            let block = if rng.gen_bool(0.5) { (rec.addr / 64) % blocks } else { rng.gen_range(0..blocks) };
+            let block =
+                if rng.gen_bool(0.5) { (rec.addr / 64) % blocks } else { rng.gen_range(0..blocks) };
             oram.access(AccessKind::Read, block, None, &mut sink).expect("protocol ok");
         }
         histograms.push(oram.stats().dead_blocks.clone());

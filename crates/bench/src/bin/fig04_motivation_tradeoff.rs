@@ -44,10 +44,15 @@ fn main() {
     }
 
     let mut out = String::from("# Fig. 4 — motivational space/performance trade-off\n\n");
-    out.push_str(&format!("tree: {} levels, timed window {} records (mcf)\n\n", env.levels, env.timed));
+    out.push_str(&format!(
+        "tree: {} levels, timed window {} records (mcf)\n\n",
+        env.levels, env.timed
+    ));
     out.push_str(&table.to_markdown());
     out.push_str("\nCSV:\n");
     out.push_str(&table.to_csv());
-    out.push_str("\npaper shape: space saturates near L-3; slowdown grows ~linearly, ~4 % at L-3.\n");
+    out.push_str(
+        "\npaper shape: space saturates near L-3; slowdown grows ~linearly, ~4 % at L-3.\n",
+    );
     emit("fig04_motivation_tradeoff.md", &out);
 }

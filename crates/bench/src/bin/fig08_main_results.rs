@@ -13,18 +13,23 @@ use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
-    let bench_count = std::env::var("ABORAM_BENCHES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(usize::MAX);
+    let bench_count =
+        std::env::var("ABORAM_BENCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
 
     // ---- Fig. 8a / 8b: closed-form space, at this scale and at L = 24.
     let mut space = Table::new(
         "Fig. 8a/8b — normalized space and utilization",
-        &["scheme", "norm. space (this L)", "util % (this L)", "norm. space (L=24)", "util % (L=24)"],
+        &[
+            "scheme",
+            "norm. space (this L)",
+            "util % (this L)",
+            "norm. space (L=24)",
+            "util % (L=24)",
+        ],
     );
     let base_here = env.config(Scheme::Baseline).expect("config");
-    let base_here = base_here.geometry().expect("geometry").space_report(base_here.real_block_count());
+    let base_here =
+        base_here.geometry().expect("geometry").space_report(base_here.real_block_count());
     let base_24 = OramConfig::paper_scale(Scheme::Baseline).build().expect("config");
     let base_24 = base_24.geometry().expect("geometry").space_report(base_24.real_block_count());
     for scheme in evaluated_schemes() {

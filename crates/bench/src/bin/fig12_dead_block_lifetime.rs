@@ -46,7 +46,10 @@ fn main() {
         );
     }
     let mut out = String::from("# Fig. 12 — dead-block lifetime analysis\n\n");
-    out.push_str(&format!("tree: {} levels, {} accesses, Baseline scheme\n\n", env.levels, accesses));
+    out.push_str(&format!(
+        "tree: {} levels, {} accesses, Baseline scheme\n\n",
+        env.levels, accesses
+    ));
     out.push_str(&table.to_markdown());
     out.push_str("\npaper shape: levels near the root reclaim almost immediately; average lifetime grows orders of magnitude toward the leaves.\n");
     out.push_str("\nCSV:\n");

@@ -12,10 +12,7 @@ use aboram_trace::{profiles, TraceGenerator};
 
 fn main() {
     let env = Experiment::from_env();
-    let mut table = Table::new(
-        "Fig. 14 — S-extension success ratio",
-        &["benchmark", "DR", "AB"],
-    );
+    let mut table = Table::new("Fig. 14 — S-extension success ratio", &["benchmark", "DR", "AB"]);
     let suite: Vec<_> = profiles::spec2017();
     let mut sums = [0.0f64; 2];
     for profile in &suite {
@@ -34,8 +31,7 @@ fn main() {
                 oram.access(AccessKind::Read, (rec.addr / 64) % blocks, None, &mut sink)
                     .expect("protocol ok");
             }
-            let (att0, done0) =
-                (oram.stats().extensions_attempted, oram.stats().extensions_done);
+            let (att0, done0) = (oram.stats().extensions_attempted, oram.stats().extensions_done);
             for _ in 0..env.protocol_accesses {
                 let rec = gen.next_record();
                 oram.access(AccessKind::Read, (rec.addr / 64) % blocks, None, &mut sink)

@@ -11,10 +11,8 @@ use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
-    let bench_count = std::env::var("ABORAM_BENCHES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(usize::MAX);
+    let bench_count =
+        std::env::var("ABORAM_BENCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
     let suite: Vec<_> = profiles::parsec().into_iter().take(bench_count).collect();
 
     let mut warmed = Vec::new();
@@ -45,10 +43,8 @@ fn main() {
 
     let base_cfg = env.config(Scheme::Baseline).expect("config");
     let base = base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
-    let mut space = Table::new(
-        "Fig. 15 — space (workload-independent)",
-        &["scheme", "normalized space"],
-    );
+    let mut space =
+        Table::new("Fig. 15 — space (workload-independent)", &["scheme", "normalized space"]);
     for scheme in evaluated_schemes() {
         let cfg = env.config(scheme).expect("config");
         let rep = cfg.geometry().expect("geometry").space_report(cfg.real_block_count());
@@ -63,7 +59,9 @@ fn main() {
     out.push_str(&table.to_markdown());
     out.push('\n');
     out.push_str(&space.to_markdown());
-    out.push_str("\npaper: space savings identical to SPEC; DR ~3 % and AB ~4 % overhead on PARSEC.\n");
+    out.push_str(
+        "\npaper: space savings identical to SPEC; DR ~3 % and AB ~4 % overhead on PARSEC.\n",
+    );
     out.push_str("\nCSV:\n");
     out.push_str(&table.to_csv());
     emit("fig15_parsec.md", &out);

@@ -172,11 +172,8 @@ impl OramConfig {
                 let first = l.saturating_sub(14);
                 let last = l.saturating_sub(6);
                 if first < last {
-                    geo = geo.override_level_range(
-                        first.max(1),
-                        last.min(l - 1),
-                        ir.with_z_real(4),
-                    )?;
+                    geo =
+                        geo.override_level_range(first.max(1), last.min(l - 1), ir.with_z_real(4))?;
                 }
                 geo
             }

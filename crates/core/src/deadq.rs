@@ -56,8 +56,7 @@ impl DeadQueues {
 
     /// Whether `level` has a queue.
     pub fn tracks(&self, level: Level) -> bool {
-        level.0 >= self.first_level
-            && (level.0 - self.first_level) < self.queues.len() as u8
+        level.0 >= self.first_level && (level.0 - self.first_level) < self.queues.len() as u8
     }
 
     /// Enqueues a dead slot on its level's queue. Returns `false` (and drops

@@ -9,10 +9,12 @@
 
 use crate::config::OramConfig;
 use crate::error::OramError;
+use crate::fault::{FaultInjectingSink, FaultPlan, InjectedFaults};
 use crate::ring::{AccessKind, RingOram};
 use crate::sink::{OramOp, TimingSink};
 use aboram_crypto::CryptoLatency;
 use aboram_dram::{DramConfig, MemorySystem, RobCpu};
+use aboram_stats::RecoveryStats;
 use aboram_trace::{MemOp, TraceRecord};
 
 /// Bus-cycle attribution per protocol operation (Fig. 8c's stacked bars).
@@ -64,6 +66,9 @@ pub struct SimulationReport {
     pub early_reshuffles: u64,
     /// Peak stash occupancy.
     pub stash_peak: usize,
+    /// Fault-recovery counters accumulated during the timed window (all
+    /// zero unless fault injection was enabled).
+    pub recovery: RecoveryStats,
 }
 
 impl SimulationReport {
@@ -108,7 +113,7 @@ impl SimulationReport {
 #[derive(Debug)]
 pub struct TimingDriver {
     oram: RingOram,
-    sink: TimingSink,
+    sink: FaultInjectingSink<TimingSink>,
     cpu: RobCpu,
     crypto: CryptoLatency,
     /// The ORAM controller serializes accesses; next access starts after
@@ -136,12 +141,31 @@ impl TimingDriver {
     pub fn from_oram(oram: RingOram, dram: DramConfig) -> Self {
         TimingDriver {
             oram,
-            sink: TimingSink::new(MemorySystem::new(dram)),
+            sink: FaultInjectingSink::new(TimingSink::new(MemorySystem::new(dram))),
             cpu: RobCpu::new(4, 256),
             crypto: CryptoLatency::default(),
             oram_free_at: 0,
             posmap_model: None,
         }
+    }
+
+    /// Activates chaos testing: installs `plan`'s channel-stall schedule
+    /// into the memory system and arms the fault injector, so the next
+    /// [`run`](Self::run) executes under the plan's fault schedule. The
+    /// resulting [`SimulationReport::recovery`] block quantifies the
+    /// degraded-mode overhead.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        let channels = usize::from(self.sink.inner().memory().config().channels);
+        for s in plan.stall_schedule(channels) {
+            self.sink.inner_mut().memory_mut().inject_channel_stall(s.channel, s.at, s.duration);
+        }
+        self.sink.set_plan(Some(plan));
+    }
+
+    /// Faults the injector has introduced so far (zero without
+    /// [`enable_faults`](Self::enable_faults)).
+    pub fn injected_faults(&self) -> InjectedFaults {
+        self.sink.injected()
     }
 
     /// Enables the recursive position-map extension: PLB misses charge
@@ -173,7 +197,7 @@ impl TimingDriver {
     /// The underlying memory system's statistics (final after
     /// [`run`](Self::run) returns; used e.g. by the energy model).
     pub fn memory_stats(&self) -> &aboram_dram::MemoryStats {
-        self.sink.memory().stats()
+        self.sink.inner().memory().stats()
     }
 
     /// Warms the ORAM protocol state with `accesses` uniform random
@@ -188,8 +212,7 @@ impl TimingDriver {
         use rand::{Rng, SeedableRng};
         let mut sink = crate::sink::CountingSink::new();
         let blocks = self.oram.config().real_block_count();
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(self.oram.config().seed ^ 0x3aa3_5717);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.oram.config().seed ^ 0x3aa3_5717);
         for _ in 0..accesses {
             let block = rng.gen_range(0..blocks);
             self.oram.access(AccessKind::Read, block, None, &mut sink)?;
@@ -210,16 +233,22 @@ impl TimingDriver {
         let mut instructions = 0u64;
         let block_count = self.oram.config().real_block_count();
         // Snapshot so the report covers the timed window only, not warm-up.
-        let (users0, bg0, evicts0, resh0) = {
+        let (users0, bg0, evicts0, resh0, recovery0) = {
             let s = self.oram.stats();
-            (s.user_accesses, s.background_accesses, s.evict_paths, s.reshuffles.total())
+            (
+                s.user_accesses,
+                s.background_accesses,
+                s.evict_paths,
+                s.reshuffles.total(),
+                s.recovery,
+            )
         };
         for rec in trace {
             records += 1;
             instructions += u64::from(rec.inst_gap) + 1;
             let issue = self.cpu.issue_op(rec.inst_gap);
             let start = issue.max(self.oram_free_at);
-            self.sink.set_now(start);
+            self.sink.inner_mut().set_now(start);
 
             // Every LLC miss (read or writeback) is one ORAM access.
             let block = (rec.addr / 64) % block_count;
@@ -238,10 +267,10 @@ impl TimingDriver {
 
             // The user-visible critical path: the access's online reads plus
             // the crypto pipeline on the returned blocks.
-            let online = self.sink.take_online_reads();
+            let online = self.sink.inner_mut().take_online_reads();
             let mut done = start;
             for id in &online {
-                done = done.max(self.sink.completion_time(*id));
+                done = done.max(self.sink.inner_mut().completion_time(*id));
             }
             done += self.crypto.burst_cycles(online.len() as u64);
             if rec.op == MemOp::Read {
@@ -252,15 +281,15 @@ impl TimingDriver {
             // has been serviced. The user's load already completed at
             // `done`; this models controller occupancy, not load latency.
             let mut busy_until = done;
-            for id in self.sink.take_all_requests() {
-                busy_until = busy_until.max(self.sink.completion_time(id));
+            for id in self.sink.inner_mut().take_all_requests() {
+                busy_until = busy_until.max(self.sink.inner_mut().completion_time(id));
             }
             self.oram_free_at = busy_until;
         }
 
         let exec_cycles = self.cpu.finish().max(self.oram_free_at);
-        self.sink.memory_mut().drain();
-        let mem = self.sink.memory().stats();
+        self.sink.inner_mut().memory_mut().drain();
+        let mem = self.sink.inner().memory().stats();
         let mut breakdown = BreakdownReport::default();
         for op in OramOp::ALL {
             breakdown.bus_cycles[op.tag() as usize] = mem.bus_cycles_for_tag(op.tag());
@@ -278,6 +307,7 @@ impl TimingDriver {
             evict_paths: s.evict_paths - evicts0,
             early_reshuffles: s.reshuffles.total() - resh0,
             stash_peak: self.oram.stash_peak(),
+            recovery: s.recovery.since(&recovery0),
         })
     }
 }

@@ -37,6 +37,26 @@ pub enum OramError {
     },
     /// A data-path operation was requested but `store_data` is disabled.
     DataPathDisabled,
+    /// Bounded fault recovery gave up: every re-issued transfer of `address`
+    /// faulted again.
+    RetriesExhausted {
+        /// The physical address whose transfers kept faulting.
+        address: u64,
+        /// Number of retries attempted before giving up.
+        attempts: u32,
+    },
+    /// A fault the recovery layer has no strategy for.
+    FaultUnrecoverable {
+        /// The verification site that observed the fault.
+        site: &'static str,
+        /// The physical address involved.
+        address: u64,
+    },
+    /// An internal invariant was violated (engine bug, not a user error).
+    Internal {
+        /// Which invariant broke.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for OramError {
@@ -57,6 +77,15 @@ impl fmt::Display for OramError {
             }
             OramError::DataPathDisabled => {
                 write!(f, "data path disabled; build the config with store_data(true)")
+            }
+            OramError::RetriesExhausted { address, attempts } => {
+                write!(f, "gave up on {address:#x} after {attempts} faulted retries")
+            }
+            OramError::FaultUnrecoverable { site, address } => {
+                write!(f, "unrecoverable {site} fault at {address:#x}")
+            }
+            OramError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
             }
         }
     }
@@ -88,5 +117,16 @@ mod tests {
         let g: OramError = GeometryError::BadLevelCount { levels: 1 }.into();
         assert!(g.to_string().contains("geometry"));
         assert!(g.source().is_some());
+    }
+
+    #[test]
+    fn recovery_variants_display() {
+        let e = OramError::RetriesExhausted { address: 0x40, attempts: 6 };
+        assert!(e.to_string().contains("0x40"));
+        assert!(e.to_string().contains('6'));
+        let u = OramError::FaultUnrecoverable { site: "write-ack", address: 0x80 };
+        assert!(u.to_string().contains("write-ack"));
+        let i = OramError::Internal { context: "candidate missing from stash" };
+        assert!(i.to_string().contains("invariant"));
     }
 }

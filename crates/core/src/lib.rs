@@ -46,6 +46,7 @@ mod config;
 mod deadq;
 mod driver;
 mod error;
+mod fault;
 mod metadata;
 mod path_oram;
 mod posmap;
@@ -60,6 +61,10 @@ pub use config::{OramConfig, OramConfigBuilder, Scheme};
 pub use deadq::{DeadQueues, DeadSlot};
 pub use driver::{BreakdownReport, SimulationReport, TimingDriver};
 pub use error::OramError;
+pub use fault::{
+    ChannelStall, FaultConfig, FaultInjectingSink, FaultKind, FaultPlan, FaultSite, InjectedFaults,
+    BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES,
+};
 pub use metadata::{BucketMeta, MetadataLayout, MetadataStore, SlotStatus};
 pub use path_oram::PathOram;
 pub use posmap::PositionMap;
@@ -69,6 +74,10 @@ pub use security::{attack_success_rate, SecurityReport};
 pub use sink::{CountingSink, MemorySink, OramOp, TimingSink};
 pub use stash::{Stash, StashBlock};
 pub use stats::OramStats;
+
+// Re-exported so downstream code can name the recovery counters carried in
+// [`OramStats`] and [`SimulationReport`] without depending on aboram-stats.
+pub use aboram_stats::RecoveryStats;
 
 /// Logical identifier of one protected user block.
 pub type BlockId = u64;

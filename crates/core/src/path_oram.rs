@@ -9,11 +9,13 @@
 
 use crate::config::OramConfig;
 use crate::error::OramError;
+use crate::fault::{FaultSite, BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES};
 use crate::posmap::PositionMap;
 use crate::sink::{MemorySink, OramOp};
 use crate::stash::{Stash, StashBlock};
 use crate::{BlockId, BLOCK_BYTES};
-use aboram_tree::{BucketId, Level, PathId, PhysicalLayout, TreeGeometry};
+use aboram_stats::RecoveryStats;
+use aboram_tree::{BucketId, Level, PathId, PhysicalLayout, SlotAddr, TreeGeometry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,6 +49,7 @@ pub struct PathOram {
     stash: Stash,
     rng: StdRng,
     accesses: u64,
+    recovery: RecoveryStats,
 }
 
 impl PathOram {
@@ -74,6 +77,7 @@ impl PathOram {
             stash: Stash::new(cfg.stash_capacity),
             rng,
             accesses: 0,
+            recovery: RecoveryStats::new(),
         };
         engine.bulk_load()?;
         Ok(engine)
@@ -114,21 +118,74 @@ impl PathOram {
         self.stash.len()
     }
 
+    /// Fault-recovery counters (all zero unless the sink injects faults).
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Re-issues a faulted transfer with exponential backoff until the sink
+    /// reports it clean, or fails with [`OramError::RetriesExhausted`].
+    fn retry_transfer(
+        &mut self,
+        addr: SlotAddr,
+        site: FaultSite,
+        op: OramOp,
+        online: bool,
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
+        for attempt in 0..MAX_FAULT_RETRIES {
+            self.recovery.backoff_cycles += BACKOFF_BASE_CYCLES << attempt;
+            match site {
+                FaultSite::Data | FaultSite::Metadata => {
+                    self.recovery.integrity_retries += 1;
+                    sink.read(addr, op, online);
+                }
+                FaultSite::WriteAck => {
+                    self.recovery.write_retries += 1;
+                    sink.write(addr, op, online);
+                }
+            }
+            if sink.poll_fault(addr, site).is_none() {
+                return Ok(());
+            }
+        }
+        Err(OramError::RetriesExhausted { address: addr.byte(), attempts: MAX_FAULT_RETRIES })
+    }
+
+    /// Reads one path slot with integrity verification and bounded retry.
+    fn read_slot(&mut self, addr: SlotAddr, sink: &mut impl MemorySink) -> Result<(), OramError> {
+        sink.read(addr, OramOp::ReadPath, true);
+        if sink.poll_fault(addr, FaultSite::Data).is_some() {
+            self.recovery.integrity_faults_detected += 1;
+            self.retry_transfer(addr, FaultSite::Data, OramOp::ReadPath, true, sink)?;
+            self.recovery.integrity_faults_recovered += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes one path slot, re-issuing on a dropped-write fault.
+    fn write_slot(&mut self, addr: SlotAddr, sink: &mut impl MemorySink) -> Result<(), OramError> {
+        sink.write(addr, OramOp::ReadPath, false);
+        if sink.poll_fault(addr, FaultSite::WriteAck).is_some() {
+            self.recovery.dropped_writes_detected += 1;
+            self.retry_transfer(addr, FaultSite::WriteAck, OramOp::ReadPath, false, sink)?;
+            self.recovery.dropped_writes_recovered += 1;
+        }
+        Ok(())
+    }
+
     /// One full Path ORAM access: read path, remap, write path (§III-A).
     ///
     /// # Errors
     ///
     /// Returns [`OramError::BlockOutOfRange`] or
     /// [`OramError::StashOverflow`].
-    pub fn access(
-        &mut self,
-        block: BlockId,
-        sink: &mut impl MemorySink,
-    ) -> Result<(), OramError> {
+    pub fn access(&mut self, block: BlockId, sink: &mut impl MemorySink) -> Result<(), OramError> {
         if block >= self.posmap.len() {
             return Err(OramError::BlockOutOfRange { block, count: self.posmap.len() });
         }
         self.accesses += 1;
+        let recovery_before = self.recovery;
         let label = self.posmap.path_of(block);
         let new_label = self.posmap.remap(block, &mut self.rng);
         let path: Vec<BucketId> = self.geo.path_buckets(label).collect();
@@ -138,11 +195,8 @@ impl PathOram {
             let z = self.geo.level_config(bucket.level()).z_total();
             for s in 0..z {
                 if self.off_chip(bucket) {
-                    let addr = self
-                        .layout
-                        .slot_addr(aboram_tree::SlotId::new(bucket, s))
-                        .expect("valid slot");
-                    sink.read(addr, OramOp::ReadPath, true);
+                    let addr = self.layout.slot_addr(aboram_tree::SlotId::new(bucket, s))?;
+                    self.read_slot(addr, sink)?;
                 }
             }
             let pb = &mut self.buckets[bucket.raw() as usize];
@@ -164,19 +218,22 @@ impl PathOram {
             let candidates =
                 self.stash.matching_blocks(|l| geo.common_prefix_levels(l, label) > level.0);
             for b in candidates.into_iter().take(cap) {
-                let e = self.stash.remove(b).expect("candidate from stash");
+                let e = self
+                    .stash
+                    .remove(b)
+                    .ok_or(OramError::Internal { context: "eviction candidate left the stash" })?;
                 self.buckets[bucket.raw() as usize].blocks.push((e.block, e.label));
             }
             let z = self.geo.level_config(level).z_total();
             for s in 0..z {
                 if self.off_chip(bucket) {
-                    let addr = self
-                        .layout
-                        .slot_addr(aboram_tree::SlotId::new(bucket, s))
-                        .expect("valid slot");
-                    sink.write(addr, OramOp::ReadPath, false);
+                    let addr = self.layout.slot_addr(aboram_tree::SlotId::new(bucket, s))?;
+                    self.write_slot(addr, sink)?;
                 }
             }
+        }
+        if self.recovery != recovery_before {
+            self.recovery.degraded_accesses += 1;
         }
         Ok(())
     }
@@ -190,9 +247,9 @@ impl PathOram {
             return true;
         }
         let label = self.posmap.path_of(block);
-        self.geo
-            .path_buckets(label)
-            .any(|bucket| self.buckets[bucket.raw() as usize].blocks.iter().any(|(b, _)| *b == block))
+        self.geo.path_buckets(label).any(|bucket| {
+            self.buckets[bucket.raw() as usize].blocks.iter().any(|(b, _)| *b == block)
+        })
     }
 
     fn off_chip(&self, bucket: BucketId) -> bool {
@@ -245,7 +302,11 @@ mod tests {
         for _ in 0..10_000 {
             oram.access(rng.gen_range(0..blocks), &mut sink).unwrap();
         }
-        assert!(oram.stash_len() < 50, "Path ORAM stash should stay small, got {}", oram.stash_len());
+        assert!(
+            oram.stash_len() < 50,
+            "Path ORAM stash should stay small, got {}",
+            oram.stash_len()
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@
 use crate::config::OramConfig;
 use crate::deadq::DeadQueues;
 use crate::error::OramError;
+use crate::fault::{FaultSite, BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES};
 use crate::metadata::{MetadataStore, RealEntry, SlotStatus};
 use crate::posmap::PositionMap;
 use crate::sink::{MemorySink, OramOp};
@@ -253,7 +254,8 @@ impl RingOram {
         if self.data.is_none() {
             return Err(OramError::DataPathDisabled);
         }
-        self.access(AccessKind::Read, block, None, sink).map(|d| d.expect("data path enabled"))
+        self.access(AccessKind::Read, block, None, sink)?
+            .ok_or(OramError::Internal { context: "enabled data path returned no block" })
     }
 
     /// Writes `data` to `block` through the full ORAM protocol.
@@ -298,10 +300,14 @@ impl RingOram {
         // Stall-and-drain: a controller holds new requests while the stash
         // sits above its threshold, so one access never bursts past the
         // hard capacity.
+        let recovery_before = self.stats.recovery;
         self.background_evict(sink)?;
         self.stats.user_accesses += 1;
         let data = self.read_path(Some(block), new_data, OramOp::ReadPath, sink)?;
         self.background_evict(sink)?;
+        if self.stats.recovery != recovery_before {
+            self.stats.recovery.degraded_accesses += 1;
+        }
         let occupancy = self.stash.len();
         self.stats.sample_stash(occupancy);
         Ok(data)
@@ -383,9 +389,7 @@ impl RingOram {
         // (1) Metadata access for every off-chip bucket on the path; the
         // gatherDEADs procedure piggybacks on it (§V-B2).
         for &bucket in &buckets {
-            if self.off_chip(bucket) {
-                sink.read(self.metadata_addr(bucket), OramOp::Metadata, true);
-            }
+            self.fetch_metadata(bucket, true, sink)?;
         }
         if self.remote_enabled {
             for &bucket in &buckets {
@@ -424,7 +428,8 @@ impl RingOram {
             };
             let phys = self.meta.resolve(bucket, logical);
             if self.off_chip(bucket) {
-                sink.read(self.slot_addr(phys), op, true);
+                let addr = self.slot_addr(phys)?;
+                sink.read(addr, op, true);
             }
 
             // markDEAD: invalidate the slot, update status and census. Only
@@ -444,22 +449,20 @@ impl RingOram {
 
             // Handle the block the read returned.
             let is_target = target_entry.is_some();
-            let green_entry = if is_target {
-                self.meta.get_mut(bucket).take_entry(target.expect("target_entry implies target"))
-            } else {
-                let m = self.meta.get_mut(bucket);
-                match m.entry_at_slot(logical).map(|e| e.addr) {
-                    Some(addr) => m.take_entry(addr),
-                    None => None,
+            let green_entry = match target_entry {
+                Some(te) => self.meta.get_mut(bucket).take_entry(te.addr),
+                None => {
+                    let m = self.meta.get_mut(bucket);
+                    match m.entry_at_slot(logical).map(|e| e.addr) {
+                        Some(addr) => m.take_entry(addr),
+                        None => None,
+                    }
                 }
             };
             if let Some(entry) = green_entry {
                 // Real block leaves the tree: target goes to the user and the
                 // stash; a green real block goes to the stash (§III-C).
-                let plain = match &self.data {
-                    Some(ds) => ds.read(self.slot_addr(phys))?,
-                    None => [0; BLOCK_BYTES],
-                };
+                let plain = self.fetch_block(phys, op, true, sink)?;
                 if is_target {
                     fetched = Some(plain);
                     self.stash.insert(StashBlock {
@@ -494,11 +497,14 @@ impl RingOram {
         // Metadata write-back.
         for &bucket in &buckets {
             if self.off_chip(bucket) {
-                sink.write(self.metadata_addr(bucket), OramOp::Metadata, false);
+                let addr = self.metadata_addr(bucket)?;
+                self.post_write(addr, OramOp::Metadata, false, sink)?;
             }
         }
         if self.stash.overflowed() {
-            return Err(OramError::StashOverflow { capacity: self.stash.capacity() });
+            // Escalated eviction drains the stash below capacity before
+            // this is surfaced as a hard overflow.
+            self.escalate_evictions(sink)?;
         }
 
         // (3) Early reshuffles for buckets that exhausted their budget.
@@ -543,17 +549,11 @@ impl RingOram {
 
         // Read phase: metadata plus Z' block reads per bucket.
         for &bucket in buckets {
-            if self.off_chip(bucket) {
-                sink.read(self.metadata_addr(bucket), OramOp::Metadata, false);
-            }
+            self.fetch_metadata(bucket, false, sink)?;
             let z_real = self.geo.level_config(bucket.level()).z_real;
             let m = self.meta.get(bucket);
-            let mut read_slots: Vec<u8> = m
-                .entries
-                .iter()
-                .filter(|e| m.is_valid(e.ptr))
-                .map(|e| e.ptr)
-                .collect();
+            let mut read_slots: Vec<u8> =
+                m.entries.iter().filter(|e| m.is_valid(e.ptr)).map(|e| e.ptr).collect();
             // Pad to Z' reads so reshuffle traffic is shape-faithful.
             let mut extra = 0;
             while read_slots.len() < usize::from(z_real.min(m.logical_slots)) {
@@ -563,7 +563,8 @@ impl RingOram {
             for &logical in &read_slots {
                 let phys = self.meta.resolve(bucket, logical);
                 if self.off_chip(bucket) {
-                    sink.read(self.slot_addr(phys), op, false);
+                    let addr = self.slot_addr(phys)?;
+                    sink.read(addr, op, false);
                 }
             }
             // Pull the valid real blocks into the stash.
@@ -578,10 +579,7 @@ impl RingOram {
             }
             for e in &to_stash {
                 let phys = self.meta.resolve(bucket, e.ptr);
-                let plain = match &self.data {
-                    Some(ds) => ds.read(self.slot_addr(phys))?,
-                    None => [0; BLOCK_BYTES],
-                };
+                let plain = self.fetch_block(phys, op, false, sink)?;
                 self.stash.insert(StashBlock { block: e.addr, label: e.label, data: plain });
             }
         }
@@ -673,12 +671,13 @@ impl RingOram {
         // Refill with matching stash blocks.
         let geo = &self.geo;
         let candidates: Vec<BlockId> = match evict_path {
-            Some(p) => self
-                .stash
-                .matching_blocks(|label| geo.common_prefix_levels(label, p) > level.0),
+            Some(p) => {
+                self.stash.matching_blocks(|label| geo.common_prefix_levels(label, p) > level.0)
+            }
             None => self.stash.matching_blocks(|label| geo.bucket_is_on_path(bucket, label)),
         };
-        let chosen: Vec<BlockId> = candidates.into_iter().take(usize::from(real_capacity)).collect();
+        let chosen: Vec<BlockId> =
+            candidates.into_iter().take(usize::from(real_capacity)).collect();
 
         // Random distinct slots for the chosen blocks (the permutation).
         // Real blocks go into own slots only; borrowed (remote) logical
@@ -690,7 +689,10 @@ impl RingOram {
         }
         let mut placed = Vec::with_capacity(chosen.len());
         for (i, block) in chosen.iter().enumerate() {
-            let entry = self.stash.remove(*block).expect("candidate came from the stash");
+            let entry = self
+                .stash
+                .remove(*block)
+                .ok_or(OramError::Internal { context: "eviction candidate left the stash" })?;
             placed.push((slots[i], entry));
         }
         {
@@ -703,8 +705,9 @@ impl RingOram {
         // Write phase: every logical slot goes back to memory re-encrypted.
         for logical in 0..logical_slots {
             let phys = self.meta.resolve(bucket, logical);
+            let addr = self.slot_addr(phys)?;
             if self.off_chip(bucket) {
-                sink.write(self.slot_addr(phys), op, false);
+                self.post_write(addr, op, false, sink)?;
             }
             if self.data.is_some() {
                 let plain = placed
@@ -712,14 +715,14 @@ impl RingOram {
                     .find(|(p, _)| *p == logical)
                     .map(|(_, e)| e.data)
                     .unwrap_or([0; BLOCK_BYTES]);
-                let addr = self.slot_addr(phys);
                 if let Some(data) = &mut self.data {
                     data.write(addr, &plain);
                 }
             }
         }
         if self.off_chip(bucket) {
-            sink.write(self.metadata_addr(bucket), OramOp::Metadata, false);
+            let addr = self.metadata_addr(bucket)?;
+            self.post_write(addr, OramOp::Metadata, false, sink)?;
         }
         Ok(())
     }
@@ -767,12 +770,31 @@ impl RingOram {
             self.evict_path(OramOp::BackgroundEvict, sink)?;
             guard += 1;
             if guard > 16 * u32::from(self.cfg.levels) {
-                // The stash is not draining — surface it as an overflow
-                // instead of looping forever.
-                return Err(OramError::StashOverflow { capacity: self.stash.capacity() });
+                // The dummy-access loop is not draining (each readPath can
+                // pull as many blocks into the stash as its evictPath puts
+                // back). Escalate before declaring overflow.
+                return self.escalate_evictions(sink);
             }
         }
         Ok(())
+    }
+
+    /// Escalated stash draining: evictPaths alone, with no paired readPath,
+    /// so each round strictly moves blocks stash → tree. Runs until
+    /// occupancy falls back under the background-eviction threshold; only
+    /// when even this cannot drain the stash does the engine surface
+    /// [`OramError::StashOverflow`]. Never reached on a correctly
+    /// provisioned fault-free instance.
+    fn escalate_evictions(&mut self, sink: &mut impl MemorySink) -> Result<(), OramError> {
+        let bound = 32 * u32::from(self.cfg.levels);
+        for _ in 0..bound {
+            self.stats.recovery.escalated_evictions += 1;
+            self.evict_path(OramOp::BackgroundEvict, sink)?;
+            if self.stash.len() <= self.cfg.bg_evict_threshold {
+                return Ok(());
+            }
+        }
+        Err(OramError::StashOverflow { capacity: self.stash.capacity() })
     }
 
     /// The readPath budget of a bucket: `dynamicS + Y`, with the overlap
@@ -790,12 +812,112 @@ impl RingOram {
         bucket.level().0 >= self.cfg.treetop_levels
     }
 
-    fn slot_addr(&self, slot: aboram_tree::SlotId) -> SlotAddr {
-        self.layout.slot_addr(slot).expect("engine-produced slots are valid")
+    fn slot_addr(&self, slot: aboram_tree::SlotId) -> Result<SlotAddr, OramError> {
+        Ok(self.layout.slot_addr(slot)?)
     }
 
-    fn metadata_addr(&self, bucket: BucketId) -> SlotAddr {
-        self.layout.metadata_addr(bucket).expect("engine-produced buckets are valid")
+    fn metadata_addr(&self, bucket: BucketId) -> Result<SlotAddr, OramError> {
+        Ok(self.layout.metadata_addr(bucket)?)
+    }
+
+    /// Bounded recovery after `site` reported a faulted transfer at `addr`:
+    /// re-issues the transfer with exponential backoff until a clean copy is
+    /// confirmed, or gives up with [`OramError::RetriesExhausted`].
+    fn retry_transfer(
+        &mut self,
+        addr: SlotAddr,
+        site: FaultSite,
+        op: OramOp,
+        online: bool,
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
+        for attempt in 0..MAX_FAULT_RETRIES {
+            self.stats.recovery.backoff_cycles += BACKOFF_BASE_CYCLES << attempt;
+            match site {
+                FaultSite::Data => {
+                    self.stats.recovery.integrity_retries += 1;
+                    sink.read(addr, op, online);
+                }
+                FaultSite::Metadata => {
+                    self.stats.recovery.metadata_retries += 1;
+                    sink.read(addr, op, online);
+                }
+                FaultSite::WriteAck => {
+                    self.stats.recovery.write_retries += 1;
+                    sink.write(addr, op, online);
+                }
+            }
+            if sink.poll_fault(addr, site).is_none() {
+                return Ok(());
+            }
+        }
+        Err(OramError::RetriesExhausted { address: addr.byte(), attempts: MAX_FAULT_RETRIES })
+    }
+
+    /// MAC-verified fetch of the data slot at `phys` (zeroes when the data
+    /// path is off). An off-chip fetch whose copy arrives corrupted — the
+    /// sink's fault poll stands in for the MAC check failing — is re-read
+    /// with bounded backoff before the plaintext is produced.
+    fn fetch_block(
+        &mut self,
+        phys: aboram_tree::SlotId,
+        op: OramOp,
+        online: bool,
+        sink: &mut impl MemorySink,
+    ) -> Result<[u8; BLOCK_BYTES], OramError> {
+        if self.data.is_none() {
+            return Ok([0; BLOCK_BYTES]);
+        }
+        let addr = self.slot_addr(phys)?;
+        if self.off_chip(phys.bucket) && sink.poll_fault(addr, FaultSite::Data).is_some() {
+            self.stats.recovery.integrity_faults_detected += 1;
+            self.retry_transfer(addr, FaultSite::Data, op, online, sink)?;
+            self.stats.recovery.integrity_faults_recovered += 1;
+        }
+        match &self.data {
+            Some(ds) => ds.read(addr),
+            None => Ok([0; BLOCK_BYTES]),
+        }
+    }
+
+    /// One off-chip metadata fetch, re-read with bounded backoff when the
+    /// fetched record fails verification. On-chip (treetop) buckets generate
+    /// no traffic and cannot fault.
+    fn fetch_metadata(
+        &mut self,
+        bucket: BucketId,
+        online: bool,
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
+        if !self.off_chip(bucket) {
+            return Ok(());
+        }
+        let addr = self.metadata_addr(bucket)?;
+        sink.read(addr, OramOp::Metadata, online);
+        if sink.poll_fault(addr, FaultSite::Metadata).is_some() {
+            self.stats.recovery.metadata_faults_detected += 1;
+            self.retry_transfer(addr, FaultSite::Metadata, OramOp::Metadata, online, sink)?;
+            self.stats.recovery.metadata_faults_recovered += 1;
+        }
+        Ok(())
+    }
+
+    /// One off-chip write, retransmitted with bounded backoff when the
+    /// write-CRC acknowledgment reports the burst was dropped.
+    fn post_write(
+        &mut self,
+        addr: SlotAddr,
+        op: OramOp,
+        online: bool,
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
+        sink.write(addr, op, online);
+        if sink.poll_fault(addr, FaultSite::WriteAck).is_some() {
+            self.stats.recovery.dropped_writes_detected += 1;
+            self.retry_transfer(addr, FaultSite::WriteAck, op, online, sink)?;
+            self.stats.recovery.dropped_writes_recovered += 1;
+        }
+        Ok(())
     }
 
     /// Verifies the core invariant: every mapped block is findable on its
@@ -863,11 +985,7 @@ mod tests {
             let bucket = BucketId::new(raw);
             let m = oram.meta.get(bucket);
             let budget = oram.budget(bucket);
-            assert!(
-                m.count <= budget,
-                "{bucket}: count {} exceeds budget {budget}",
-                m.count
-            );
+            assert!(m.count <= budget, "{bucket}: count {} exceeds budget {budget}", m.count);
         }
     }
 
@@ -931,19 +1049,15 @@ mod tests {
         for raw in 0..oram.geometry().bucket_count() {
             let bucket = BucketId::new(raw);
             let m = oram.meta.get(bucket);
-            recount +=
-                m.status.iter().filter(|s| **s != SlotStatus::Refreshed).count() as u64;
+            recount += m.status.iter().filter(|s| **s != SlotStatus::Refreshed).count() as u64;
         }
         assert_eq!(recount, oram.stats().dead_total(), "incremental census drifted");
     }
 
     #[test]
     fn treetop_suppresses_offchip_traffic() {
-        let cfg_cached = OramConfig::builder(10, Scheme::Baseline)
-            .seed(3)
-            .treetop_levels(5)
-            .build()
-            .unwrap();
+        let cfg_cached =
+            OramConfig::builder(10, Scheme::Baseline).seed(3).treetop_levels(5).build().unwrap();
         let cfg_bare =
             OramConfig::builder(10, Scheme::Baseline).seed(3).treetop_levels(1).build().unwrap();
         let mut a = RingOram::new(&cfg_cached).unwrap();

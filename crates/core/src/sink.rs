@@ -9,6 +9,7 @@
 //! * [`TimingSink`] — cycle-level runs backed by the `aboram-dram` memory
 //!   system, producing execution times, breakdowns and bandwidth.
 
+use crate::fault::{FaultKind, FaultSite};
 use aboram_dram::{MemOpKind, MemorySystem, Priority, RequestId};
 use aboram_tree::SlotAddr;
 
@@ -71,6 +72,15 @@ pub trait MemorySink {
     fn read(&mut self, addr: SlotAddr, op: OramOp, online: bool);
     /// One 64 B write at `addr`.
     fn write(&mut self, addr: SlotAddr, op: OramOp, online: bool);
+    /// Asks whether the transfer being verified at `addr` faulted. The
+    /// engine calls this at its verification sites (MAC check of a fetched
+    /// block, metadata check, write-CRC acknowledgment); a
+    /// [`crate::FaultInjectingSink`] answers from its fault plan. The
+    /// default — used by every ordinary sink — reports no fault without
+    /// consuming any randomness, keeping fault-free runs bit-identical.
+    fn poll_fault(&mut self, _addr: SlotAddr, _site: FaultSite) -> Option<FaultKind> {
+        None
+    }
 }
 
 /// A sink that only counts traffic (protocol-level evaluation mode).

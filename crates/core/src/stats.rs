@@ -1,6 +1,6 @@
 //! Protocol-level statistics the paper's figures are built from.
 
-use aboram_stats::{LevelHistogram, MinAvgMax};
+use aboram_stats::{LevelHistogram, MinAvgMax, RecoveryStats};
 use aboram_tree::Level;
 use std::collections::HashMap;
 
@@ -42,6 +42,8 @@ pub struct OramStats {
     /// Histogram of stash occupancy sampled after every user access
     /// (bucket i counts samples with occupancy i; last bucket saturates).
     stash_occupancy: Vec<u64>,
+    /// Fault-recovery counters (all zero unless fault injection is active).
+    pub recovery: RecoveryStats,
 }
 
 impl OramStats {
@@ -61,6 +63,7 @@ impl OramStats {
             stash_hits: 0,
             remote_slot_reads: 0,
             stash_occupancy: vec![0; 1024],
+            recovery: RecoveryStats::new(),
         }
     }
 

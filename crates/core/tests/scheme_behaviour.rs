@@ -82,10 +82,7 @@ fn remote_traffic_is_bottom_level_only() {
         let bucket = aboram_tree::BucketId::new(raw);
         if bucket.level().0 < boundary {
             // No public accessor for metadata here; geometry is the check.
-            assert!(!oram
-                .geometry()
-                .level_config(bucket.level())
-                .has_dynamic_extension());
+            assert!(!oram.geometry().level_config(bucket.level()).has_dynamic_extension());
         }
     }
     assert!(oram.stats().remote_slot_reads > 0);
@@ -98,10 +95,7 @@ fn stash_tail_within_capacity() {
     for scheme in [Scheme::Baseline, Scheme::Ab] {
         let (oram, _) = churn(scheme, 12, 40_000);
         let p999 = oram.stats().stash_percentile(0.999).unwrap();
-        assert!(
-            p999 <= oram.config().stash_capacity,
-            "{scheme}: p999 stash occupancy {p999}"
-        );
+        assert!(p999 <= oram.config().stash_capacity, "{scheme}: p999 stash occupancy {p999}");
         assert!(oram.stats().stash_mean() < p999 as f64 + 1.0);
     }
 }

@@ -7,7 +7,12 @@ use crate::cipher::BLOCK_BYTES;
 ///
 /// Horner evaluation over 8-byte lanes in GF-ish arithmetic modulo 2^64 with
 /// a multiply/xor mix; adequate for simulation-grade tamper detection.
-pub(crate) fn poly_mac(key: u64, ciphertext: &[u8; BLOCK_BYTES], address: u64, counter: u64) -> u64 {
+pub(crate) fn poly_mac(
+    key: u64,
+    ciphertext: &[u8; BLOCK_BYTES],
+    address: u64,
+    counter: u64,
+) -> u64 {
     const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
     let mut acc = key ^ MIX;
     for chunk in ciphertext.chunks_exact(8) {

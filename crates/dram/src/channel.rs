@@ -85,6 +85,10 @@ pub(crate) struct Channel {
     low_mark: usize,
     closed_page: bool,
     ignore_priority: bool,
+    /// Injected fault windows `(start, end)` during which the channel is
+    /// unavailable (transient stall, e.g. a DIMM retraining event). Kept
+    /// sorted by start; empty in normal operation.
+    stalls: Vec<(u64, u64)>,
 }
 
 impl Channel {
@@ -115,7 +119,18 @@ impl Channel {
             low_mark: cfg.write_queue_low,
             closed_page: cfg.page_policy == crate::config::PagePolicy::Closed,
             ignore_priority: cfg.ignore_priority,
+            stalls: Vec::new(),
         }
+    }
+
+    /// Registers an injected stall window `[at, at + duration)` during which
+    /// no command may issue on this channel.
+    pub(crate) fn inject_stall(&mut self, at: u64, duration: u64) {
+        if duration == 0 {
+            return;
+        }
+        self.stalls.push((at, at + duration));
+        self.stalls.sort_unstable();
     }
 
     pub(crate) fn enqueue(
@@ -198,16 +213,14 @@ impl Channel {
                 .min_by_key(|(_, p)| {
                     let bank = &self.banks[p.addr.bank as usize];
                     let hit = bank.open_row == Some(p.addr.row);
-                    let class =
-                        if self.ignore_priority { Priority::Online } else { p.priority };
+                    let class = if self.ignore_priority { Priority::Online } else { p.priority };
                     (class, !hit, p.arrival, p.id)
                 })
                 .map(|(i, _)| i);
             let Some(index) = pick else {
                 // The chosen queue has nothing arrived yet; idle forward to
                 // its earliest arrival and re-decide.
-                let next =
-                    queue.iter().map(|p| p.arrival).min().expect("chosen queue non-empty");
+                let next = queue.iter().map(|p| p.arrival).min().expect("chosen queue non-empty");
                 self.time = self.time.max(next);
                 continue;
             };
@@ -236,10 +249,31 @@ impl Channel {
         }
     }
 
+    /// Pushes a command time out of any injected stall window. Windows are
+    /// sorted by start, so one forward pass lands on the first free cycle
+    /// even when pushing past one window enters the next.
+    fn stall_adjust(&self, mut t: u64) -> u64 {
+        for &(from, until) in &self.stalls {
+            if t >= from && t < until {
+                t = until;
+            }
+        }
+        t
+    }
+
     fn service(&mut self, p: &Pending, stats: &mut MemoryStats) -> u64 {
         let bank_index = p.addr.bank as usize;
         let rank = p.addr.rank as usize;
-        let start = self.refresh_adjust(self.time.max(p.arrival));
+        let base = self.refresh_adjust(self.time.max(p.arrival));
+        // Injected stalls compose with refresh: clear the stall window, then
+        // re-check refresh once (a stall may push the command into one).
+        let after_stall = self.stall_adjust(base);
+        let start = if after_stall > base {
+            stats.record_stall(after_stall - base);
+            self.refresh_adjust(after_stall)
+        } else {
+            base
+        };
         let bank = self.banks[bank_index];
         let mut ready = start.max(bank.cmd_ready);
 
@@ -383,7 +417,14 @@ mod tests {
     fn full_write_queue_forces_drain() {
         let (cfg, mut ch, mut stats) = setup();
         for i in 0..cfg.write_queue_high as u64 {
-            ch.enqueue(RequestId(i), MemOpKind::Write, Priority::Offline, 0, addr_of(&cfg, i * 64), 0);
+            ch.enqueue(
+                RequestId(i),
+                MemOpKind::Write,
+                Priority::Offline,
+                0,
+                addr_of(&cfg, i * 64),
+                0,
+            );
         }
         ch.enqueue(RequestId(1000), MemOpKind::Read, Priority::Online, 0, addr_of(&cfg, 0), 0);
         let (first, _) = ch.schedule_one(&mut stats).unwrap();
@@ -414,14 +455,7 @@ mod policy_tests {
         for i in 0..32u64 {
             // Alternate same-row and different-row addresses.
             let addr = if i % 2 == 0 { 0 } else { cfg.row_bytes * 64 };
-            ch.enqueue(
-                RequestId(i),
-                MemOpKind::Read,
-                Priority::Online,
-                0,
-                decode(&cfg, addr),
-                0,
-            );
+            ch.enqueue(RequestId(i), MemOpKind::Read, Priority::Online, 0, decode(&cfg, addr), 0);
         }
         while ch.schedule_one(&mut stats).is_some() {}
         assert_eq!(stats.row_outcomes(RowBufferOutcome::Hit), 0);
@@ -464,6 +498,50 @@ mod policy_tests {
         ch.enqueue(RequestId(1), MemOpKind::Read, Priority::Online, 0, decode(&cfg, 2 << 20), 0);
         let (first, _) = ch.schedule_one(&mut stats).unwrap();
         assert_eq!(first, RequestId(0), "FIFO order when priorities are ignored");
+    }
+}
+
+#[cfg(test)]
+mod stall_tests {
+    use super::*;
+    use crate::config::DramConfig;
+    use crate::mapping::decode;
+    use crate::stats::MemoryStats;
+
+    #[test]
+    fn requests_are_pushed_past_stall_windows() {
+        let cfg = DramConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut stats = MemoryStats::new(4);
+        ch.inject_stall(0, 5_000);
+        ch.enqueue(RequestId(0), MemOpKind::Read, Priority::Online, 0, decode(&cfg, 0), 100);
+        let (_, done) = ch.schedule_one(&mut stats).unwrap();
+        assert!(done >= 5_000, "completion {done} inside stall window ending at 5000");
+        assert_eq!(stats.stall_events(), 1);
+        assert!(stats.stall_cycles() >= 4_900);
+    }
+
+    #[test]
+    fn adjacent_windows_compose() {
+        let cfg = DramConfig::default();
+        let mut ch = Channel::new(&cfg);
+        // Deliberately inject out of order; windows are kept sorted.
+        ch.inject_stall(2_000, 1_000);
+        ch.inject_stall(500, 1_500);
+        assert_eq!(ch.stall_adjust(600), 3_000, "push lands in the second window");
+        assert_eq!(ch.stall_adjust(3_000), 3_000, "window end is free");
+        assert_eq!(ch.stall_adjust(100), 100, "before any window");
+    }
+
+    #[test]
+    fn zero_duration_stall_is_ignored() {
+        let cfg = DramConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut stats = MemoryStats::new(4);
+        ch.inject_stall(0, 0);
+        ch.enqueue(RequestId(0), MemOpKind::Read, Priority::Online, 0, decode(&cfg, 0), 0);
+        ch.schedule_one(&mut stats).unwrap();
+        assert_eq!(stats.stall_events(), 0);
     }
 }
 

@@ -139,8 +139,7 @@ impl DramConfig {
     /// Peak data bandwidth in bytes per CPU cycle across all channels
     /// (64 B per `burst` bus cycles per channel).
     pub fn peak_bytes_per_cpu_cycle(&self) -> f64 {
-        u64::from(self.channels) as f64 * 64.0
-            / self.to_cpu_cycles(self.timing.burst) as f64
+        u64::from(self.channels) as f64 * 64.0 / self.to_cpu_cycles(self.timing.burst) as f64
     }
 }
 

@@ -78,7 +78,8 @@ impl EnergyReport {
             + stats.reads() as f64 * params.read_pj
             + stats.writes() as f64 * params.write_pj;
 
-        let refreshes = if refi_cycles == 0 { 0.0 } else { elapsed_cycles as f64 / refi_cycles as f64 };
+        let refreshes =
+            if refi_cycles == 0 { 0.0 } else { elapsed_cycles as f64 / refi_cycles as f64 };
         let refresh_pj = refreshes * ranks as f64 * params.refresh_pj;
 
         let seconds = elapsed_cycles as f64 / (params.cpu_ghz * 1e9);

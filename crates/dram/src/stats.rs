@@ -29,6 +29,10 @@ pub struct MemoryStats {
     /// Requests per tag.
     requests_by_tag: Vec<u64>,
     last_completion: u64,
+    /// Requests delayed by an injected channel-stall fault.
+    stall_events: u64,
+    /// Cycles requests spent pushed past injected stall windows.
+    stall_cycles: u64,
 }
 
 impl MemoryStats {
@@ -45,7 +49,14 @@ impl MemoryStats {
             bus_cycles_by_tag: vec![0; tags],
             requests_by_tag: vec![0; tags],
             last_completion: 0,
+            stall_events: 0,
+            stall_cycles: 0,
         }
+    }
+
+    pub(crate) fn record_stall(&mut self, delay_cycles: u64) {
+        self.stall_events += 1;
+        self.stall_cycles += delay_cycles;
     }
 
     pub(crate) fn record(
@@ -94,6 +105,8 @@ impl MemoryStats {
             *a += b;
         }
         self.last_completion = self.last_completion.max(other.last_completion);
+        self.stall_events += other.stall_events;
+        self.stall_cycles += other.stall_cycles;
     }
 
     /// Total requests serviced.
@@ -156,6 +169,16 @@ impl MemoryStats {
     /// Completion cycle of the last request serviced.
     pub fn last_completion(&self) -> u64 {
         self.last_completion
+    }
+
+    /// Requests that were delayed by an injected channel-stall fault.
+    pub fn stall_events(&self) -> u64 {
+        self.stall_events
+    }
+
+    /// Total cycles requests were pushed back by injected stall windows.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
     }
 
     /// Achieved bandwidth in bytes per cycle over `elapsed_cycles`.

@@ -112,6 +112,24 @@ impl MemorySystem {
         }
     }
 
+    /// Injects a transient stall fault on `channel`: no command may issue
+    /// during `[at, at + duration)` CPU cycles. Requests whose service would
+    /// start inside the window are pushed past it (and counted in
+    /// [`MemoryStats::stall_events`]). Returns `false` if `channel` is out
+    /// of range or `duration` is zero.
+    pub fn inject_channel_stall(&mut self, channel: usize, at: u64, duration: u64) -> bool {
+        if duration == 0 {
+            return false;
+        }
+        match self.channels.get_mut(channel) {
+            Some(ch) => {
+                ch.inject_stall(at, duration);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Total requests currently waiting across all channels.
     pub fn pending(&self) -> usize {
         self.channels.iter().map(Channel::queue_depth).sum()
@@ -171,6 +189,20 @@ mod tests {
         assert_eq!(mem.pending(), 0);
         assert_eq!(mem.stats().writes(), 100);
         assert!(mem.stats().bus_cycles_for_tag(1) > 0);
+    }
+
+    #[test]
+    fn channel_stall_delays_only_that_channel() {
+        let cfg = DramConfig::default();
+        let mut mem = MemorySystem::new(cfg);
+        assert!(mem.inject_channel_stall(0, 0, 10_000));
+        assert!(!mem.inject_channel_stall(usize::MAX, 0, 100), "bad channel rejected");
+        assert!(!mem.inject_channel_stall(0, 0, 0), "zero duration rejected");
+        let a = mem.enqueue(MemOpKind::Read, 0, Priority::Online, 0, 0);
+        let b = mem.enqueue(MemOpKind::Read, cfg.row_bytes, Priority::Online, 0, 0);
+        assert!(mem.completion_time(a) >= 10_000, "stalled channel waits out the window");
+        assert!(mem.completion_time(b) < 10_000, "other channels are unaffected");
+        assert_eq!(mem.stats().stall_events(), 1);
     }
 
     #[test]

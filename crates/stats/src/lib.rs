@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod recovery;
 mod series;
 mod summary;
 mod table;
 
 pub use histogram::LevelHistogram;
+pub use recovery::RecoveryStats;
 pub use series::TimeSeries;
 pub use summary::{arithmetic_mean, geometric_mean, normalize, MinAvgMax};
 pub use table::Table;

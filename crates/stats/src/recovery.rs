@@ -1,0 +1,194 @@
+//! Counters for the fault-recovery layer.
+//!
+//! The chaos harness (`aboram-core`'s fault injector) exercises the engine's
+//! integrity-recovery paths: MAC re-reads with backoff, metadata re-fetches,
+//! write-CRC retransmissions and escalated background eviction. Every
+//! recovery action increments exactly one counter here, so a run's
+//! `RecoveryStats` doubles as a replay fingerprint — two runs with the same
+//! workload and fault seed must produce bit-identical blocks.
+
+use std::fmt;
+
+/// Counters for fault detection and recovery, exported through the engine's
+/// stats block and the timing driver's report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Data blocks whose fetched copy failed MAC verification.
+    pub integrity_faults_detected: u64,
+    /// Integrity failures cleared by a bounded re-read.
+    pub integrity_faults_recovered: u64,
+    /// Re-reads issued while clearing integrity failures.
+    pub integrity_retries: u64,
+    /// Metadata fetches that failed verification.
+    pub metadata_faults_detected: u64,
+    /// Metadata failures cleared by a re-fetch.
+    pub metadata_faults_recovered: u64,
+    /// Metadata re-fetches issued.
+    pub metadata_retries: u64,
+    /// Writes whose acknowledgment (DDR4 write-CRC) reported corruption.
+    pub dropped_writes_detected: u64,
+    /// Dropped writes cleared by retransmission.
+    pub dropped_writes_recovered: u64,
+    /// Write retransmissions issued.
+    pub write_retries: u64,
+    /// Extra evictPath operations issued under stash pressure, beyond the
+    /// normal background-eviction budget.
+    pub escalated_evictions: u64,
+    /// User accesses during which any recovery action ran.
+    pub degraded_accesses: u64,
+    /// Model cycles spent in exponential backoff between retries.
+    pub backoff_cycles: u64,
+}
+
+impl RecoveryStats {
+    /// Creates a zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total faults of any kind detected.
+    pub fn faults_detected(&self) -> u64 {
+        self.integrity_faults_detected
+            + self.metadata_faults_detected
+            + self.dropped_writes_detected
+    }
+
+    /// Total faults of any kind recovered.
+    pub fn faults_recovered(&self) -> u64 {
+        self.integrity_faults_recovered
+            + self.metadata_faults_recovered
+            + self.dropped_writes_recovered
+    }
+
+    /// Total retries of any kind issued.
+    pub fn retries(&self) -> u64 {
+        self.integrity_retries + self.metadata_retries + self.write_retries
+    }
+
+    /// Whether no fault was ever detected (the zero-cost fast path).
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Adds another counter block into this one.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.integrity_faults_detected += other.integrity_faults_detected;
+        self.integrity_faults_recovered += other.integrity_faults_recovered;
+        self.integrity_retries += other.integrity_retries;
+        self.metadata_faults_detected += other.metadata_faults_detected;
+        self.metadata_faults_recovered += other.metadata_faults_recovered;
+        self.metadata_retries += other.metadata_retries;
+        self.dropped_writes_detected += other.dropped_writes_detected;
+        self.dropped_writes_recovered += other.dropped_writes_recovered;
+        self.write_retries += other.write_retries;
+        self.escalated_evictions += other.escalated_evictions;
+        self.degraded_accesses += other.degraded_accesses;
+        self.backoff_cycles += other.backoff_cycles;
+    }
+
+    /// The counters accumulated since `baseline` was captured (saturating, so
+    /// a mismatched baseline degrades to zeros rather than wrapping).
+    pub fn since(&self, baseline: &RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            integrity_faults_detected: self
+                .integrity_faults_detected
+                .saturating_sub(baseline.integrity_faults_detected),
+            integrity_faults_recovered: self
+                .integrity_faults_recovered
+                .saturating_sub(baseline.integrity_faults_recovered),
+            integrity_retries: self.integrity_retries.saturating_sub(baseline.integrity_retries),
+            metadata_faults_detected: self
+                .metadata_faults_detected
+                .saturating_sub(baseline.metadata_faults_detected),
+            metadata_faults_recovered: self
+                .metadata_faults_recovered
+                .saturating_sub(baseline.metadata_faults_recovered),
+            metadata_retries: self.metadata_retries.saturating_sub(baseline.metadata_retries),
+            dropped_writes_detected: self
+                .dropped_writes_detected
+                .saturating_sub(baseline.dropped_writes_detected),
+            dropped_writes_recovered: self
+                .dropped_writes_recovered
+                .saturating_sub(baseline.dropped_writes_recovered),
+            write_retries: self.write_retries.saturating_sub(baseline.write_retries),
+            escalated_evictions: self
+                .escalated_evictions
+                .saturating_sub(baseline.escalated_evictions),
+            degraded_accesses: self.degraded_accesses.saturating_sub(baseline.degraded_accesses),
+            backoff_cycles: self.backoff_cycles.saturating_sub(baseline.backoff_cycles),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "recovery: clean (no faults detected)");
+        }
+        write!(
+            f,
+            "recovery: {} faults detected / {} recovered ({} retries, \
+             {} backoff cycles), {} escalated evictions, {} degraded accesses",
+            self.faults_detected(),
+            self.faults_recovered(),
+            self.retries(),
+            self.backoff_cycles,
+            self.escalated_evictions,
+            self.degraded_accesses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_per_kind_counters() {
+        let r = RecoveryStats {
+            integrity_faults_detected: 3,
+            metadata_faults_detected: 2,
+            dropped_writes_detected: 1,
+            integrity_faults_recovered: 3,
+            metadata_faults_recovered: 2,
+            dropped_writes_recovered: 1,
+            integrity_retries: 4,
+            metadata_retries: 2,
+            write_retries: 1,
+            ..Default::default()
+        };
+        assert_eq!(r.faults_detected(), 6);
+        assert_eq!(r.faults_recovered(), 6);
+        assert_eq!(r.retries(), 7);
+        assert!(!r.is_clean());
+        assert!(RecoveryStats::new().is_clean());
+    }
+
+    #[test]
+    fn merge_and_since_are_inverses() {
+        let a = RecoveryStats { integrity_retries: 5, backoff_cycles: 80, ..Default::default() };
+        let mut b =
+            RecoveryStats { escalated_evictions: 2, degraded_accesses: 1, ..Default::default() };
+        b.merge(&a);
+        assert_eq!(b.integrity_retries, 5);
+        assert_eq!(b.escalated_evictions, 2);
+        let delta = b.since(&a);
+        assert_eq!(delta.integrity_retries, 0);
+        assert_eq!(delta.escalated_evictions, 2);
+        assert_eq!(delta.backoff_cycles, 0);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        assert!(RecoveryStats::new().to_string().contains("clean"));
+        let r = RecoveryStats {
+            integrity_faults_detected: 1,
+            integrity_faults_recovered: 1,
+            integrity_retries: 2,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("1 faults detected"));
+        assert!(s.contains("2 retries"));
+    }
+}

@@ -90,8 +90,7 @@ impl TimeSeries {
         assert!(!series.is_empty(), "cannot average zero series");
         let len = series[0].len();
         assert!(series.iter().all(|s| s.len() == len), "series length mismatch");
-        let mut out =
-            TimeSeries::new(name, series[0].x_label.clone(), series[0].y_label.clone());
+        let mut out = TimeSeries::new(name, series[0].x_label.clone(), series[0].y_label.clone());
         for i in 0..len {
             let x = series[0].samples[i].0;
             let y = series.iter().map(|s| s.samples[i].1).sum::<f64>() / series.len() as f64;

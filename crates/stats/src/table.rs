@@ -47,11 +47,7 @@ impl Table {
     /// Panics if `labels.len() + values.len()` differs from the header count,
     /// or if a subsequent row changes the label/value split.
     pub fn row(&mut self, labels: &[&str], values: &[f64]) {
-        assert_eq!(
-            labels.len() + values.len(),
-            self.headers.len(),
-            "row width must match headers"
-        );
+        assert_eq!(labels.len() + values.len(), self.headers.len(), "row width must match headers");
         if let Some((first_labels, _)) = self.rows.first() {
             assert_eq!(first_labels.len(), labels.len(), "label/value split must be stable");
         }

@@ -31,14 +31,14 @@
 #![warn(missing_docs)]
 
 mod cache;
-pub mod io;
 mod generator;
+pub mod io;
 mod phases;
 pub mod profiles;
 mod record;
 
 pub use cache::{CacheConfig, CacheHierarchy, CacheLevelConfig};
 pub use generator::{MpkiMeter, TraceGenerator};
-pub use profiles::{AddressMix, BenchmarkProfile, Suite};
 pub use phases::{Phase, PhasedGenerator};
+pub use profiles::{AddressMix, BenchmarkProfile, Suite};
 pub use record::{MemOp, TraceRecord};

@@ -223,7 +223,8 @@ impl TreeGeometry {
         debug_assert!(p1.leaf() < self.leaf_count() && p2.leaf() < self.leaf_count());
         let diff = p1.leaf() ^ p2.leaf();
         let leaf_bits = (self.levels - 1) as u32;
-        let first_diff_bit = if diff == 0 { leaf_bits } else { leaf_bits - (64 - diff.leading_zeros()) };
+        let first_diff_bit =
+            if diff == 0 { leaf_bits } else { leaf_bits - (64 - diff.leading_zeros()) };
         // Bits agree above the first differing bit; the root adds one level.
         (first_diff_bit as u8) + 1
     }
@@ -255,7 +256,9 @@ impl TreeGeometry {
     /// Total physical slots across the whole tree.
     pub fn total_slots(&self) -> u64 {
         (0..self.levels)
-            .map(|l| self.buckets_at_level(Level(l)) * u64::from(self.level_config(Level(l)).z_total()))
+            .map(|l| {
+                self.buckets_at_level(Level(l)) * u64::from(self.level_config(Level(l)).z_total())
+            })
             .sum()
     }
 }
@@ -302,7 +305,8 @@ mod tests {
     #[test]
     fn bottom_override_changes_only_bottom() {
         let small = LevelConfig::new(5, 1).with_overlap(4);
-        let geo = TreeGeometry::uniform(24, cb()).unwrap().override_bottom_levels(6, small).unwrap();
+        let geo =
+            TreeGeometry::uniform(24, cb()).unwrap().override_bottom_levels(6, small).unwrap();
         for l in 0..18 {
             assert_eq!(geo.level_config(Level(l)), cb());
         }

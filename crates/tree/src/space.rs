@@ -127,10 +127,8 @@ mod tests {
         assert!((base_rep.utilization() - 0.3125).abs() < 1e-6);
 
         // DR: Z = 6 for the bottom six levels [L18, L23].
-        let dr = TreeGeometry::uniform(24, cb())
-            .unwrap()
-            .override_bottom_levels(6, dr_small())
-            .unwrap();
+        let dr =
+            TreeGeometry::uniform(24, cb()).unwrap().override_bottom_levels(6, dr_small()).unwrap();
         let dr_rep = dr.space_report(real);
         let dr_norm = dr_rep.normalized_to(&base_rep);
         // Paper: DR lowers space demand to 75 % of Baseline, utilization 41.5 %.

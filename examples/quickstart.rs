@@ -45,12 +45,7 @@ fn main() -> Result<(), OramError> {
 
     println!("\nmemory traffic (64 B blocks)");
     for op in OramOp::ALL {
-        println!(
-            "  {:16}: {:5} reads, {:5} writes",
-            op.name(),
-            sink.reads(op),
-            sink.writes(op)
-        );
+        println!("  {:16}: {:5} reads, {:5} writes", op.name(), sink.reads(op), sink.writes(op));
     }
 
     // The headline result: AB-ORAM's tree is ~36 % smaller than the

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example secure_kv_store`
 
-use aboram::core::{
-    BlockId, CountingSink, OramConfig, OramError, RingOram, Scheme,
-};
+use aboram::core::{BlockId, CountingSink, OramConfig, OramError, RingOram, Scheme};
 use std::collections::HashMap;
 
 /// A tiny oblivious KV store: fixed-size 56-byte values, open addressing
@@ -60,8 +58,7 @@ impl ObliviousKv {
             let data = self.oram.read(block, &mut self.sink)?;
             let slot_fp = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
             if slot_fp == fp {
-                let value: Vec<u8> =
-                    data[8..].iter().copied().take_while(|&b| b != 0).collect();
+                let value: Vec<u8> = data[8..].iter().copied().take_while(|&b| b != 0).collect();
                 return Ok(Some(value));
             }
             if slot_fp == 0 {

@@ -8,10 +8,7 @@ use aboram::core::{OramConfig, OramError, Scheme};
 use aboram::stats::Table;
 
 fn main() -> Result<(), OramError> {
-    let levels: u8 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24);
+    let levels: u8 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
 
     println!("ORAM space planning for a {levels}-level tree\n");
     let base_cfg = OramConfig::builder(levels, Scheme::Baseline).build()?;

@@ -10,10 +10,8 @@ use aboram::dram::DramConfig;
 use aboram::trace::{profiles, CacheConfig, CacheHierarchy, TraceGenerator, TraceRecord};
 
 fn main() -> Result<(), OramError> {
-    let profile = profiles::spec2017()
-        .into_iter()
-        .find(|p| p.name == "mcf")
-        .expect("mcf is in Table IV");
+    let profile =
+        profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf is in Table IV");
     println!(
         "workload: {} (read MPKI {}, write MPKI {})",
         profile.name, profile.read_mpki, profile.write_mpki

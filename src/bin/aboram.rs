@@ -5,8 +5,9 @@
 //! * `space [--levels L]` — closed-form space/utilization table for every
 //!   scheme (Fig. 8a/8b as a calculator).
 //! * `simulate --scheme S [--levels L] [--trace FILE | --benchmark NAME]
-//!   [--records N] [--warmup N]` — run a timing simulation and print the
-//!   report. `--trace` accepts a USIMM-format text trace.
+//!   [--records N] [--warmup N] [--faults SEED]` — run a timing simulation
+//!   and print the report. `--trace` accepts a USIMM-format text trace;
+//!   `--faults` enables seeded fault injection (see DESIGN.md §6).
 //! * `gen-trace --benchmark NAME --records N [--out FILE]` — export a
 //!   synthetic Table IV workload in USIMM format.
 //! * `security --scheme S [--accesses N]` — run the §VI-C attacker
@@ -21,7 +22,7 @@
 //! aboram security --scheme ab --accesses 200000
 //! ```
 
-use aboram::core::{attack_success_rate, OramConfig, OramOp, Scheme, TimingDriver};
+use aboram::core::{attack_success_rate, FaultPlan, OramConfig, OramOp, Scheme, TimingDriver};
 use aboram::dram::DramConfig;
 use aboram::stats::Table;
 use aboram::trace::io::{parse_trace, write_trace};
@@ -58,7 +59,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   aboram space      [--levels L]
   aboram simulate   --scheme S [--levels L] [--trace FILE | --benchmark NAME]
-                    [--records N] [--warmup N]
+                    [--records N] [--warmup N] [--faults SEED]
   aboram gen-trace  --benchmark NAME --records N [--out FILE]
   aboram security   --scheme S [--levels L] [--accesses N]
 
@@ -121,10 +122,7 @@ fn cmd_space(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load_or_generate(
-    args: &[String],
-    records: usize,
-) -> Result<Vec<TraceRecord>, String> {
+fn load_or_generate(args: &[String], records: usize) -> Result<Vec<TraceRecord>, String> {
     if let Some(path) = flag(args, "--trace") {
         let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
         let recs = parse_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
@@ -150,6 +148,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let cfg = OramConfig::builder(levels, scheme).build().map_err(|e| e.to_string())?;
     let mut driver = TimingDriver::new(&cfg, DramConfig::default()).map_err(|e| e.to_string())?;
+    if let Some(seed) = flag(args, "--faults") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad fault seed `{seed}`"))?;
+        eprintln!("[fault injection on, seed {seed}]");
+        driver.enable_faults(FaultPlan::new(seed));
+    }
     eprintln!("[warming {warmup} accesses]");
     driver.warm_up(warmup).map_err(|e| e.to_string())?;
     eprintln!("[replaying {} records]", trace.len());
@@ -169,6 +172,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     for op in OramOp::ALL {
         println!("  {:16}: {:5.1} %", op.name(), 100.0 * report.breakdown.fraction(op));
     }
+    println!("{}", report.recovery);
     Ok(())
 }
 

@@ -2,7 +2,7 @@
 //! protocol (with real encryption and authentication on every slot) come
 //! back intact under every scheme, across evictions and reshuffles.
 
-use aboram::core::{OramConfig, RingOram, CountingSink, Scheme};
+use aboram::core::{CountingSink, OramConfig, RingOram, Scheme};
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
@@ -85,10 +85,7 @@ fn data_path_disabled_is_reported() {
     let cfg = OramConfig::builder(10, Scheme::Baseline).build().unwrap();
     let mut oram = RingOram::new(&cfg).unwrap();
     let mut sink = CountingSink::new();
-    assert!(matches!(
-        oram.read(0, &mut sink),
-        Err(aboram::core::OramError::DataPathDisabled)
-    ));
+    assert!(matches!(oram.read(0, &mut sink), Err(aboram::core::OramError::DataPathDisabled)));
     assert!(matches!(
         oram.write(0, [0; 64], &mut sink),
         Err(aboram::core::OramError::DataPathDisabled)

@@ -94,8 +94,7 @@ fn fig2_fig3_dead_block_shape() {
     let growth = (end as f64 - mid as f64).abs() / mid as f64;
     assert!(growth < 0.10, "dead census should be stable after warm-up (grew {growth:.3})");
     // Bottom two levels hold the majority of dead blocks.
-    let bottom: u64 =
-        (10..12).map(|l| oram.stats().dead_blocks.get(l)).sum();
+    let bottom: u64 = (10..12).map(|l| oram.stats().dead_blocks.get(l)).sum();
     assert!(bottom as f64 > 0.6 * end as f64, "dead blocks concentrate near the leaves");
 }
 
@@ -107,10 +106,7 @@ fn fig7_security_rates() {
         let report = aboram::core::attack_success_rate(&cfg, 30_000).unwrap();
         let rate = report.success_rate();
         let ideal = report.ideal_rate();
-        assert!(
-            (rate - ideal).abs() < 0.2 * ideal,
-            "{scheme}: rate {rate:.5} vs ideal {ideal:.5}"
-        );
+        assert!((rate - ideal).abs() < 0.2 * ideal, "{scheme}: rate {rate:.5} vs ideal {ideal:.5}");
     }
 }
 

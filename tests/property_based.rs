@@ -151,3 +151,67 @@ proptest! {
         prop_assert!(!geo.bucket_is_on_path(sibling, path));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// DESIGN.md §6: a FaultPlan is a pure function of its seed — the same
+    /// seed replays the identical fault schedule, and a chaos run driven by
+    /// it lands on identical recovery statistics.
+    #[test]
+    fn same_seed_fault_plan_replays_identically(
+        fault_seed in any::<u64>(),
+        oram_seed in 0u64..1_000,
+        accesses in 100usize..400,
+        flip_rate in 0u32..30,
+        drop_rate in 0u32..30,
+    ) {
+        use aboram::core::{FaultConfig, FaultInjectingSink, FaultPlan, FaultSite};
+
+        let fc = FaultConfig {
+            data_bit_flip: f64::from(flip_rate) / 1_000.0,
+            metadata_corruption: f64::from(flip_rate) / 2_000.0,
+            dropped_write: f64::from(drop_rate) / 1_000.0,
+            ..FaultConfig::default()
+        };
+
+        // The raw schedule replays: same seed, same draw sequence.
+        let mut plan_a = FaultPlan::with_config(fault_seed, fc);
+        let mut plan_b = FaultPlan::with_config(fault_seed, fc);
+        for i in 0..500 {
+            let site = match i % 3 {
+                0 => FaultSite::Data,
+                1 => FaultSite::Metadata,
+                _ => FaultSite::WriteAck,
+            };
+            prop_assert_eq!(plan_a.draw(site), plan_b.draw(site), "draw {} diverged", i);
+        }
+        prop_assert_eq!(plan_a.stall_schedule(4), plan_b.stall_schedule(4));
+
+        // And so does a whole engine run driven by the plan.
+        let run = || {
+            let cfg = OramConfig::builder(8, Scheme::Ab)
+                .store_data(true)
+                .seed(oram_seed)
+                .build()
+                .unwrap();
+            let mut oram = RingOram::new(&cfg).unwrap();
+            let mut sink = FaultInjectingSink::with_plan(
+                CountingSink::new(),
+                FaultPlan::with_config(fault_seed, fc),
+            );
+            let blocks = cfg.real_block_count();
+            let mut state = oram_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            for _ in 0..accesses {
+                state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+                oram.read((state >> 16) % blocks, &mut sink).unwrap();
+            }
+            (oram.stats().recovery, sink.injected(), sink.inner().clone())
+        };
+        let (rec_a, inj_a, traffic_a) = run();
+        let (rec_b, inj_b, traffic_b) = run();
+        prop_assert_eq!(rec_a, rec_b);
+        prop_assert_eq!(inj_a, inj_b);
+        prop_assert_eq!(traffic_a, traffic_b);
+    }
+}

@@ -112,12 +112,9 @@ fn ring_online_cost_is_one_block_per_bucket() {
 /// The extension machinery only activates for remote-allocation schemes.
 #[test]
 fn extension_only_for_dr_and_ab() {
-    for (scheme, expect) in [
-        (Scheme::Baseline, false),
-        (Scheme::NS, false),
-        (Scheme::DR, true),
-        (Scheme::Ab, true),
-    ] {
+    for (scheme, expect) in
+        [(Scheme::Baseline, false), (Scheme::NS, false), (Scheme::DR, true), (Scheme::Ab, true)]
+    {
         let cfg = OramConfig::builder(12, scheme).seed(4).build().unwrap();
         let mut oram = RingOram::new(&cfg).unwrap();
         let mut sink = CountingSink::new();

@@ -66,8 +66,8 @@ fn warmup_state_carries_into_timed_run() {
 
 #[test]
 fn path_oram_costs_more_online_bandwidth_than_ring() {
-    use aboram::core::{CountingSink, OramOp, PathOram, RingOram};
     use aboram::core::AccessKind;
+    use aboram::core::{CountingSink, OramOp, PathOram, RingOram};
     let cfg = OramConfig::builder(10, Scheme::PlainRing).seed(2).build().unwrap();
 
     let mut ring = RingOram::new(&cfg).unwrap();
