@@ -7,25 +7,19 @@
 //! Each sweep runs the protocol at a fixed scale and reports the metric the
 //! decision trades against.
 
-use aboram_bench::{emit, Experiment};
-use aboram_core::{AccessKind, CountingSink, OramConfig, OramOp, RingOram, Scheme};
+use aboram_bench::{emit, telemetry_from_env, ChurnKind, Experiment};
+use aboram_core::{CountingSink, OramConfig, OramOp, RingOram, Scheme};
 use aboram_stats::Table;
-use rand::{Rng, SeedableRng};
-
-fn run(cfg: &OramConfig, accesses: u64) -> (RingOram, CountingSink) {
-    let mut oram = RingOram::new(cfg).expect("engine builds");
-    let mut sink = CountingSink::new();
-    let blocks = cfg.real_block_count();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-    for _ in 0..accesses {
-        oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)
-            .expect("protocol ok");
-    }
-    (oram, sink)
-}
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
+    let run = |cfg: &OramConfig, accesses: u64| -> (RingOram, CountingSink) {
+        let mut run =
+            env.protocol_run_with(cfg.clone(), ChurnKind::Uniform).expect("engine builds");
+        run.advance(accesses).expect("protocol ok");
+        (run.oram, run.sink)
+    };
     let accesses = env.protocol_accesses / 2;
     let mut out = String::from("# Ablation sweeps\n\n");
 
@@ -97,16 +91,10 @@ fn main() {
         "DR strategies: (1) extend beyond baseline (DR+) vs (2) shrink-and-recover (DR)",
         &["scheme", "normalized space", "reshuffles per 1k accesses", "extension ratio"],
     );
-    let base_cfg = env.config(Scheme::Baseline).expect("config");
-    let base_space =
-        base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
+    let base_space = env.space_report(Scheme::Baseline).expect("config");
     for scheme in [Scheme::Baseline, Scheme::DR, Scheme::DrPlus { bottom_levels: 6 }] {
         let cfg = env.config(scheme).expect("config");
-        let space = cfg
-            .geometry()
-            .expect("geometry")
-            .space_report(cfg.real_block_count())
-            .normalized_to(&base_space);
+        let space = env.normalized_space(scheme, &base_space).expect("config");
         let (oram, _) = run(&cfg, accesses / 2);
         let resh =
             1000.0 * oram.stats().reshuffles.total() as f64 / oram.stats().online_accesses() as f64;

@@ -7,6 +7,7 @@
 //!
 //! ```sh
 //! chaos --faults <seed> [--records <n>] [--rate <per-poll probability>]
+//!       [--telemetry <out.jsonl>]
 //! ```
 //!
 //! Scale further with the usual `ABORAM_LEVELS` / `ABORAM_WARMUP` /
@@ -22,10 +23,11 @@ struct Args {
     fault_seed: u64,
     records: Option<usize>,
     rate: Option<f64>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { fault_seed: 2023, records: None, rate: None };
+    let mut args = Args { fault_seed: 2023, records: None, rate: None, telemetry: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut take =
@@ -43,7 +45,12 @@ fn parse_args() -> Args {
                 let v = take("a probability");
                 args.rate = Some(v.parse().unwrap_or_else(|_| die(&format!("bad rate {v:?}"))));
             }
-            "--help" | "-h" => die("usage: chaos --faults <seed> [--records <n>] [--rate <p>]"),
+            "--telemetry" => {
+                args.telemetry = Some(take("an output path"));
+            }
+            "--help" | "-h" => {
+                die("usage: chaos --faults <seed> [--records <n>] [--rate <p>] [--telemetry <out>]")
+            }
             other => die(&format!("unknown flag {other:?}")),
         }
     }
@@ -57,6 +64,16 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    let _telemetry = match &args.telemetry {
+        Some(path) => {
+            eprintln!("[telemetry trace -> {path}]");
+            Some(
+                aboram_telemetry::install_to_path(std::path::Path::new(path))
+                    .unwrap_or_else(|e| die(&format!("{path}: {e}"))),
+            )
+        }
+        None => aboram_bench::telemetry_from_env(),
+    };
     let mut env = Experiment::from_env();
     if let Some(n) = args.records {
         env.timed = n;

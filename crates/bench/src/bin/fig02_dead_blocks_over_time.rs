@@ -6,13 +6,14 @@
 //! paper's motivation section uses. The paper's curve rises quickly and
 //! stabilizes (~18 % of tree space for the 24-level, Z = 12 tree).
 
-use aboram_bench::{emit, Experiment};
-use aboram_core::{AccessKind, CountingSink, RingOram, Scheme};
+use aboram_bench::{emit, telemetry_from_env, ChurnKind, Experiment};
+use aboram_core::Scheme;
 use aboram_stats::TimeSeries;
-use aboram_trace::{profiles, TraceGenerator};
+use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
     // The motivational study uses the plain Ring ORAM tree (Z = 12, S = 7).
     let cfg = env.config(Scheme::PlainRing).expect("valid config");
     let total_accesses = env.protocol_accesses;
@@ -22,20 +23,16 @@ fn main() {
     let mut all_series: Vec<TimeSeries> = Vec::new();
     let suite = profiles::spec2017();
     for profile in &suite {
-        let mut oram = RingOram::new(&cfg).expect("engine builds");
-        let mut sink = CountingSink::new();
-        let mut gen = TraceGenerator::new(profile, env.seed);
-        let blocks = cfg.real_block_count();
+        let mut run =
+            env.protocol_run(Scheme::PlainRing, ChurnKind::Trace(profile)).expect("engine builds");
         let mut series = TimeSeries::new(profile.name, "online accesses", "dead blocks");
-        for i in 0..total_accesses {
-            let rec = gen.next_record();
-            let block = (rec.addr / 64) % blocks;
-            oram.access(AccessKind::Read, block, None, &mut sink).expect("protocol ok");
+        run.advance_with(total_accesses, |i, oram| {
             if i % sample_every == 0 {
                 series
                     .push(oram.stats().online_accesses() as f64, oram.stats().dead_total() as f64);
             }
-        }
+        })
+        .expect("protocol ok");
         all_series.push(series);
     }
     let average = TimeSeries::average("average", &all_series);

@@ -5,36 +5,28 @@
 //! ~2.1 dead blocks per bucket at the last level of the plain Ring ORAM
 //! tree.
 
-use aboram_bench::{emit, Experiment};
-use aboram_core::{AccessKind, CountingSink, RingOram, Scheme};
+use aboram_bench::{emit, telemetry_from_env, ChurnKind, Experiment};
+use aboram_core::Scheme;
 use aboram_stats::{LevelHistogram, Table};
-use aboram_trace::{profiles, TraceGenerator};
-use rand::{Rng, SeedableRng};
+use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
     let cfg = env.config(Scheme::PlainRing).expect("valid config");
-    let blocks = cfg.real_block_count();
 
     // Average the per-level census over a few representative benchmarks.
+    // The 50/50 trace/uniform mix covers the whole block space like the
+    // paper's 400 M-access run.
     let suite = profiles::spec2017();
     let picks = ["mcf", "lbm", "xz", "x264"];
     let mut histograms: Vec<LevelHistogram> = Vec::new();
     for name in picks {
         let profile = suite.iter().find(|p| p.name == name).expect("benchmark");
-        let mut oram = RingOram::new(&cfg).expect("engine builds");
-        let mut sink = CountingSink::new();
-        let mut gen = TraceGenerator::new(profile, env.seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
-        for _ in 0..env.protocol_accesses {
-            let rec = gen.next_record();
-            // Mix trace addressing with uniform touches so the census covers
-            // the whole block space like the paper's 400 M-access run.
-            let block =
-                if rng.gen_bool(0.5) { (rec.addr / 64) % blocks } else { rng.gen_range(0..blocks) };
-            oram.access(AccessKind::Read, block, None, &mut sink).expect("protocol ok");
-        }
-        histograms.push(oram.stats().dead_blocks.clone());
+        let mut run =
+            env.protocol_run(Scheme::PlainRing, ChurnKind::Mixed(profile)).expect("engine builds");
+        run.advance(env.protocol_accesses).expect("protocol ok");
+        histograms.push(run.oram.stats().dead_blocks.clone());
     }
     let sum = LevelHistogram::sum("dead blocks", &histograms);
 

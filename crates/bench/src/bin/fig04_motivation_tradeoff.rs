@@ -6,22 +6,20 @@
 //! savings saturating around L-3 while the performance loss stays a few
 //! percent and grows roughly linearly with `x`.
 
-use aboram_bench::{emit, Experiment};
+use aboram_bench::{emit, telemetry_from_env, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::Table;
 use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
-    let base_cfg = env.config(Scheme::PlainRing).expect("valid config");
-    let base_space =
-        base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
+    let _telemetry = telemetry_from_env();
+    let base_space = env.space_report(Scheme::PlainRing).expect("valid config");
 
     // Timed baseline.
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
     eprintln!("[warm-up + timed run: baseline]");
-    let base_oram = env.warmed_oram(Scheme::PlainRing).expect("warm-up ok");
-    let base_report = env.timed_run(base_oram, &profile).expect("timed run ok");
+    let base_report = env.warmed_timed(Scheme::PlainRing, &profile).expect("timed run ok");
 
     let mut table = Table::new(
         "Fig. 4 — space and slowdown for L-x (plain Ring ORAM, S -> S-3 on last x levels)",
@@ -30,15 +28,9 @@ fn main() {
     table.row(&["baseline"], &[1.0, 1.0]);
     for x in 1..=7u8 {
         let scheme = Scheme::RingShrink { bottom_levels: x };
-        let cfg = env.config(scheme).expect("valid config");
-        let space = cfg
-            .geometry()
-            .expect("geometry")
-            .space_report(cfg.real_block_count())
-            .normalized_to(&base_space);
+        let space = env.normalized_space(scheme, &base_space).expect("valid config");
         eprintln!("[warm-up + timed run: L-{x}]");
-        let oram = env.warmed_oram(scheme).expect("warm-up ok");
-        let report = env.timed_run(oram, &profile).expect("timed run ok");
+        let report = env.warmed_timed(scheme, &profile).expect("timed run ok");
         let slowdown = report.exec_cycles as f64 / base_report.exec_cycles as f64;
         table.row(&[&format!("L-{x}")], &[space, slowdown]);
     }

@@ -6,13 +6,14 @@
 //! Scale with `ABORAM_LEVELS`, `ABORAM_WARMUP`, `ABORAM_TIMED`; restrict the
 //! benchmark list with `ABORAM_BENCHES=<n>`.
 
-use aboram_bench::{emit, evaluated_schemes, Experiment};
+use aboram_bench::{emit, evaluated_schemes, space_report_of, telemetry_from_env, Experiment};
 use aboram_core::{OramConfig, OramOp, Scheme};
 use aboram_stats::{geometric_mean, Table};
 use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
     let bench_count =
         std::env::var("ABORAM_BENCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
 
@@ -27,16 +28,13 @@ fn main() {
             "util % (L=24)",
         ],
     );
-    let base_here = env.config(Scheme::Baseline).expect("config");
-    let base_here =
-        base_here.geometry().expect("geometry").space_report(base_here.real_block_count());
+    let base_here = env.space_report(Scheme::Baseline).expect("config");
     let base_24 = OramConfig::paper_scale(Scheme::Baseline).build().expect("config");
-    let base_24 = base_24.geometry().expect("geometry").space_report(base_24.real_block_count());
+    let base_24 = space_report_of(&base_24).expect("geometry");
     for scheme in evaluated_schemes() {
-        let here = env.config(scheme).expect("config");
-        let here = here.geometry().expect("geometry").space_report(here.real_block_count());
+        let here = env.space_report(scheme).expect("config");
         let paper = OramConfig::paper_scale(scheme).build().expect("config");
-        let paper = paper.geometry().expect("geometry").space_report(paper.real_block_count());
+        let paper = space_report_of(&paper).expect("geometry");
         space.row(
             &[&scheme.to_string()],
             &[

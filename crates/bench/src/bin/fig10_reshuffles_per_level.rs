@@ -4,13 +4,12 @@
 //! jumps at the two shrunken levels; AB sits between, elevated over its
 //! bottom three levels.
 
-use aboram_bench::{emit, evaluated_schemes, Experiment};
-use aboram_core::{AccessKind, CountingSink, RingOram};
+use aboram_bench::{emit, evaluated_schemes, telemetry_from_env, ChurnKind, Experiment};
 use aboram_stats::Table;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
     let show_levels = 8.min(env.levels);
     let mut headers: Vec<String> = vec!["scheme".to_string()];
     for l in (env.levels - show_levels)..env.levels {
@@ -24,16 +23,9 @@ fn main() {
 
     for scheme in evaluated_schemes() {
         eprintln!("[running {scheme}]");
-        let cfg = env.config(scheme).expect("config");
-        let mut oram = RingOram::new(&cfg).expect("engine builds");
-        let mut sink = CountingSink::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
-        let blocks = cfg.real_block_count();
-        for _ in 0..env.protocol_accesses {
-            oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)
-                .expect("protocol ok");
-        }
-        let r = &oram.stats().reshuffles;
+        let mut run = env.protocol_run(scheme, ChurnKind::Uniform).expect("engine builds");
+        run.advance(env.protocol_accesses).expect("protocol ok");
+        let r = &run.oram.stats().reshuffles;
         let row: Vec<f64> =
             ((env.levels - show_levels)..env.levels).map(|l| r.get(l) as f64).collect();
         table.row(&[&scheme.to_string()], &row);

@@ -5,21 +5,19 @@
 //! number of bottom levels). Space savings shrink as fewer levels
 //! participate, while execution time stays near Baseline.
 
-use aboram_bench::{emit, Experiment};
+use aboram_bench::{emit, telemetry_from_env, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::Table;
 use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
-    let base_cfg = env.config(Scheme::Baseline).expect("config");
-    let base_space =
-        base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
+    let _telemetry = telemetry_from_env();
+    let base_space = env.space_report(Scheme::Baseline).expect("config");
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
 
     eprintln!("[baseline warm-up + run]");
-    let base_oram = env.warmed_oram(Scheme::Baseline).expect("warm-up ok");
-    let base_report = env.timed_run(base_oram, &profile).expect("timed run ok");
+    let base_report = env.warmed_timed(Scheme::Baseline, &profile).expect("timed run ok");
 
     let mut table = Table::new(
         "Fig. 11 — DR sensitivity to the number of participating bottom levels",
@@ -30,12 +28,7 @@ fn main() {
         let scheme = Scheme::Dr { bottom_levels: bottom };
         let paper_level = 24 - bottom; // the paper's DR-L<k> naming
         eprintln!("[DR-L{paper_level} warm-up + run]");
-        let cfg = env.config(scheme).expect("config");
-        let space = cfg
-            .geometry()
-            .expect("geometry")
-            .space_report(cfg.real_block_count())
-            .normalized_to(&base_space);
+        let space = env.normalized_space(scheme, &base_space).expect("config");
         let oram = env.warmed_oram(scheme).expect("warm-up ok");
         let ext = oram.stats().extension_ratio();
         let report = env.timed_run(oram, &profile).expect("timed run ok");

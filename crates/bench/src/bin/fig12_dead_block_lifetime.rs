@@ -6,28 +6,23 @@
 //! orders-of-magnitude larger averages close to the leaves — the
 //! observation motivating per-level DeadQ queues.
 
-use aboram_bench::{emit, Experiment};
-use aboram_core::{AccessKind, CountingSink, OramConfig, RingOram, Scheme};
+use aboram_bench::{emit, telemetry_from_env, ChurnKind, Experiment};
+use aboram_core::{OramConfig, Scheme};
 use aboram_stats::Table;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
     let cfg = OramConfig::builder(env.levels, Scheme::Baseline)
         .seed(env.seed)
         .track_lifetimes(true)
         .build()
         .expect("config");
-    let mut oram = RingOram::new(&cfg).expect("engine builds");
-    let mut sink = CountingSink::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
-    let blocks = cfg.real_block_count();
     let accesses = env.protocol_accesses.max(env.warmup);
     eprintln!("[running {} accesses with lifetime tracking]", accesses);
-    for _ in 0..accesses {
-        oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)
-            .expect("protocol ok");
-    }
+    let mut run = env.protocol_run_with(cfg, ChurnKind::Uniform).expect("engine builds");
+    run.advance(accesses).expect("protocol ok");
+    let oram = &run.oram;
 
     let mut table = Table::new(
         "Fig. 12 — dead-block lifetime per level (online accesses)",

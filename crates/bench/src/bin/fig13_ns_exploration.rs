@@ -5,21 +5,19 @@
 //! for NS and L3-S1 for AB from this sweep; aggressive settings like L3-S3
 //! degrade performance sharply.
 
-use aboram_bench::{emit, Experiment};
+use aboram_bench::{emit, telemetry_from_env, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::Table;
 use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
-    let base_cfg = env.config(Scheme::Baseline).expect("config");
-    let base_space =
-        base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
+    let _telemetry = telemetry_from_env();
+    let base_space = env.space_report(Scheme::Baseline).expect("config");
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
 
     eprintln!("[baseline warm-up + run]");
-    let base_oram = env.warmed_oram(Scheme::Baseline).expect("warm-up ok");
-    let base_report = env.timed_run(base_oram, &profile).expect("timed run ok");
+    let base_report = env.warmed_timed(Scheme::Baseline, &profile).expect("timed run ok");
 
     let mut table = Table::new(
         "Fig. 13 — NS exploration (Ly-Sx on the CB baseline)",
@@ -30,14 +28,8 @@ fn main() {
         for x in 1..=3u8 {
             let scheme = Scheme::Ns { bottom_levels: y, shrink: x };
             eprintln!("[L{y}-S{x} warm-up + run]");
-            let cfg = env.config(scheme).expect("config");
-            let space = cfg
-                .geometry()
-                .expect("geometry")
-                .space_report(cfg.real_block_count())
-                .normalized_to(&base_space);
-            let oram = env.warmed_oram(scheme).expect("warm-up ok");
-            let report = env.timed_run(oram, &profile).expect("timed run ok");
+            let space = env.normalized_space(scheme, &base_space).expect("config");
+            let report = env.warmed_timed(scheme, &profile).expect("timed run ok");
             table.row(
                 &[&format!("L{y}-S{x}")],
                 &[space, report.exec_cycles as f64 / base_report.exec_cycles as f64],

@@ -5,13 +5,14 @@
 //! benchmark. The paper measures ~100 % for DR and ~74 % for AB, and notes
 //! the ratio is application-independent.
 
-use aboram_bench::{emit, Experiment};
-use aboram_core::{AccessKind, CountingSink, RingOram, Scheme};
+use aboram_bench::{emit, telemetry_from_env, ChurnKind, Experiment};
+use aboram_core::Scheme;
 use aboram_stats::Table;
-use aboram_trace::{profiles, TraceGenerator};
+use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
     let mut table = Table::new("Fig. 14 — S-extension success ratio", &["benchmark", "DR", "AB"]);
     let suite: Vec<_> = profiles::spec2017();
     let mut sums = [0.0f64; 2];
@@ -19,26 +20,16 @@ fn main() {
         eprintln!("[benchmark {}]", profile.name);
         let mut ratios = [0.0f64; 2];
         for (k, scheme) in [Scheme::DR, Scheme::Ab].into_iter().enumerate() {
-            let cfg = env.config(scheme).expect("config");
-            let mut oram = RingOram::new(&cfg).expect("engine builds");
-            let mut sink = CountingSink::new();
-            let mut gen = TraceGenerator::new(profile, env.seed);
-            let blocks = cfg.real_block_count();
+            let mut run =
+                env.protocol_run(scheme, ChurnKind::Trace(profile)).expect("engine builds");
             // Warm up so the DeadQ economy reaches steady state, then
             // measure the extension ratio over the steady window only.
-            for _ in 0..env.warmup.min(env.protocol_accesses) {
-                let rec = gen.next_record();
-                oram.access(AccessKind::Read, (rec.addr / 64) % blocks, None, &mut sink)
-                    .expect("protocol ok");
-            }
-            let (att0, done0) = (oram.stats().extensions_attempted, oram.stats().extensions_done);
-            for _ in 0..env.protocol_accesses {
-                let rec = gen.next_record();
-                oram.access(AccessKind::Read, (rec.addr / 64) % blocks, None, &mut sink)
-                    .expect("protocol ok");
-            }
-            let att = oram.stats().extensions_attempted - att0;
-            let done = oram.stats().extensions_done - done0;
+            run.advance(env.warmup.min(env.protocol_accesses)).expect("protocol ok");
+            let (att0, done0) =
+                (run.oram.stats().extensions_attempted, run.oram.stats().extensions_done);
+            run.advance(env.protocol_accesses).expect("protocol ok");
+            let att = run.oram.stats().extensions_attempted - att0;
+            let done = run.oram.stats().extensions_done - done0;
             ratios[k] = if att == 0 { 0.0 } else { done as f64 / att as f64 };
             sums[k] += ratios[k];
         }

@@ -4,13 +4,14 @@
 //! results are workload-independent; DR/AB should again land within a few
 //! percent of Baseline.
 
-use aboram_bench::{emit, evaluated_schemes, Experiment};
+use aboram_bench::{emit, evaluated_schemes, telemetry_from_env, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::{geometric_mean, Table};
 use aboram_trace::profiles;
 
 fn main() {
     let env = Experiment::from_env();
+    let _telemetry = telemetry_from_env();
     let bench_count =
         std::env::var("ABORAM_BENCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
     let suite: Vec<_> = profiles::parsec().into_iter().take(bench_count).collect();
@@ -41,14 +42,12 @@ fn main() {
     }
     table.row(&["geomean"], &norms.iter().map(|v| geometric_mean(v)).collect::<Vec<_>>());
 
-    let base_cfg = env.config(Scheme::Baseline).expect("config");
-    let base = base_cfg.geometry().expect("geometry").space_report(base_cfg.real_block_count());
+    let base = env.space_report(Scheme::Baseline).expect("config");
     let mut space =
         Table::new("Fig. 15 — space (workload-independent)", &["scheme", "normalized space"]);
     for scheme in evaluated_schemes() {
-        let cfg = env.config(scheme).expect("config");
-        let rep = cfg.geometry().expect("geometry").space_report(cfg.real_block_count());
-        space.row(&[&scheme.to_string()], &[rep.normalized_to(&base)]);
+        let norm = env.normalized_space(scheme, &base).expect("config");
+        space.row(&[&scheme.to_string()], &[norm]);
     }
 
     let mut out = String::from("# Fig. 15 — PARSEC generalizability\n\n");

@@ -1,0 +1,47 @@
+//! `perf_report` — render telemetry JSONL traces into per-phase /
+//! per-level cycle-breakdown tables (DESIGN.md §7).
+//!
+//! Usage:
+//!
+//! ```sh
+//! perf_report trace1.jsonl [trace2.jsonl ...]
+//! ```
+//!
+//! Each input is a trace produced by `aboram simulate --telemetry <out>`
+//! or any bench binary run with `ABORAM_TELEMETRY=<out>`; all runs found
+//! across the inputs are reported in order, so a Ring trace and an AB
+//! trace can be compared side by side from one invocation. Every
+//! breakdown ends with a consistency line cross-checking the phase-
+//! attributed bus cycles against the cycles the DRAM model reported
+//! (they must agree within 1 %).
+
+use aboram_bench::emit;
+use aboram_telemetry::{parse_trace, render_report, RunTrace};
+use std::io::BufReader;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        eprintln!("usage: perf_report <trace.jsonl> [more traces ...]");
+        std::process::exit(2);
+    }
+    let mut runs: Vec<RunTrace> = Vec::new();
+    for path in &paths {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        });
+        let parsed = parse_trace(BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[{path}: {} run(s)]", parsed.len());
+        runs.extend(parsed);
+    }
+    let report = render_report(&runs);
+    emit("perf_report.md", &report);
+    if runs.iter().any(|r| r.complete && r.attribution_error() > 0.01) {
+        eprintln!("error: a run's phase attribution diverges from the DRAM-reported total");
+        std::process::exit(1);
+    }
+}

@@ -1,10 +1,18 @@
 //! Runs the entire experiment suite — every figure and table binary plus
-//! the ablations — in a sensible order (cheap protocol studies first,
-//! expensive timing sweeps last). Results land in `results/`.
+//! the ablations — on a small thread pool. Independent binaries run
+//! concurrently (each writes its own file under `results/`); the worker
+//! count comes from `ABORAM_JOBS`, defaulting to the machine's available
+//! parallelism capped at the suite size.
 //!
 //! `cargo run --release -p aboram-bench --bin run_all`
+//!
+//! Set `ABORAM_JOBS=1` to reproduce the old sequential behaviour (cheap
+//! protocol studies first, expensive timing sweeps last — workers claim
+//! binaries in list order, so a single worker walks it unchanged).
 
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 const BINARIES: &[&str] = &[
@@ -32,31 +40,52 @@ const BINARIES: &[&str] = &[
     "ext_energy",
 ];
 
+fn job_count() -> usize {
+    let default = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    std::env::var("ABORAM_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+        .min(BINARIES.len())
+}
+
 fn main() {
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
         .expect("executable directory");
     let started = Instant::now();
-    let mut failures = Vec::new();
-    for (i, name) in BINARIES.iter().enumerate() {
-        let t0 = Instant::now();
-        eprintln!("[{}/{}] {name}", i + 1, BINARIES.len());
-        let status = Command::new(exe_dir.join(name)).status();
-        match status {
-            Ok(s) if s.success() => {
-                eprintln!("      done in {:.0}s", t0.elapsed().as_secs_f64());
-            }
-            Ok(s) => {
-                eprintln!("      FAILED with {s}");
-                failures.push(*name);
-            }
-            Err(e) => {
-                eprintln!("      could not launch: {e}");
-                failures.push(*name);
-            }
+    let jobs = job_count();
+    eprintln!("[{} experiments on {jobs} worker(s)]", BINARIES.len());
+
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<&str>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&name) = BINARIES.get(i) else { break };
+                let t0 = Instant::now();
+                eprintln!("[{}/{}] {name}", i + 1, BINARIES.len());
+                match Command::new(exe_dir.join(name)).status() {
+                    Ok(s) if s.success() => {
+                        eprintln!("      {name} done in {:.0}s", t0.elapsed().as_secs_f64());
+                    }
+                    Ok(s) => {
+                        eprintln!("      {name} FAILED with {s}");
+                        failures.lock().expect("failure list").push(name);
+                    }
+                    Err(e) => {
+                        eprintln!("      {name} could not launch: {e}");
+                        failures.lock().expect("failure list").push(name);
+                    }
+                }
+            });
         }
-    }
+    });
+
+    let failures = failures.into_inner().expect("failure list");
     eprintln!(
         "\nsuite finished in {:.1} min; {} failures{}",
         started.elapsed().as_secs_f64() / 60.0,

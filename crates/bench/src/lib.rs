@@ -25,9 +25,13 @@ use aboram_core::{
     TimingDriver,
 };
 use aboram_dram::DramConfig;
+use aboram_telemetry::TelemetryGuard;
 use aboram_trace::{BenchmarkProfile, TraceGenerator};
+use aboram_tree::SpaceReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Experiment scaling knobs, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -67,14 +71,24 @@ impl Experiment {
         OramConfig::builder(self.levels, scheme).seed(self.seed).build()
     }
 
+    /// Closed-form space report for `scheme` at this experiment's scale.
+    pub fn space_report(&self, scheme: Scheme) -> Result<SpaceReport, OramError> {
+        space_report_of(&self.config(scheme)?)
+    }
+
+    /// Space demand of `scheme` normalized to a baseline report (the cell
+    /// the Fig. 4/11/13/15 space columns share).
+    pub fn normalized_space(&self, scheme: Scheme, base: &SpaceReport) -> Result<f64, OramError> {
+        Ok(self.space_report(scheme)?.normalized_to(base))
+    }
+
     /// Builds and warms an engine for `scheme` with uniform random accesses
     /// (the §VII warm-up phase).
     pub fn warmed_oram(&self, scheme: Scheme) -> Result<RingOram, OramError> {
-        use rand::{Rng, SeedableRng};
         let cfg = self.config(scheme)?;
         let mut oram = RingOram::new(&cfg)?;
         let mut sink = CountingSink::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ 0xaaaa);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xaaaa);
         let blocks = cfg.real_block_count();
         for _ in 0..self.warmup {
             oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)?;
@@ -92,6 +106,146 @@ impl Experiment {
         let mut driver = TimingDriver::from_oram(oram, DramConfig::default());
         let mut gen = TraceGenerator::new(profile, self.seed);
         driver.run((0..self.timed).map(|_| gen.next_record()))
+    }
+
+    /// Warm-up plus one timed benchmark window in a single call — the
+    /// baseline-then-sweep pattern every timing figure repeats.
+    pub fn warmed_timed(
+        &self,
+        scheme: Scheme,
+        profile: &BenchmarkProfile,
+    ) -> Result<SimulationReport, OramError> {
+        self.timed_run(self.warmed_oram(scheme)?, profile)
+    }
+
+    /// Builds a protocol-mode study cell for `scheme`: a fresh engine, a
+    /// counting sink, and a churn source, ready to [`ProtocolRun::advance`].
+    pub fn protocol_run(&self, scheme: Scheme, churn: ChurnKind) -> Result<ProtocolRun, OramError> {
+        self.protocol_run_with(self.config(scheme)?, churn)
+    }
+
+    /// Like [`Experiment::protocol_run`] but with a caller-built config
+    /// (lifetime tracking, DeadQ capacity and similar ablation knobs).
+    pub fn protocol_run_with(
+        &self,
+        cfg: OramConfig,
+        churn: ChurnKind,
+    ) -> Result<ProtocolRun, OramError> {
+        let oram = RingOram::new(&cfg)?;
+        let blocks = cfg.real_block_count();
+        let source = BlockSource::new(churn, cfg.seed);
+        Ok(ProtocolRun { cfg, oram, sink: CountingSink::new(), source, blocks })
+    }
+}
+
+/// Closed-form space report for an already-built configuration (used when a
+/// figure compares scales other than the experiment default, e.g. L = 24).
+pub fn space_report_of(cfg: &OramConfig) -> Result<SpaceReport, OramError> {
+    Ok(cfg.geometry()?.space_report(cfg.real_block_count()))
+}
+
+/// How a protocol-mode churn loop picks the next block to touch.
+#[derive(Debug, Clone, Copy)]
+pub enum ChurnKind<'a> {
+    /// Uniform random blocks (the warm-up/census pattern of Fig. 10/12).
+    Uniform,
+    /// Trace-driven: cache lines of a synthetic benchmark (Fig. 2/14).
+    Trace(&'a BenchmarkProfile),
+    /// 50/50 mix of trace-driven and uniform touches so a census covers the
+    /// whole block space like the paper's 400 M-access runs (Fig. 3).
+    Mixed(&'a BenchmarkProfile),
+}
+
+#[derive(Debug)]
+enum BlockSource {
+    Uniform(StdRng),
+    Trace(TraceGenerator),
+    Mixed(TraceGenerator, StdRng),
+}
+
+impl BlockSource {
+    fn new(kind: ChurnKind, seed: u64) -> Self {
+        match kind {
+            ChurnKind::Uniform => BlockSource::Uniform(StdRng::seed_from_u64(seed)),
+            ChurnKind::Trace(p) => BlockSource::Trace(TraceGenerator::new(p, seed)),
+            ChurnKind::Mixed(p) => {
+                BlockSource::Mixed(TraceGenerator::new(p, seed), StdRng::seed_from_u64(seed))
+            }
+        }
+    }
+
+    fn next_block(&mut self, blocks: u64) -> u64 {
+        match self {
+            BlockSource::Uniform(rng) => rng.gen_range(0..blocks),
+            BlockSource::Trace(gen) => (gen.next_record().addr / 64) % blocks,
+            BlockSource::Mixed(gen, rng) => {
+                // Draw the trace record unconditionally so the generator
+                // stream stays aligned with the coin flips.
+                let rec = gen.next_record();
+                if rng.gen_bool(0.5) {
+                    (rec.addr / 64) % blocks
+                } else {
+                    rng.gen_range(0..blocks)
+                }
+            }
+        }
+    }
+}
+
+/// A protocol-mode study in flight: engine, sink, and churn source.
+///
+/// Produced by [`Experiment::protocol_run`]; drive it with
+/// [`advance`](ProtocolRun::advance) and read `oram.stats()` / `sink`
+/// afterwards.
+#[derive(Debug)]
+pub struct ProtocolRun {
+    /// The configuration the engine was built from.
+    pub cfg: OramConfig,
+    /// The engine under study.
+    pub oram: RingOram,
+    /// The protocol-mode traffic sink.
+    pub sink: CountingSink,
+    source: BlockSource,
+    blocks: u64,
+}
+
+impl ProtocolRun {
+    /// Performs `n` online read accesses.
+    pub fn advance(&mut self, n: u64) -> Result<(), OramError> {
+        self.advance_with(n, |_, _| {})
+    }
+
+    /// Performs `n` online read accesses, calling `observe(i, &engine)`
+    /// after each (for time-series sampling).
+    pub fn advance_with(
+        &mut self,
+        n: u64,
+        mut observe: impl FnMut(u64, &RingOram),
+    ) -> Result<(), OramError> {
+        for i in 0..n {
+            let block = self.source.next_block(self.blocks);
+            self.oram.access(AccessKind::Read, block, None, &mut self.sink)?;
+            observe(i, &self.oram);
+        }
+        Ok(())
+    }
+}
+
+/// Installs a JSONL telemetry collector when `ABORAM_TELEMETRY` names an
+/// output path; keep the returned guard alive for the duration of the runs.
+/// Returns `None` (and the runs stay uninstrumented) when the variable is
+/// unset or the path cannot be created.
+pub fn telemetry_from_env() -> Option<TelemetryGuard> {
+    let path = std::env::var("ABORAM_TELEMETRY").ok()?;
+    match aboram_telemetry::install_to_path(Path::new(&path)) {
+        Ok(guard) => {
+            eprintln!("[telemetry trace -> {path}]");
+            Some(guard)
+        }
+        Err(e) => {
+            eprintln!("warning: ABORAM_TELEMETRY={path}: {e}");
+            None
+        }
     }
 }
 
@@ -144,5 +298,46 @@ mod tests {
         let e = Experiment { levels: 10, warmup: 500, timed: 10, protocol_accesses: 10, seed: 1 };
         let oram = e.warmed_oram(Scheme::Ab).unwrap();
         assert_eq!(oram.stats().user_accesses, 500);
+    }
+
+    #[test]
+    fn space_report_matches_direct_computation() {
+        let e = Experiment { levels: 12, warmup: 10, timed: 10, protocol_accesses: 10, seed: 1 };
+        let base = e.space_report(Scheme::Baseline).unwrap();
+        let cfg = e.config(Scheme::Ab).unwrap();
+        let direct = cfg.geometry().unwrap().space_report(cfg.real_block_count());
+        assert_eq!(e.space_report(Scheme::Ab).unwrap().total_bytes(), direct.total_bytes());
+        let norm = e.normalized_space(Scheme::Ab, &base).unwrap();
+        assert!(norm > 0.0 && norm < 1.0, "AB must save space over Baseline, got {norm}");
+    }
+
+    #[test]
+    fn protocol_run_advances_all_churn_kinds() {
+        let e = Experiment { levels: 10, warmup: 10, timed: 10, protocol_accesses: 10, seed: 7 };
+        let profile = aboram_trace::profiles::spec2017().into_iter().next().unwrap();
+        for kind in [ChurnKind::Uniform, ChurnKind::Trace(&profile), ChurnKind::Mixed(&profile)] {
+            let mut run = e.protocol_run(Scheme::Ab, kind).unwrap();
+            let mut seen = 0;
+            run.advance_with(50, |_, oram| {
+                seen += 1;
+                assert!(oram.stats().user_accesses <= 50);
+            })
+            .unwrap();
+            assert_eq!(seen, 50);
+            assert_eq!(run.oram.stats().user_accesses, 50);
+            assert!(run.sink.grand_total() > 0);
+        }
+    }
+
+    #[test]
+    fn protocol_run_is_deterministic_per_seed() {
+        let e = Experiment { levels: 10, warmup: 10, timed: 10, protocol_accesses: 10, seed: 9 };
+        let census = |seed: u64| {
+            let e = Experiment { seed, ..e };
+            let mut run = e.protocol_run(Scheme::Baseline, ChurnKind::Uniform).unwrap();
+            run.advance(200).unwrap();
+            run.oram.stats().dead_total()
+        };
+        assert_eq!(census(9), census(9), "same seed must reproduce the same census");
     }
 }

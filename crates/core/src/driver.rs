@@ -232,6 +232,21 @@ impl TimingDriver {
         let mut records = 0u64;
         let mut instructions = 0u64;
         let block_count = self.oram.config().real_block_count();
+        // Telemetry run header: the constant per-request bus occupancy (in
+        // CPU cycles) lets the perf-report pipeline turn request counts into
+        // exact bus-cycle attributions.
+        {
+            let dram_cfg = self.sink.inner().memory().config();
+            let burst_cpu = dram_cfg.to_cpu_cycles(dram_cfg.timing.burst);
+            let scheme = self.oram.config().scheme.to_string();
+            aboram_telemetry::begin_run(&scheme, self.oram.config().levels, burst_cpu);
+        }
+        // Bus cycles already attributed before this run (driver reuse): the
+        // end-of-run telemetry summary reports the delta.
+        let bus0: u64 = {
+            let mem = self.sink.inner().memory().stats();
+            OramOp::ALL.iter().map(|op| mem.bus_cycles_for_tag(op.tag())).sum()
+        };
         // Snapshot so the report covers the timed window only, not warm-up.
         let (users0, bg0, evicts0, resh0, recovery0) = {
             let s = self.oram.stats();
@@ -246,6 +261,7 @@ impl TimingDriver {
         for rec in trace {
             records += 1;
             instructions += u64::from(rec.inst_gap) + 1;
+            aboram_telemetry::record_mark();
             let issue = self.cpu.issue_op(rec.inst_gap);
             let start = issue.max(self.oram_free_at);
             self.sink.inner_mut().set_now(start);
@@ -294,6 +310,7 @@ impl TimingDriver {
         for op in OramOp::ALL {
             breakdown.bus_cycles[op.tag() as usize] = mem.bus_cycles_for_tag(op.tag());
         }
+        aboram_telemetry::end_run(exec_cycles, breakdown.total() - bus0);
         let s = self.oram.stats();
         Ok(SimulationReport {
             records,

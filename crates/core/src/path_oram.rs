@@ -15,6 +15,7 @@ use crate::sink::{MemorySink, OramOp};
 use crate::stash::{Stash, StashBlock};
 use crate::{BlockId, BLOCK_BYTES};
 use aboram_stats::RecoveryStats;
+use aboram_telemetry::{self as telemetry, Phase};
 use aboram_tree::{BucketId, Level, PathId, PhysicalLayout, SlotAddr, TreeGeometry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,44 +132,64 @@ impl PathOram {
         site: FaultSite,
         op: OramOp,
         online: bool,
+        level: u8,
         sink: &mut impl MemorySink,
     ) -> Result<(), OramError> {
+        telemetry::span(Phase::RecoveryRetry);
         for attempt in 0..MAX_FAULT_RETRIES {
             self.recovery.backoff_cycles += BACKOFF_BASE_CYCLES << attempt;
+            telemetry::event("retry", Phase::RecoveryRetry, level, u64::from(attempt));
             match site {
                 FaultSite::Data | FaultSite::Metadata => {
                     self.recovery.integrity_retries += 1;
                     sink.read(addr, op, online);
+                    telemetry::mem_read(Phase::RecoveryRetry, level);
                 }
                 FaultSite::WriteAck => {
                     self.recovery.write_retries += 1;
                     sink.write(addr, op, online);
+                    telemetry::mem_write(Phase::RecoveryRetry, level);
                 }
             }
             if sink.poll_fault(addr, site).is_none() {
                 return Ok(());
             }
         }
+        telemetry::dump_ring("retries_exhausted");
         Err(OramError::RetriesExhausted { address: addr.byte(), attempts: MAX_FAULT_RETRIES })
     }
 
     /// Reads one path slot with integrity verification and bounded retry.
-    fn read_slot(&mut self, addr: SlotAddr, sink: &mut impl MemorySink) -> Result<(), OramError> {
+    fn read_slot(
+        &mut self,
+        addr: SlotAddr,
+        level: u8,
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
         sink.read(addr, OramOp::ReadPath, true);
+        telemetry::mem_read(Phase::ReadPath, level);
         if sink.poll_fault(addr, FaultSite::Data).is_some() {
             self.recovery.integrity_faults_detected += 1;
-            self.retry_transfer(addr, FaultSite::Data, OramOp::ReadPath, true, sink)?;
+            telemetry::event("data_fault", Phase::RecoveryRetry, level, addr.byte());
+            self.retry_transfer(addr, FaultSite::Data, OramOp::ReadPath, true, level, sink)?;
             self.recovery.integrity_faults_recovered += 1;
         }
         Ok(())
     }
 
     /// Writes one path slot, re-issuing on a dropped-write fault.
-    fn write_slot(&mut self, addr: SlotAddr, sink: &mut impl MemorySink) -> Result<(), OramError> {
+    fn write_slot(
+        &mut self,
+        addr: SlotAddr,
+        level: u8,
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
         sink.write(addr, OramOp::ReadPath, false);
+        telemetry::mem_write(Phase::ReadPath, level);
         if sink.poll_fault(addr, FaultSite::WriteAck).is_some() {
             self.recovery.dropped_writes_detected += 1;
-            self.retry_transfer(addr, FaultSite::WriteAck, OramOp::ReadPath, false, sink)?;
+            telemetry::event("write_dropped", Phase::RecoveryRetry, level, addr.byte());
+            self.retry_transfer(addr, FaultSite::WriteAck, OramOp::ReadPath, false, level, sink)?;
             self.recovery.dropped_writes_recovered += 1;
         }
         Ok(())
@@ -185,6 +206,7 @@ impl PathOram {
             return Err(OramError::BlockOutOfRange { block, count: self.posmap.len() });
         }
         self.accesses += 1;
+        telemetry::span(Phase::ReadPath);
         let recovery_before = self.recovery;
         let label = self.posmap.path_of(block);
         let new_label = self.posmap.remap(block, &mut self.rng);
@@ -196,7 +218,7 @@ impl PathOram {
             for s in 0..z {
                 if self.off_chip(bucket) {
                     let addr = self.layout.slot_addr(aboram_tree::SlotId::new(bucket, s))?;
-                    self.read_slot(addr, sink)?;
+                    self.read_slot(addr, bucket.level().0, sink)?;
                 }
             }
             let pb = &mut self.buckets[bucket.raw() as usize];
@@ -228,7 +250,7 @@ impl PathOram {
             for s in 0..z {
                 if self.off_chip(bucket) {
                     let addr = self.layout.slot_addr(aboram_tree::SlotId::new(bucket, s))?;
-                    self.write_slot(addr, sink)?;
+                    self.write_slot(addr, level.0, sink)?;
                 }
             }
         }

@@ -48,6 +48,7 @@ use crate::stash::{Stash, StashBlock};
 use crate::stats::OramStats;
 use crate::{BlockId, BLOCK_BYTES};
 use aboram_crypto::{BlockCipher, SealedBlock};
+use aboram_telemetry::{self as telemetry, Phase};
 use aboram_tree::{
     reverse_lex_path, BucketId, Level, PathId, PhysicalLayout, SlotAddr, TreeGeometry,
 };
@@ -310,6 +311,7 @@ impl RingOram {
         }
         let occupancy = self.stash.len();
         self.stats.sample_stash(occupancy);
+        telemetry::gauge("stash.occupancy", occupancy as f64);
         Ok(data)
     }
 
@@ -372,6 +374,7 @@ impl RingOram {
         op: OramOp,
         sink: &mut impl MemorySink,
     ) -> Result<Option<[u8; BLOCK_BYTES]>, OramError> {
+        telemetry::span(op.phase());
         let now = self.stats.online_accesses();
         let (label, new_label) = match target {
             Some(b) => {
@@ -430,6 +433,7 @@ impl RingOram {
             if self.off_chip(bucket) {
                 let addr = self.slot_addr(phys)?;
                 sink.read(addr, op, true);
+                telemetry::mem_read(op.phase(), level.0);
             }
 
             // markDEAD: invalidate the slot, update status and census. Only
@@ -498,7 +502,7 @@ impl RingOram {
         for &bucket in &buckets {
             if self.off_chip(bucket) {
                 let addr = self.metadata_addr(bucket)?;
-                self.post_write(addr, OramOp::Metadata, false, sink)?;
+                self.post_write(addr, OramOp::Metadata, false, bucket.level().0, sink)?;
             }
         }
         if self.stash.overflowed() {
@@ -511,6 +515,13 @@ impl RingOram {
         for &bucket in &buckets {
             if self.meta.get(bucket).needs_reshuffle(self.budget(bucket)) {
                 self.stats.reshuffles.add(bucket.level().0, 1);
+                telemetry::span(Phase::EarlyReshuffle);
+                telemetry::event(
+                    "early_reshuffle",
+                    Phase::EarlyReshuffle,
+                    bucket.level().0,
+                    bucket.raw(),
+                );
                 self.rebuild_buckets(&[bucket], None, OramOp::EarlyReshuffle, sink)?;
             }
         }
@@ -527,6 +538,8 @@ impl RingOram {
     /// evictPath (§III-B): reshuffle the next reverse-lexicographic path.
     fn evict_path(&mut self, op: OramOp, sink: &mut impl MemorySink) -> Result<(), OramError> {
         let path = reverse_lex_path(self.evict_counter, self.geo.levels());
+        telemetry::span(op.phase());
+        telemetry::event("evict_path", op.phase(), 0, self.evict_counter);
         self.evict_counter += 1;
         if op == OramOp::EvictPath {
             self.stats.evict_paths += 1;
@@ -565,6 +578,7 @@ impl RingOram {
                 if self.off_chip(bucket) {
                     let addr = self.slot_addr(phys)?;
                     sink.read(addr, op, false);
+                    telemetry::mem_read(op.phase(), bucket.level().0);
                 }
             }
             // Pull the valid real blocks into the stash.
@@ -631,6 +645,7 @@ impl RingOram {
         // home has rebuilt since it was queued is stale and discarded.
         let mut new_borrowed = Vec::new();
         if self.remote_enabled && cfg_l.has_dynamic_extension() && self.deadqs.tracks(level) {
+            telemetry::span(Phase::RemoteAlloc);
             self.stats.extensions_attempted += 1;
             'borrow: for _ in 0..cfg_l.dynamic_s_extension {
                 loop {
@@ -645,7 +660,12 @@ impl RingOram {
                         break;
                     }
                     // Stale entry (home rebuilt since enqueue): discard.
+                    telemetry::counter_add("remote.stale_discarded", 1);
                 }
+            }
+            if !new_borrowed.is_empty() {
+                telemetry::counter_add("remote.borrowed", new_borrowed.len() as u64);
+                telemetry::observe_level("remote.borrowed", level.0, new_borrowed.len() as u64);
             }
             if new_borrowed.len() == usize::from(cfg_l.dynamic_s_extension) {
                 self.stats.extensions_done += 1;
@@ -707,7 +727,7 @@ impl RingOram {
             let phys = self.meta.resolve(bucket, logical);
             let addr = self.slot_addr(phys)?;
             if self.off_chip(bucket) {
-                self.post_write(addr, op, false, sink)?;
+                self.post_write(addr, op, false, level.0, sink)?;
             }
             if self.data.is_some() {
                 let plain = placed
@@ -722,7 +742,7 @@ impl RingOram {
         }
         if self.off_chip(bucket) {
             let addr = self.metadata_addr(bucket)?;
-            self.post_write(addr, OramOp::Metadata, false, sink)?;
+            self.post_write(addr, OramOp::Metadata, false, level.0, sink)?;
         }
         Ok(())
     }
@@ -744,13 +764,21 @@ impl RingOram {
             .filter(|(_, s)| **s == SlotStatus::Dead)
             .map(|(j, _)| j as u8)
             .collect();
+        let mut gathered = 0u64;
         for j in dead_slots {
             let slot = aboram_tree::SlotId::new(bucket, j);
             if self.deadqs.enqueue(slot) {
                 self.meta.get_mut(bucket).status[usize::from(j)] = SlotStatus::Allocated;
+                gathered += 1;
             } else {
+                telemetry::counter_add("deadq.enqueue_full", 1);
                 break; // Queue full; stop trying this level for now.
             }
+        }
+        if gathered > 0 {
+            telemetry::span(Phase::DeadqReclaim);
+            telemetry::counter_add("deadq.gathered", gathered);
+            telemetry::observe_level("deadq.gathered", level.0, gathered);
         }
     }
 
@@ -789,11 +817,13 @@ impl RingOram {
         let bound = 32 * u32::from(self.cfg.levels);
         for _ in 0..bound {
             self.stats.recovery.escalated_evictions += 1;
+            telemetry::event("escalated_evict", Phase::BackgroundEvict, 0, self.stash.len() as u64);
             self.evict_path(OramOp::BackgroundEvict, sink)?;
             if self.stash.len() <= self.cfg.bg_evict_threshold {
                 return Ok(());
             }
         }
+        telemetry::dump_ring("stash_overflow");
         Err(OramError::StashOverflow { capacity: self.stash.capacity() })
     }
 
@@ -829,28 +859,35 @@ impl RingOram {
         site: FaultSite,
         op: OramOp,
         online: bool,
+        level: u8,
         sink: &mut impl MemorySink,
     ) -> Result<(), OramError> {
+        telemetry::span(Phase::RecoveryRetry);
         for attempt in 0..MAX_FAULT_RETRIES {
             self.stats.recovery.backoff_cycles += BACKOFF_BASE_CYCLES << attempt;
+            telemetry::event("retry", Phase::RecoveryRetry, level, u64::from(attempt));
             match site {
                 FaultSite::Data => {
                     self.stats.recovery.integrity_retries += 1;
                     sink.read(addr, op, online);
+                    telemetry::mem_read(Phase::RecoveryRetry, level);
                 }
                 FaultSite::Metadata => {
                     self.stats.recovery.metadata_retries += 1;
                     sink.read(addr, op, online);
+                    telemetry::mem_read(Phase::RecoveryRetry, level);
                 }
                 FaultSite::WriteAck => {
                     self.stats.recovery.write_retries += 1;
                     sink.write(addr, op, online);
+                    telemetry::mem_write(Phase::RecoveryRetry, level);
                 }
             }
             if sink.poll_fault(addr, site).is_none() {
                 return Ok(());
             }
         }
+        telemetry::dump_ring("retries_exhausted");
         Err(OramError::RetriesExhausted { address: addr.byte(), attempts: MAX_FAULT_RETRIES })
     }
 
@@ -871,7 +908,9 @@ impl RingOram {
         let addr = self.slot_addr(phys)?;
         if self.off_chip(phys.bucket) && sink.poll_fault(addr, FaultSite::Data).is_some() {
             self.stats.recovery.integrity_faults_detected += 1;
-            self.retry_transfer(addr, FaultSite::Data, op, online, sink)?;
+            let level = phys.bucket.level().0;
+            telemetry::event("data_fault", Phase::RecoveryRetry, level, addr.byte());
+            self.retry_transfer(addr, FaultSite::Data, op, online, level, sink)?;
             self.stats.recovery.integrity_faults_recovered += 1;
         }
         match &self.data {
@@ -894,9 +933,12 @@ impl RingOram {
         }
         let addr = self.metadata_addr(bucket)?;
         sink.read(addr, OramOp::Metadata, online);
+        let level = bucket.level().0;
+        telemetry::mem_read(Phase::Metadata, level);
         if sink.poll_fault(addr, FaultSite::Metadata).is_some() {
             self.stats.recovery.metadata_faults_detected += 1;
-            self.retry_transfer(addr, FaultSite::Metadata, OramOp::Metadata, online, sink)?;
+            telemetry::event("metadata_fault", Phase::RecoveryRetry, level, addr.byte());
+            self.retry_transfer(addr, FaultSite::Metadata, OramOp::Metadata, online, level, sink)?;
             self.stats.recovery.metadata_faults_recovered += 1;
         }
         Ok(())
@@ -909,12 +951,15 @@ impl RingOram {
         addr: SlotAddr,
         op: OramOp,
         online: bool,
+        level: u8,
         sink: &mut impl MemorySink,
     ) -> Result<(), OramError> {
         sink.write(addr, op, online);
+        telemetry::mem_write(op.phase(), level);
         if sink.poll_fault(addr, FaultSite::WriteAck).is_some() {
             self.stats.recovery.dropped_writes_detected += 1;
-            self.retry_transfer(addr, FaultSite::WriteAck, op, online, sink)?;
+            telemetry::event("write_dropped", Phase::RecoveryRetry, level, addr.byte());
+            self.retry_transfer(addr, FaultSite::WriteAck, op, online, level, sink)?;
             self.stats.recovery.dropped_writes_recovered += 1;
         }
         Ok(())

@@ -11,6 +11,7 @@
 
 use crate::fault::{FaultKind, FaultSite};
 use aboram_dram::{MemOpKind, MemorySystem, Priority, RequestId};
+use aboram_telemetry::Phase;
 use aboram_tree::SlotAddr;
 
 /// Which protocol operation a memory access belongs to. Used both as the
@@ -47,6 +48,17 @@ impl OramOp {
             OramOp::EarlyReshuffle => 2,
             OramOp::BackgroundEvict => 3,
             OramOp::Metadata => 4,
+        }
+    }
+
+    /// The telemetry phase traffic tagged with this op reports under.
+    pub fn phase(self) -> Phase {
+        match self {
+            OramOp::ReadPath => Phase::ReadPath,
+            OramOp::EvictPath => Phase::EvictPath,
+            OramOp::EarlyReshuffle => Phase::EarlyReshuffle,
+            OramOp::BackgroundEvict => Phase::BackgroundEvict,
+            OramOp::Metadata => Phase::Metadata,
         }
     }
 

@@ -1,0 +1,56 @@
+//! Telemetry's zero-perturbation contract (DESIGN.md §7): instrumentation
+//! consumes no engine randomness and changes no protocol decision, so a
+//! fixed-seed timing run produces a bit-identical [`SimulationReport`]
+//! whether or not a collector is installed — and with none installed, the
+//! hooks are pure branch-not-taken overhead.
+
+use aboram_core::{OramConfig, Scheme, SimulationReport, TimingDriver};
+use aboram_dram::DramConfig;
+use aboram_telemetry::Collector;
+use aboram_trace::{profiles, TraceGenerator};
+
+fn fixed_run(scheme: Scheme, instrument: bool) -> (SimulationReport, Option<String>) {
+    let buf = instrument.then(|| {
+        let (collector, buf) = Collector::to_shared_buffer();
+        aboram_telemetry::install(collector);
+        buf
+    });
+    let cfg = OramConfig::builder(12, scheme).seed(77).build().unwrap();
+    let mut driver = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+    driver.warm_up(3_000).unwrap();
+    let profile = profiles::spec2017().into_iter().next().unwrap();
+    let mut gen = TraceGenerator::new(&profile, 77);
+    let report = driver.run((0..400).map(|_| gen.next_record())).unwrap();
+    let trace = buf.map(|buf| {
+        let mut c = aboram_telemetry::uninstall().expect("collector was installed");
+        c.flush().unwrap();
+        buf.contents()
+    });
+    (report, trace)
+}
+
+#[test]
+fn telemetry_does_not_perturb_fixed_seed_runs() {
+    for scheme in [Scheme::PlainRing, Scheme::Ab] {
+        let (plain, none) = fixed_run(scheme, false);
+        assert!(none.is_none());
+        let (instrumented, trace) = fixed_run(scheme, true);
+        assert_eq!(
+            plain, instrumented,
+            "{scheme}: an installed collector must not change the simulation"
+        );
+        // And the instrumented run actually produced a trace: one run
+        // header, per-phase request counts, and a closing summary.
+        let trace = trace.unwrap();
+        assert!(trace.contains("\"t\":\"run\""), "missing run header:\n{trace}");
+        assert!(trace.contains("\"t\":\"counts\""), "missing phase counts:\n{trace}");
+        assert!(trace.contains("\"t\":\"sum\""), "missing run summary:\n{trace}");
+    }
+}
+
+#[test]
+fn repeated_uninstrumented_runs_are_deterministic() {
+    let (a, _) = fixed_run(Scheme::Ab, false);
+    let (b, _) = fixed_run(Scheme::Ab, false);
+    assert_eq!(a, b, "the fixed-seed simulation itself must be reproducible");
+}

@@ -57,6 +57,8 @@ impl MemoryStats {
     pub(crate) fn record_stall(&mut self, delay_cycles: u64) {
         self.stall_events += 1;
         self.stall_cycles += delay_cycles;
+        aboram_telemetry::counter_add("dram.stall_events", 1);
+        aboram_telemetry::counter_add("dram.stall_cycles", delay_cycles);
     }
 
     pub(crate) fn record(
@@ -79,7 +81,10 @@ impl MemoryStats {
         match outcome {
             RowBufferOutcome::Hit => self.hits += 1,
             RowBufferOutcome::Miss => self.misses += 1,
-            RowBufferOutcome::Conflict => self.conflicts += 1,
+            RowBufferOutcome::Conflict => {
+                self.conflicts += 1;
+                aboram_telemetry::counter_add("dram.bank_conflicts", 1);
+            }
         }
         let t = tag as usize;
         if t < self.bus_cycles_by_tag.len() {

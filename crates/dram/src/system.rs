@@ -75,7 +75,9 @@ impl MemorySystem {
         self.next_id += 1;
         let decoded = decode(&self.cfg, addr);
         self.routing.insert(id, decoded.channel);
-        self.channels[decoded.channel as usize].enqueue(id, kind, priority, tag, decoded, now);
+        let channel = &mut self.channels[decoded.channel as usize];
+        channel.enqueue(id, kind, priority, tag, decoded, now);
+        aboram_telemetry::gauge("dram.queue_depth", channel.queue_depth() as f64);
         id
     }
 

@@ -75,6 +75,34 @@ impl LevelHistogram {
         &self.bins
     }
 
+    /// Element-wise accumulation of `other` into `self` (windowed telemetry
+    /// snapshots merge shards this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level counts differ (caller bug).
+    pub fn merge(&mut self, other: &LevelHistogram) {
+        assert_eq!(self.levels(), other.levels(), "level count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self - base`, saturating at zero per bin — the delta
+    /// between two snapshots of a monotone accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level counts differ (caller bug).
+    pub fn delta(&self, base: &LevelHistogram) -> LevelHistogram {
+        assert_eq!(self.levels(), base.levels(), "level count mismatch");
+        let mut out = LevelHistogram::new(self.name.clone(), self.levels());
+        for (i, (a, b)) in self.bins.iter().zip(&base.bins).enumerate() {
+            out.bins[i] = a.saturating_sub(*b);
+        }
+        out
+    }
+
     /// Element-wise sum of several histograms (suite averages use this and
     /// then divide).
     ///
@@ -138,6 +166,38 @@ mod tests {
         b.add(1, 5);
         let s = LevelHistogram::sum("s", &[a, b]);
         assert_eq!(s.bins(), &[3, 5]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LevelHistogram::new("a", 3);
+        let mut b = LevelHistogram::new("b", 3);
+        a.add(0, 1);
+        b.add(0, 2);
+        b.add(2, 4);
+        a.merge(&b);
+        assert_eq!(a.bins(), &[3, 0, 4]);
+    }
+
+    #[test]
+    fn delta_subtracts_saturating() {
+        let mut now = LevelHistogram::new("x", 3);
+        let mut base = LevelHistogram::new("x", 3);
+        now.add(0, 5);
+        now.add(1, 2);
+        base.add(0, 3);
+        base.add(1, 7); // base larger: saturates to 0
+        let d = now.delta(&base);
+        assert_eq!(d.bins(), &[2, 0, 0]);
+        assert_eq!(d.name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "level count mismatch")]
+    fn merge_rejects_mismatched_levels() {
+        let mut a = LevelHistogram::new("a", 2);
+        let b = LevelHistogram::new("b", 3);
+        a.merge(&b);
     }
 
     #[test]

@@ -89,3 +89,62 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging shards then totalling equals totalling one combined
+    /// histogram, and merge commutes (the windowed-telemetry contract).
+    #[test]
+    fn histogram_merge_is_shard_order_independent(
+        ops in proptest::collection::vec((0u8..8, 0u64..1000, 0usize..3), 0..200)
+    ) {
+        let mut combined = LevelHistogram::new("all", 8);
+        let mut shards = [
+            LevelHistogram::new("s0", 8),
+            LevelHistogram::new("s1", 8),
+            LevelHistogram::new("s2", 8),
+        ];
+        for &(level, amount, shard) in &ops {
+            combined.add(level, amount);
+            shards[shard].add(level, amount);
+        }
+        let mut forward = LevelHistogram::new("f", 8);
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut backward = LevelHistogram::new("b", 8);
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        prop_assert_eq!(forward.bins(), combined.bins());
+        prop_assert_eq!(backward.bins(), combined.bins());
+    }
+
+    /// Snapshot deltas of a monotone accumulator recover exactly the
+    /// per-window increments, and the windows re-merge to the final state.
+    #[test]
+    fn histogram_snapshot_delta_roundtrip(
+        windows in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, 0u64..1000), 0..30), 1..6)
+    ) {
+        let mut acc = LevelHistogram::new("acc", 8);
+        let mut prev = acc.clone();
+        let mut remerged = LevelHistogram::new("sum", 8);
+        for window in &windows {
+            let mut expect = LevelHistogram::new("w", 8);
+            for &(level, amount) in window {
+                acc.add(level, amount);
+                expect.add(level, amount);
+            }
+            let delta = acc.delta(&prev);
+            prop_assert_eq!(delta.bins(), expect.bins());
+            remerged.merge(&delta);
+            prev = acc.clone();
+        }
+        prop_assert_eq!(remerged.bins(), acc.bins());
+        // A snapshot never moves backwards, so the delta against any older
+        // snapshot is non-negative bin-wise (saturation never engages).
+        prop_assert_eq!(acc.delta(&acc).total(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Hand-rolled JSONL encoding and a minimal parser for the flat subset the
+//! collector emits.
+//!
+//! Every trace line is one flat JSON object whose values are strings or
+//! numbers — no nesting, no arrays. That keeps both the writer and the
+//! parser tiny, dependency-free and easy to verify.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A value in a parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number (integers parse losslessly up to 2^53).
+    Num(f64),
+    /// A JSON string, unescaped.
+    Str(String),
+}
+
+impl JsonValue {
+    /// The value as `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            JsonValue::Str(_) => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Num(_) => None,
+        }
+    }
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-progress JSONL line. Keys are appended in call order.
+#[derive(Debug, Default)]
+pub struct LineBuilder {
+    buf: String,
+}
+
+impl LineBuilder {
+    /// Starts a line with its type discriminator, `{"t":"<t>"`.
+    pub fn new(t: &str) -> Self {
+        let mut b = LineBuilder { buf: String::with_capacity(64) };
+        let _ = write!(b.buf, "{{\"t\":\"{}\"", escape(t));
+        b
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let _ = write!(self.buf, ",\"{}\":\"{}\"", escape(key), escape(value));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Appends a float field (JSON has no NaN/Inf; those serialize as 0).
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() { value } else { 0.0 };
+        let _ = write!(self.buf, ",\"{}\":{}", escape(key), v);
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Parses one flat JSONL line into its key/value map. Returns `None` for
+/// blank lines or anything that is not a flat string/number object.
+pub fn parse_line(line: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if peek(&mut chars) == Some('}') {
+        chars.next();
+        return Some(map);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match peek(&mut chars)? {
+            '"' => JsonValue::Str(parse_string(&mut chars)?),
+            _ => JsonValue::Num(parse_number(s, &mut chars)?),
+        };
+        map.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next()?.1 {
+            ',' => continue,
+            '}' => return Some(map),
+            _ => return None,
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn peek(chars: &mut Chars) -> Option<char> {
+    chars.peek().map(|&(_, c)| c)
+}
+
+fn expect(chars: &mut Chars, want: char) -> Option<()> {
+    (chars.next()?.1 == want).then_some(())
+}
+
+fn skip_ws(chars: &mut Chars) {
+    while matches!(peek(chars), Some(' ' | '\t')) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut Chars) -> Option<String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        let (_, c) = chars.next()?;
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                '/' => out.push('/'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            _ => out.push(c),
+        }
+    }
+}
+
+fn parse_number(src: &str, chars: &mut Chars) -> Option<f64> {
+    let start = chars.peek()?.0;
+    let mut end = start;
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+            end = i + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    src[start..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_parser_round_trip() {
+        let line = LineBuilder::new("counts")
+            .str("phase", "readPath")
+            .num("level", 3)
+            .num("reads", 120)
+            .float("ratio", 0.5)
+            .finish();
+        let map = parse_line(&line).expect("parses");
+        assert_eq!(map["t"].as_str(), Some("counts"));
+        assert_eq!(map["phase"].as_str(), Some("readPath"));
+        assert_eq!(map["level"].as_u64(), Some(3));
+        assert_eq!(map["reads"].as_u64(), Some(120));
+        assert_eq!(map["ratio"].as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let line = LineBuilder::new("x").str("k", nasty).finish();
+        let map = parse_line(&line).expect("parses");
+        assert_eq!(map["k"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line("{\"unterminated\":\"").is_none());
+        assert!(parse_line("{\"k\":}").is_none());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_line("{}").expect("ok").is_empty());
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        let map = parse_line("{\"a\":-3.5,\"b\":1e3}").expect("ok");
+        assert_eq!(map["a"].as_f64(), Some(-3.5));
+        assert_eq!(map["b"].as_u64(), Some(1000));
+        assert_eq!(map["a"].as_u64(), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! The protocol-phase taxonomy instrumentation labels traffic with.
+
+/// One protocol phase of the Ring ORAM family, used to label spans, memory
+/// traffic and ring-log events.
+///
+/// The first five variants mirror [`OramOp`]'s DRAM traffic tags one-to-one;
+/// the last three cover activity the end-of-run breakdown cannot see:
+/// DeadQ reclamation and remote allocation (which piggyback on metadata
+/// traffic, §V-B2/§VI-A of the paper) and the recovery retries introduced by
+/// the fault-injection harness.
+///
+/// [`OramOp`]: https://docs.rs/aboram-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Online readPath servicing a user request.
+    ReadPath,
+    /// Background path reshuffle every `A` accesses.
+    EvictPath,
+    /// Single-bucket reshuffle after its dummy budget is exhausted.
+    EarlyReshuffle,
+    /// Dummy accesses injected to relieve stash pressure.
+    BackgroundEvict,
+    /// Bucket metadata reads and write-backs.
+    Metadata,
+    /// gatherDEADs: moving dead slots into the level's DeadQ.
+    DeadqReclaim,
+    /// Remote allocation: borrowing reclaimed dead slots at rebuild time.
+    RemoteAlloc,
+    /// Bounded retry of a transfer that failed verification.
+    RecoveryRetry,
+}
+
+/// Number of [`Phase`] variants (the size of per-phase count matrices).
+pub const PHASE_COUNT: usize = 8;
+
+impl Phase {
+    /// All phases, in index order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::ReadPath,
+        Phase::EvictPath,
+        Phase::EarlyReshuffle,
+        Phase::BackgroundEvict,
+        Phase::Metadata,
+        Phase::DeadqReclaim,
+        Phase::RemoteAlloc,
+        Phase::RecoveryRetry,
+    ];
+
+    /// Stable dense index (`0..PHASE_COUNT`). The first five match
+    /// `OramOp::tag`.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::ReadPath => 0,
+            Phase::EvictPath => 1,
+            Phase::EarlyReshuffle => 2,
+            Phase::BackgroundEvict => 3,
+            Phase::Metadata => 4,
+            Phase::DeadqReclaim => 5,
+            Phase::RemoteAlloc => 6,
+            Phase::RecoveryRetry => 7,
+        }
+    }
+
+    /// Display name used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ReadPath => "readPath",
+            Phase::EvictPath => "evictPath",
+            Phase::EarlyReshuffle => "earlyReshuffle",
+            Phase::BackgroundEvict => "backgroundEvict",
+            Phase::Metadata => "metadata",
+            Phase::DeadqReclaim => "deadqReclaim",
+            Phase::RemoteAlloc => "remoteAlloc",
+            Phase::RecoveryRetry => "recoveryRetry",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name) (trace parsing).
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! The metrics registry: named counters, gauges and per-level histograms
+//! with delta snapshots for windowed export.
+
+use aboram_stats::{LevelHistogram, MinAvgMax};
+use std::collections::BTreeMap;
+
+/// Non-zero counter deltas exported at a window or run boundary.
+pub type CounterDeltas = Vec<(&'static str, u64)>;
+
+/// Drained gauge summaries exported at a window boundary.
+pub type GaugeSummaries = Vec<(&'static str, MinAvgMax)>;
+
+/// A registry of named metrics.
+///
+/// * **Counters** are monotone `u64` totals; windows and runs export the
+///   *delta* since their respective snapshot.
+/// * **Gauges** are sampled values summarized per window as min/avg/max
+///   (reusing [`MinAvgMax`]); each window export drains them.
+/// * **Histograms** are per-tree-level accumulators (reusing
+///   [`LevelHistogram`]); runs export the delta since the run snapshot.
+///
+/// `BTreeMap` keeps export order deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    counters_window_base: BTreeMap<&'static str, u64>,
+    counters_run_base: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, MinAvgMax>,
+    hists: BTreeMap<&'static str, LevelHistogram>,
+    hists_run_base: BTreeMap<&'static str, LevelHistogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to counter `name`, creating it at zero.
+    pub fn counter_add(&mut self, name: &'static str, amount: u64) {
+        *self.counters.entry(name).or_insert(0) += amount;
+    }
+
+    /// Current total of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one observation of gauge `name` for the current window.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.entry(name).or_default().record(value);
+    }
+
+    /// Adds `amount` to bin `level` of histogram `name`, growing the
+    /// histogram as needed to cover `level`.
+    pub fn observe_level(&mut self, name: &'static str, level: u8, amount: u64) {
+        let h = self
+            .hists
+            .entry(name)
+            .or_insert_with(|| LevelHistogram::new(name, level.saturating_add(1)));
+        if level >= h.levels() {
+            let mut grown = LevelHistogram::new(name, level + 1);
+            for (l, v) in h.bins().iter().enumerate() {
+                grown.add(l as u8, *v);
+            }
+            *h = grown;
+        }
+        h.add(level, amount);
+    }
+
+    /// Snapshot point for a new run: subsequent
+    /// [`run_counter_deltas`](Self::run_counter_deltas) and
+    /// [`run_hist_deltas`](Self::run_hist_deltas) are relative to this
+    /// point.
+    pub fn begin_run(&mut self) {
+        self.counters_run_base = self.counters.clone();
+        self.counters_window_base = self.counters.clone();
+        self.hists_run_base = self.hists.clone();
+        self.gauges.clear();
+    }
+
+    /// Closes the current window: returns the counter deltas since the last
+    /// window boundary and the drained gauge summaries. Counters with a zero
+    /// delta and empty gauges are omitted.
+    pub fn window_snapshot(&mut self) -> (CounterDeltas, GaugeSummaries) {
+        let mut counters = Vec::new();
+        for (&name, &total) in &self.counters {
+            let base = self.counters_window_base.get(name).copied().unwrap_or(0);
+            if total > base {
+                counters.push((name, total - base));
+            }
+        }
+        self.counters_window_base = self.counters.clone();
+        let gauges: Vec<(&'static str, MinAvgMax)> =
+            std::mem::take(&mut self.gauges).into_iter().filter(|(_, g)| g.count() > 0).collect();
+        (counters, gauges)
+    }
+
+    /// Counter deltas since [`begin_run`](Self::begin_run), non-zero only.
+    pub fn run_counter_deltas(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(&name, &total)| {
+                let base = self.counters_run_base.get(name).copied().unwrap_or(0);
+                (total > base).then_some((name, total - base))
+            })
+            .collect()
+    }
+
+    /// Histogram deltas since [`begin_run`](Self::begin_run); drops
+    /// histograms whose delta is entirely zero.
+    pub fn run_hist_deltas(&self) -> Vec<LevelHistogram> {
+        self.hists
+            .values()
+            .map(|h| match self.hists_run_base.get(h.name()) {
+                // A histogram may have grown since the snapshot; pad the
+                // base before subtracting.
+                Some(base) if base.levels() == h.levels() => h.delta(base),
+                Some(base) => {
+                    let mut padded = LevelHistogram::new(base.name().to_string(), h.levels());
+                    for (l, v) in base.bins().iter().enumerate() {
+                        padded.add(l as u8, *v);
+                    }
+                    h.delta(&padded)
+                }
+                None => h.clone(),
+            })
+            .filter(|d| d.total() > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_window_and_run_deltas() {
+        let mut r = Registry::new();
+        r.counter_add("a", 5);
+        r.begin_run();
+        r.counter_add("a", 2);
+        r.counter_add("b", 3);
+        let (w1, _) = r.window_snapshot();
+        assert_eq!(w1, vec![("a", 2), ("b", 3)]);
+        r.counter_add("a", 1);
+        let (w2, _) = r.window_snapshot();
+        assert_eq!(w2, vec![("a", 1)]);
+        assert_eq!(r.run_counter_deltas(), vec![("a", 3), ("b", 3)]);
+        assert_eq!(r.counter("a"), 8);
+    }
+
+    #[test]
+    fn gauges_drain_per_window() {
+        let mut r = Registry::new();
+        r.gauge("q", 4.0);
+        r.gauge("q", 8.0);
+        let (_, g) = r.window_snapshot();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].1.max(), Some(8.0));
+        let (_, g2) = r.window_snapshot();
+        assert!(g2.is_empty(), "gauges drained");
+    }
+
+    #[test]
+    fn histograms_grow_and_delta() {
+        let mut r = Registry::new();
+        r.observe_level("h", 2, 1);
+        r.begin_run();
+        r.observe_level("h", 5, 7); // grows past the snapshot size
+        let d = r.run_hist_deltas();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].get(5), 7);
+        assert_eq!(d[0].get(2), 0, "pre-run observation excluded");
+    }
+}

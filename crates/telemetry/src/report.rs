@@ -1,0 +1,392 @@
+//! Turns an exported JSONL trace back into per-phase / per-level
+//! cycle-breakdown tables (the `perf_report` pipeline).
+//!
+//! Cycle attribution: the DRAM model charges every 64 B request a constant
+//! data-bus occupancy (the burst length, exported in the run header), so
+//! `requests × burst` *is* the bus-cycle cost of a (phase, level) cell —
+//! exactly the quantity the timing driver's end-of-run breakdown reports
+//! per operation tag. The report cross-checks the two: phase totals must
+//! sum to the recorded bus total.
+
+use crate::jsonl::{parse_line, JsonValue};
+use crate::phase::{Phase, PHASE_COUNT};
+use aboram_stats::Table;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// Traffic counts for one (phase, level) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellCounts {
+    /// 64 B reads issued.
+    pub reads: u64,
+    /// 64 B writes issued.
+    pub writes: u64,
+}
+
+impl CellCounts {
+    /// Total requests in the cell.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// One measured run reconstructed from a trace.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Scheme label from the run header.
+    pub scheme: String,
+    /// Tree levels.
+    pub levels: u8,
+    /// Bus cycles charged per request (CPU cycles).
+    pub burst_cycles: u64,
+    /// `(phase index, level) → counts`.
+    pub counts: BTreeMap<(usize, u8), CellCounts>,
+    /// Span occurrences per phase.
+    pub spans: [u64; PHASE_COUNT],
+    /// Run-delta counters, name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Run-delta per-level histograms, name → (level → value).
+    pub histograms: BTreeMap<String, BTreeMap<u8, u64>>,
+    /// Trace records in the run.
+    pub records: u64,
+    /// Execution time reported by the driver.
+    pub exec_cycles: u64,
+    /// Bus-cycle total reported by the driver's breakdown.
+    pub bus_cycles: u64,
+    /// Windowed snapshots seen.
+    pub windows: u64,
+    /// Ring-log dumps seen during the run.
+    pub ring_dumps: u64,
+    /// Whether the summary line arrived (a missing one means the run was
+    /// cut short).
+    pub complete: bool,
+}
+
+impl RunTrace {
+    /// Bus cycles attributed to `phase` across all levels.
+    pub fn phase_cycles(&self, phase: Phase) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((p, _), _)| *p == phase.index())
+            .map(|(_, c)| c.total() * self.burst_cycles)
+            .sum()
+    }
+
+    /// Bus cycles attributed to `level` across all phases.
+    pub fn level_cycles(&self, level: u8) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((_, l), _)| *l == level)
+            .map(|(_, c)| c.total() * self.burst_cycles)
+            .sum()
+    }
+
+    /// Sum of all attributed bus cycles.
+    pub fn attributed_cycles(&self) -> u64 {
+        self.counts.values().map(|c| c.total() * self.burst_cycles).sum()
+    }
+
+    /// Relative mismatch between attributed cycles and the driver-reported
+    /// bus total (0 when both are zero).
+    pub fn attribution_error(&self) -> f64 {
+        if self.bus_cycles == 0 {
+            return if self.attributed_cycles() == 0 { 0.0 } else { 1.0 };
+        }
+        (self.attributed_cycles() as f64 - self.bus_cycles as f64).abs() / self.bus_cycles as f64
+    }
+}
+
+/// Parses a JSONL telemetry trace into its runs. Unknown line types are
+/// skipped, so the format can grow without breaking old reports.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `reader`.
+pub fn parse_trace(reader: impl BufRead) -> std::io::Result<Vec<RunTrace>> {
+    let mut runs: Vec<RunTrace> = Vec::new();
+    let mut current: Option<RunTrace> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let Some(map) = parse_line(&line) else { continue };
+        let t = map.get("t").and_then(JsonValue::as_str).unwrap_or("");
+        match t {
+            "run" => {
+                if let Some(run) = current.take() {
+                    runs.push(run);
+                }
+                current = Some(RunTrace {
+                    scheme: get_str(&map, "scheme"),
+                    levels: get_u64(&map, "levels") as u8,
+                    burst_cycles: get_u64(&map, "burst"),
+                    ..RunTrace::default()
+                });
+            }
+            "counts" => {
+                if let Some(run) = current.as_mut() {
+                    if let Some(phase) =
+                        map.get("phase").and_then(JsonValue::as_str).and_then(Phase::from_name)
+                    {
+                        let level = get_u64(&map, "level") as u8;
+                        let cell = run.counts.entry((phase.index(), level)).or_default();
+                        cell.reads += get_u64(&map, "reads");
+                        cell.writes += get_u64(&map, "writes");
+                    }
+                }
+            }
+            "spans" => {
+                if let Some(run) = current.as_mut() {
+                    if let Some(phase) =
+                        map.get("phase").and_then(JsonValue::as_str).and_then(Phase::from_name)
+                    {
+                        run.spans[phase.index()] += get_u64(&map, "count");
+                    }
+                }
+            }
+            "ctr" => {
+                if let Some(run) = current.as_mut() {
+                    *run.counters.entry(get_str(&map, "name")).or_insert(0) +=
+                        get_u64(&map, "value");
+                }
+            }
+            "histbin" => {
+                if let Some(run) = current.as_mut() {
+                    *run.histograms
+                        .entry(get_str(&map, "name"))
+                        .or_default()
+                        .entry(get_u64(&map, "level") as u8)
+                        .or_insert(0) += get_u64(&map, "value");
+                }
+            }
+            "win" => {
+                if let Some(run) = current.as_mut() {
+                    run.windows += 1;
+                }
+            }
+            "ringdump" => {
+                if let Some(run) = current.as_mut() {
+                    run.ring_dumps += 1;
+                }
+            }
+            "sum" => {
+                if let Some(run) = current.as_mut() {
+                    run.records = get_u64(&map, "records");
+                    run.exec_cycles = get_u64(&map, "exec");
+                    run.bus_cycles = get_u64(&map, "bus");
+                    run.complete = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(run) = current.take() {
+        runs.push(run);
+    }
+    Ok(runs)
+}
+
+fn get_u64(map: &BTreeMap<String, JsonValue>, key: &str) -> u64 {
+    map.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn get_str(map: &BTreeMap<String, JsonValue>, key: &str) -> String {
+    map.get(key).and_then(JsonValue::as_str).unwrap_or("").to_string()
+}
+
+/// Renders the perf report for `runs` as markdown: per run, a phase
+/// breakdown table (with the cross-check against the driver total), a
+/// per-level table over the phases that generate traffic, plus span and
+/// counter summaries.
+pub fn render_report(runs: &[RunTrace]) -> String {
+    let mut out = String::from("# perf_report — per-phase / per-level cycle breakdown\n\n");
+    if runs.is_empty() {
+        out.push_str("no runs found in trace\n");
+        return out;
+    }
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "## run {} — scheme {}, {} levels, {} records\n\n",
+            i + 1,
+            if run.scheme.is_empty() { "?" } else { &run.scheme },
+            run.levels,
+            run.records
+        ));
+        if !run.complete {
+            out.push_str("**warning: run has no summary line (cut short?)**\n\n");
+        }
+
+        let mut phases = Table::new(
+            format!("phase breakdown — {}", run.scheme),
+            &["phase", "requests", "bus cycles", "share %", "spans"],
+        );
+        let attributed = run.attributed_cycles();
+        for phase in Phase::ALL {
+            let requests: u64 = run
+                .counts
+                .iter()
+                .filter(|((p, _), _)| *p == phase.index())
+                .map(|(_, c)| c.total())
+                .sum();
+            let cycles = run.phase_cycles(phase);
+            if requests == 0 && run.spans[phase.index()] == 0 {
+                continue;
+            }
+            let share =
+                if attributed == 0 { 0.0 } else { 100.0 * cycles as f64 / attributed as f64 };
+            phases.row(
+                &[phase.name()],
+                &[requests as f64, cycles as f64, share, run.spans[phase.index()] as f64],
+            );
+        }
+        out.push_str(&phases.to_markdown());
+
+        let err = run.attribution_error();
+        out.push_str(&format!(
+            "\nattributed {} of {} driver-reported bus cycles ({}, {:.3} % off)\n\n",
+            attributed,
+            run.bus_cycles,
+            if err <= 0.01 { "OK: within 1 %" } else { "MISMATCH: exceeds 1 %" },
+            100.0 * err,
+        ));
+
+        let active: Vec<Phase> = Phase::ALL
+            .into_iter()
+            .filter(|p| run.counts.keys().any(|(pi, _)| *pi == p.index()))
+            .collect();
+        if !active.is_empty() {
+            let mut headers: Vec<String> = vec!["level".to_string()];
+            headers.extend(active.iter().map(|p| format!("{} cyc", p.name())));
+            headers.push("total cyc".to_string());
+            let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut levels = Table::new(format!("per-level cycles — {}", run.scheme), &refs);
+            for l in 0..run.levels {
+                let row: Vec<f64> = active
+                    .iter()
+                    .map(|p| {
+                        run.counts
+                            .get(&(p.index(), l))
+                            .map(|c| (c.total() * run.burst_cycles) as f64)
+                            .unwrap_or(0.0)
+                    })
+                    .chain(std::iter::once(run.level_cycles(l) as f64))
+                    .collect();
+                if row.iter().any(|v| *v > 0.0) {
+                    levels.row(&[&format!("L{l}")], &row);
+                }
+            }
+            out.push_str(&levels.to_markdown());
+            out.push('\n');
+        }
+
+        if !run.counters.is_empty() {
+            let mut ctrs = Table::new("run counters", &["counter", "value"]);
+            for (name, v) in &run.counters {
+                ctrs.row(&[name], &[*v as f64]);
+            }
+            out.push_str(&ctrs.to_markdown());
+            out.push('\n');
+        }
+        if !run.histograms.is_empty() {
+            let mut headers: Vec<String> = vec!["level".to_string()];
+            headers.extend(run.histograms.keys().cloned());
+            let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut hists = Table::new("per-level histograms (run delta)", &refs);
+            let levels: std::collections::BTreeSet<u8> =
+                run.histograms.values().flat_map(|bins| bins.keys().copied()).collect();
+            for l in levels {
+                let row: Vec<f64> = run
+                    .histograms
+                    .values()
+                    .map(|bins| bins.get(&l).copied().unwrap_or(0) as f64)
+                    .collect();
+                hists.row(&[&format!("L{l}")], &row);
+            }
+            out.push_str(&hists.to_markdown());
+            out.push('\n');
+        }
+        if run.windows > 0 || run.ring_dumps > 0 {
+            out.push_str(&format!(
+                "windows: {} · ring-log dumps: {}\n\n",
+                run.windows, run.ring_dumps
+            ));
+        }
+        out.push_str(&format!(
+            "execution: {} cycles · exec-attributed bus share: {:.1} %\n\n",
+            run.exec_cycles,
+            if run.exec_cycles == 0 {
+                0.0
+            } else {
+                100.0 * attributed as f64 / run.exec_cycles as f64
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"t\":\"run\",\"scheme\":\"ring\",\"levels\":4,\"burst\":16}
+{\"t\":\"counts\",\"phase\":\"readPath\",\"level\":1,\"reads\":10,\"writes\":0}
+{\"t\":\"counts\",\"phase\":\"metadata\",\"level\":2,\"reads\":5,\"writes\":5}
+{\"t\":\"spans\",\"phase\":\"deadqReclaim\",\"count\":3}
+{\"t\":\"ctr\",\"name\":\"dram.bank_conflicts\",\"value\":9}
+{\"t\":\"histbin\",\"name\":\"deadq.gathered\",\"level\":3,\"value\":12}
+{\"t\":\"win\",\"record\":1000,\"c:x\":1}
+{\"t\":\"sum\",\"records\":2000,\"exec\":100000,\"bus\":320}
+{\"t\":\"run\",\"scheme\":\"ab\",\"levels\":4,\"burst\":16}
+{\"t\":\"counts\",\"phase\":\"evictPath\",\"level\":3,\"reads\":2,\"writes\":2}
+{\"t\":\"sum\",\"records\":10,\"exec\":500,\"bus\":64}
+";
+
+    #[test]
+    fn parses_multi_run_traces() {
+        let runs = parse_trace(SAMPLE.as_bytes()).expect("io ok");
+        assert_eq!(runs.len(), 2);
+        let r = &runs[0];
+        assert_eq!(r.scheme, "ring");
+        assert_eq!(r.phase_cycles(Phase::ReadPath), 160);
+        assert_eq!(r.phase_cycles(Phase::Metadata), 160);
+        assert_eq!(r.attributed_cycles(), 320);
+        assert_eq!(r.bus_cycles, 320);
+        assert_eq!(r.attribution_error(), 0.0);
+        assert_eq!(r.spans[Phase::DeadqReclaim.index()], 3);
+        assert_eq!(r.counters["dram.bank_conflicts"], 9);
+        assert_eq!(r.histograms["deadq.gathered"][&3], 12);
+        assert_eq!(r.windows, 1);
+        assert!(r.complete);
+        assert_eq!(runs[1].scheme, "ab");
+        assert_eq!(runs[1].attributed_cycles(), 64);
+    }
+
+    #[test]
+    fn report_renders_and_flags_ok() {
+        let runs = parse_trace(SAMPLE.as_bytes()).expect("io ok");
+        let md = render_report(&runs);
+        assert!(md.contains("scheme ring"), "{md}");
+        assert!(md.contains("OK: within 1 %"), "{md}");
+        assert!(md.contains("| readPath |"), "{md}");
+        assert!(md.contains("per-level cycles"), "{md}");
+        assert!(md.contains("| L1 |"), "{md}");
+    }
+
+    #[test]
+    fn mismatch_is_flagged() {
+        let trace = "\
+{\"t\":\"run\",\"scheme\":\"x\",\"levels\":2,\"burst\":16}
+{\"t\":\"counts\",\"phase\":\"readPath\",\"level\":0,\"reads\":1,\"writes\":0}
+{\"t\":\"sum\",\"records\":1,\"exec\":10,\"bus\":99999}
+";
+        let runs = parse_trace(trace.as_bytes()).expect("io ok");
+        assert!(runs[0].attribution_error() > 0.01);
+        assert!(render_report(&runs).contains("MISMATCH"));
+    }
+
+    #[test]
+    fn empty_trace_reports_no_runs() {
+        let runs = parse_trace("".as_bytes()).expect("io ok");
+        assert!(runs.is_empty());
+        assert!(render_report(&runs).contains("no runs"));
+    }
+}

@@ -1,0 +1,100 @@
+//! A bounded ring-buffer event log, dumped on error paths.
+
+use crate::phase::Phase;
+use std::collections::VecDeque;
+
+/// One logged protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (never resets, so a dump shows how much
+    /// history the ring has discarded).
+    pub seq: u64,
+    /// Short static kind, e.g. `"evict_path"`, `"fault_detected"`.
+    pub kind: &'static str,
+    /// The protocol phase the event belongs to.
+    pub phase: Phase,
+    /// Tree level the event concerns (0 when not meaningful).
+    pub level: u8,
+    /// Free payload (a count, an address, a retry attempt…).
+    pub value: u64,
+}
+
+/// A fixed-capacity ring of recent [`Event`]s. Pushing beyond capacity
+/// discards the oldest entry, so memory stays bounded no matter how long a
+/// run is; the error paths dump whatever history is left.
+#[derive(Debug)]
+pub struct RingLog {
+    buf: VecDeque<Event>,
+    cap: usize,
+    seq: u64,
+}
+
+/// Default ring capacity: enough to show the lead-up to a failure without
+/// bloating the collector.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+impl RingLog {
+    /// Creates a ring holding at most `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        RingLog { buf: VecDeque::with_capacity(cap.max(1)), cap: cap.max(1), seq: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, kind: &'static str, phase: Phase, level: u8, value: u64) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(Event { seq: self.seq, kind, phase, level, value });
+        self.seq += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (`>= len()`).
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl Default for RingLog {
+    fn default() -> Self {
+        RingLog::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_ordered() {
+        let mut r = RingLog::new(3);
+        for i in 0..5u64 {
+            r.push("e", Phase::ReadPath, 0, i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pushed(), 5);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest evicted, order kept");
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let mut r = RingLog::new(0);
+        r.push("e", Phase::Metadata, 1, 9);
+        assert_eq!(r.len(), 1);
+    }
+}

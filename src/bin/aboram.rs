@@ -5,9 +5,11 @@
 //! * `space [--levels L]` — closed-form space/utilization table for every
 //!   scheme (Fig. 8a/8b as a calculator).
 //! * `simulate --scheme S [--levels L] [--trace FILE | --benchmark NAME]
-//!   [--records N] [--warmup N] [--faults SEED]` — run a timing simulation
-//!   and print the report. `--trace` accepts a USIMM-format text trace;
-//!   `--faults` enables seeded fault injection (see DESIGN.md §6).
+//!   [--records N] [--warmup N] [--faults SEED] [--telemetry OUT.jsonl]` —
+//!   run a timing simulation and print the report. `--trace` accepts a
+//!   USIMM-format text trace; `--faults` enables seeded fault injection
+//!   (see DESIGN.md §6); `--telemetry` exports a phase-level JSONL trace
+//!   consumable by the `perf_report` binary (see DESIGN.md §7).
 //! * `gen-trace --benchmark NAME --records N [--out FILE]` — export a
 //!   synthetic Table IV workload in USIMM format.
 //! * `security --scheme S [--accesses N]` — run the §VI-C attacker
@@ -60,6 +62,7 @@ const USAGE: &str = "usage:
   aboram space      [--levels L]
   aboram simulate   --scheme S [--levels L] [--trace FILE | --benchmark NAME]
                     [--records N] [--warmup N] [--faults SEED]
+                    [--telemetry OUT.jsonl]
   aboram gen-trace  --benchmark NAME --records N [--out FILE]
   aboram security   --scheme S [--levels L] [--accesses N]
 
@@ -146,6 +149,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let warmup: u64 = parse_num(args, "--warmup", 200_000)?;
     let trace = load_or_generate(args, records)?;
 
+    let _telemetry_guard = match flag(args, "--telemetry") {
+        Some(path) => {
+            eprintln!("[telemetry trace -> {path}]");
+            Some(
+                aboram::telemetry::install_to_path(std::path::Path::new(&path))
+                    .map_err(|e| format!("{path}: {e}"))?,
+            )
+        }
+        None => None,
+    };
     let cfg = OramConfig::builder(levels, scheme).build().map_err(|e| e.to_string())?;
     let mut driver = TimingDriver::new(&cfg, DramConfig::default()).map_err(|e| e.to_string())?;
     if let Some(seed) = flag(args, "--faults") {

@@ -13,6 +13,7 @@
 //! * [`tree`] — ORAM tree geometry, non-uniform bucket sizing, addressing;
 //! * [`crypto`] — memory encryption/authentication model;
 //! * [`stats`] — metric collection and table rendering;
+//! * [`telemetry`] — phase-level tracing, metrics registry, perf reports;
 //! * [`trace`] — synthetic benchmark workload generation;
 //! * [`dram`] — cycle-level DDR3 memory-system model;
 //! * [`core`] — the ORAM engines and simulation drivers.
@@ -42,5 +43,6 @@ pub use aboram_core as core;
 pub use aboram_crypto as crypto;
 pub use aboram_dram as dram;
 pub use aboram_stats as stats;
+pub use aboram_telemetry as telemetry;
 pub use aboram_trace as trace;
 pub use aboram_tree as tree;
