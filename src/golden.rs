@@ -1,0 +1,162 @@
+//! Golden-trace equivalence harness.
+//!
+//! A *golden trace* is the [`SimulationReport`] a fixed-seed, fixed-scale
+//! timing run produces for one scheme, serialized to canonical JSON together
+//! with an FNV-1a digest. The fixtures under `tests/golden/` were generated
+//! from the pre-optimization engine; `tests/golden_traces.rs` asserts the
+//! current engine reproduces them byte-for-byte, which is what lets the hot
+//! path be rewritten aggressively (bitset metadata scans, scratch-buffer
+//! reuse, batched DRAM issue) with proof that observable behaviour — cycle
+//! counts, stash statistics, reshuffle counts, traffic attribution — did not
+//! move by a single bit.
+//!
+//! ## Blessing workflow
+//!
+//! Fixtures are regenerated (only when a change is *supposed* to alter
+//! behaviour, e.g. a protocol fix) by running:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! and committing the rewritten `tests/golden/*.json`. A normal test run
+//! never writes; it fails with a field-by-field diff when a digest diverges.
+
+use crate::core::{OramConfig, OramError, Scheme, SimulationReport, TimingDriver};
+use crate::dram::DramConfig;
+use crate::trace::{profiles, TraceGenerator};
+
+/// Tree levels used by every golden case (small enough that all six schemes
+/// replay in seconds, deep enough that DR/NS/AB bottom-level overrides and
+/// the DeadQ machinery are all exercised).
+pub const GOLDEN_LEVELS: u8 = 10;
+
+/// Untimed protocol warm-up accesses before the timed window.
+pub const GOLDEN_WARMUP: u64 = 3_000;
+
+/// Timed trace records per case.
+pub const GOLDEN_RECORDS: usize = 600;
+
+/// RNG seed shared by the engine, warm-up and trace generator.
+pub const GOLDEN_SEED: u64 = 0x601D_7ACE;
+
+/// The six golden schemes: plain Ring ORAM, the CB evaluation baseline, and
+/// the paper's four evaluated optimizations.
+pub fn cases() -> [(&'static str, Scheme); 6] {
+    [
+        ("ring", Scheme::PlainRing),
+        ("baseline", Scheme::Baseline),
+        ("ir", Scheme::Ir),
+        ("dr", Scheme::DR),
+        ("ns", Scheme::NS),
+        ("ab", Scheme::Ab),
+    ]
+}
+
+/// Runs one golden case end to end: build, warm up, replay the fixed trace.
+///
+/// # Errors
+///
+/// Propagates configuration and protocol errors.
+pub fn run_case(scheme: Scheme) -> Result<SimulationReport, OramError> {
+    let cfg = OramConfig::builder(GOLDEN_LEVELS, scheme).seed(GOLDEN_SEED).build()?;
+    let mut driver = TimingDriver::new(&cfg, DramConfig::default())?;
+    driver.warm_up(GOLDEN_WARMUP)?;
+    let profile = profiles::spec2017()
+        .into_iter()
+        .find(|p| p.name == "mcf")
+        .expect("mcf profile present");
+    let mut gen = TraceGenerator::new(&profile, GOLDEN_SEED);
+    driver.run((0..GOLDEN_RECORDS).map(|_| gen.next_record()))
+}
+
+/// 64-bit FNV-1a over arbitrary bytes — dependency-free and stable.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical JSON serialization of a golden case. Every field is an exact
+/// integer (floats are carried as IEEE-754 bit patterns), so byte equality
+/// of two serializations is bit equality of the underlying reports.
+pub fn digest_json(name: &str, scheme: Scheme, report: &SimulationReport) -> String {
+    let body = format!(
+        concat!(
+            "  \"scheme\": \"{scheme}\",\n",
+            "  \"levels\": {levels},\n",
+            "  \"warmup\": {warmup},\n",
+            "  \"timed_records\": {timed},\n",
+            "  \"seed\": {seed},\n",
+            "  \"records\": {records},\n",
+            "  \"instructions\": {instructions},\n",
+            "  \"exec_cycles\": {exec_cycles},\n",
+            "  \"bus_cycles\": [{bc0}, {bc1}, {bc2}, {bc3}, {bc4}],\n",
+            "  \"bytes_transferred\": {bytes},\n",
+            "  \"row_hit_rate_bits\": {row_bits},\n",
+            "  \"user_accesses\": {users},\n",
+            "  \"background_accesses\": {bg},\n",
+            "  \"evict_paths\": {evicts},\n",
+            "  \"early_reshuffles\": {reshuffles},\n",
+            "  \"stash_peak\": {stash_peak}"
+        ),
+        scheme = scheme,
+        levels = GOLDEN_LEVELS,
+        warmup = GOLDEN_WARMUP,
+        timed = GOLDEN_RECORDS,
+        seed = GOLDEN_SEED,
+        records = report.records,
+        instructions = report.instructions,
+        exec_cycles = report.exec_cycles,
+        bc0 = report.breakdown.bus_cycles[0],
+        bc1 = report.breakdown.bus_cycles[1],
+        bc2 = report.breakdown.bus_cycles[2],
+        bc3 = report.breakdown.bus_cycles[3],
+        bc4 = report.breakdown.bus_cycles[4],
+        bytes = report.bytes_transferred,
+        row_bits = report.row_hit_rate.to_bits(),
+        users = report.user_accesses,
+        bg = report.background_accesses,
+        evicts = report.evict_paths,
+        reshuffles = report.early_reshuffles,
+        stash_peak = report.stash_peak,
+    );
+    let digest = fnv1a64(body.as_bytes());
+    format!("{{\n  \"name\": \"{name}\",\n{body},\n  \"digest\": \"{digest:016x}\"\n}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn digest_changes_with_any_field() {
+        let mut r = SimulationReport {
+            records: 1,
+            instructions: 2,
+            exec_cycles: 3,
+            breakdown: Default::default(),
+            bytes_transferred: 4,
+            row_hit_rate: 0.5,
+            user_accesses: 5,
+            background_accesses: 6,
+            evict_paths: 7,
+            early_reshuffles: 8,
+            stash_peak: 9,
+            recovery: crate::stats::RecoveryStats::new(),
+        };
+        let a = digest_json("x", Scheme::Baseline, &r);
+        r.exec_cycles += 1;
+        let b = digest_json("x", Scheme::Baseline, &r);
+        assert_ne!(a, b);
+    }
+}

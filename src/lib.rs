@@ -39,6 +39,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod golden;
+
 pub use aboram_core as core;
 pub use aboram_crypto as crypto;
 pub use aboram_dram as dram;

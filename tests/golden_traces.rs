@@ -1,0 +1,58 @@
+//! Golden-trace equivalence suite.
+//!
+//! Each scheme's fixed-seed timing run must reproduce the committed fixture
+//! under `tests/golden/` byte for byte. The fixtures were generated from the
+//! engine *before* the hot-path optimization (bitset metadata scans,
+//! scratch-buffer reuse, batched DRAM issue), so a pass proves the optimized
+//! engine is observationally identical on cycle counts, traffic attribution,
+//! stash statistics and reshuffle counts.
+//!
+//! Regenerate intentionally with `BLESS=1 cargo test --test golden_traces`
+//! (see `aboram::golden` for the policy on when blessing is legitimate).
+
+use aboram::golden;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.json"))
+}
+
+fn blessing() -> bool {
+    std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn golden_digests_match_fixtures() {
+    let mut failures = Vec::new();
+    for (name, scheme) in golden::cases() {
+        let report = golden::run_case(scheme).expect("golden case runs");
+        let got = golden::digest_json(name, scheme, &report);
+        let path = fixture_path(name);
+        if blessing() {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
+            std::fs::write(&path, &got).expect("write fixture");
+            eprintln!("[blessed {}]", path.display());
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run BLESS=1", path.display()));
+        if got != want {
+            failures.push(format!(
+                "scheme {name}: digest diverged from {}\n--- fixture\n{want}\n--- current\n{got}",
+                path.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// The golden runner itself is deterministic: two back-to-back runs of the
+/// same case serialize identically (guards against hidden global state —
+/// thread-local RNGs, leftover telemetry — leaking into the digest).
+#[test]
+fn golden_runner_is_deterministic() {
+    let (name, scheme) = golden::cases()[5];
+    let a = golden::digest_json(name, scheme, &golden::run_case(scheme).unwrap());
+    let b = golden::digest_json(name, scheme, &golden::run_case(scheme).unwrap());
+    assert_eq!(a, b);
+}
