@@ -1,0 +1,138 @@
+//! Hot-path microbenchmark: wall-clock cost of the simulator's inner loop
+//! on the Fig. 8 smoke workload, plus a golden-digest equivalence check.
+//!
+//! Two modes:
+//!
+//! * default — time the fig08 smoke workload (protocol-mode warm-up plus a
+//!   cycle-level timed window, per scheme) and print per-phase wall-clock
+//!   milliseconds. `results/perf_baseline.md` records the pre- and
+//!   post-optimization numbers produced by this mode.
+//! * `--check-golden` — replay every golden case from `aboram::golden` and
+//!   compare its digest against the committed fixture under `tests/golden/`,
+//!   exiting 1 on any divergence. CI runs this so a performance change that
+//!   moves behaviour by even one bit fails the build.
+//!
+//! ```text
+//! cargo run --release -p aboram-bench --bin hotpath_bench
+//! cargo run --release -p aboram-bench --bin hotpath_bench -- --iters 5
+//! cargo run --release -p aboram-bench --bin hotpath_bench -- --check-golden
+//! ```
+
+use aboram_bench::{emit, Experiment};
+use aboram_core::Scheme;
+use aboram_trace::profiles;
+use std::time::Instant;
+
+/// Fixed smoke scale: small enough to finish in seconds, large enough that
+/// the protocol inner loop (not setup) dominates the measurement.
+const SMOKE_LEVELS: u8 = 12;
+const SMOKE_WARMUP: u64 = 40_000;
+const SMOKE_TIMED: usize = 2_000;
+const SMOKE_SEED: u64 = 0x5EED_F108;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check-golden") {
+        check_golden();
+        return;
+    }
+    let iters: usize = flag_value(&args, "--iters").unwrap_or(3);
+    smoke(iters);
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<usize> {
+    let i = args.iter().position(|a| a == name)?;
+    args.get(i + 1)?.parse().ok()
+}
+
+/// Times the fig08 smoke workload: for each evaluated scheme pair, a
+/// protocol-mode warm-up (CountingSink churn — the readPath/evictPath inner
+/// loop) and a cycle-level timed window (TimingSink + DRAM model).
+fn smoke(iters: usize) {
+    let env = Experiment {
+        levels: SMOKE_LEVELS,
+        warmup: SMOKE_WARMUP,
+        timed: SMOKE_TIMED,
+        protocol_accesses: 0,
+        seed: SMOKE_SEED,
+    };
+    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
+    let schemes = [Scheme::Baseline, Scheme::Ab];
+
+    let mut lines = String::from(
+        "# hotpath_bench — fig08 smoke workload\n\n\
+         | scheme | warm-up ms (best) | timed ms (best) | total ms (best) | exec cycles |\n\
+         |---|---|---|---|---|\n",
+    );
+    let mut grand_total_best = 0.0f64;
+    for scheme in schemes {
+        let mut best_warm = f64::MAX;
+        let mut best_timed = f64::MAX;
+        let mut best_total = f64::MAX;
+        let mut exec_cycles = 0u64;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let oram = env.warmed_oram(scheme).expect("warm-up ok");
+            let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let report = env.timed_run(oram, &profile).expect("timed run ok");
+            let timed_ms = t1.elapsed().as_secs_f64() * 1e3;
+            exec_cycles = report.exec_cycles;
+            best_warm = best_warm.min(warm_ms);
+            best_timed = best_timed.min(timed_ms);
+            best_total = best_total.min(warm_ms + timed_ms);
+        }
+        grand_total_best += best_total;
+        lines.push_str(&format!(
+            "| {scheme} | {best_warm:.1} | {best_timed:.1} | {best_total:.1} | {exec_cycles} |\n"
+        ));
+        eprintln!(
+            "[{scheme}: warm {best_warm:.1} ms, timed {best_timed:.1} ms over {iters} iters]"
+        );
+    }
+    lines.push_str(&format!(
+        "\nworkload: L={SMOKE_LEVELS}, warmup={SMOKE_WARMUP}, timed={SMOKE_TIMED}, \
+         seed={SMOKE_SEED:#x}, best of {iters} iterations\n\
+         grand total (best): {grand_total_best:.1} ms\n"
+    ));
+    emit("hotpath_bench.md", &lines);
+}
+
+/// Replays every golden case and compares against the committed fixtures.
+fn check_golden() {
+    let root = std::env::var("ABORAM_GOLDEN_DIR").unwrap_or_else(|_| {
+        // Default: tests/golden relative to the workspace root (CI runs from
+        // the checkout root; `cargo run -p` keeps the invocation cwd).
+        "tests/golden".to_string()
+    });
+    let mut failed = false;
+    for (name, scheme) in aboram::golden::cases() {
+        let report = aboram::golden::run_case(scheme).expect("golden case runs");
+        let got = aboram::golden::digest_json(name, scheme, &report);
+        let path = std::path::Path::new(&root).join(format!("{name}.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => println!("ok   {name}"),
+            Ok(want) => {
+                failed = true;
+                println!("FAIL {name}: digest diverged from {}", path.display());
+                for (g, w) in got.lines().zip(want.lines()) {
+                    if g != w {
+                        println!("  fixture: {w}\n  current: {g}");
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                println!("FAIL {name}: cannot read {} ({e})", path.display());
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "golden digests diverged — if intentional, re-bless via BLESS=1 \
+                   cargo test --test golden_traces and commit the fixtures"
+        );
+        std::process::exit(1);
+    }
+    println!("all golden digests match");
+}

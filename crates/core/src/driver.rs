@@ -283,12 +283,8 @@ impl TimingDriver {
 
             // The user-visible critical path: the access's online reads plus
             // the crypto pipeline on the returned blocks.
-            let online = self.sink.inner_mut().take_online_reads();
-            let mut done = start;
-            for id in &online {
-                done = done.max(self.sink.inner_mut().completion_time(*id));
-            }
-            done += self.crypto.burst_cycles(online.len() as u64);
+            let (mut done, online_count) = self.sink.inner_mut().drain_online_reads(start);
+            done += self.crypto.burst_cycles(online_count);
             if rec.op == MemOp::Read {
                 self.cpu.complete_read_at(done);
             }
@@ -296,11 +292,7 @@ impl TimingDriver {
             // after this one's maintenance traffic (evictPath, reshuffles)
             // has been serviced. The user's load already completed at
             // `done`; this models controller occupancy, not load latency.
-            let mut busy_until = done;
-            for id in self.sink.inner_mut().take_all_requests() {
-                busy_until = busy_until.max(self.sink.inner_mut().completion_time(id));
-            }
-            self.oram_free_at = busy_until;
+            self.oram_free_at = self.sink.inner_mut().drain_all_requests(done);
         }
 
         let exec_cycles = self.cpu.finish().max(self.oram_free_at);

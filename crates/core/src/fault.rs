@@ -255,6 +255,14 @@ impl<S: MemorySink> MemorySink for FaultInjectingSink<S> {
         self.inner.write(addr, op, online);
     }
 
+    fn read_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        self.inner.read_batch(addrs, op, online);
+    }
+
+    fn write_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        self.inner.write_batch(addrs, op, online);
+    }
+
     fn poll_fault(&mut self, _addr: SlotAddr, site: FaultSite) -> Option<FaultKind> {
         let kind = self.plan.as_mut()?.draw(site)?;
         match kind {

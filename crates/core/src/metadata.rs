@@ -1,6 +1,12 @@
 //! Bucket metadata (Table I): Ring ORAM's block/slot bookkeeping plus
 //! AB-ORAM's remote-allocation extensions, and the bit-exact layout
 //! accounting behind the §VIII-H storage-overhead claim.
+//!
+//! The per-bucket state is held as fixed-width bitset words (`u16`, one bit
+//! per slot): slot validity, real-block occupancy and the slot-status
+//! lifecycle are all single-word masks, so the engine's hot scans — pick a
+//! valid dummy, gather dead slots, census the not-refreshed slots — are
+//! branch-light word operations instead of `Vec` walks (see DESIGN.md §8).
 
 use crate::BlockId;
 use aboram_tree::{Level, PathId, SlotId, TreeGeometry};
@@ -28,6 +34,31 @@ pub struct RealEntry {
     pub ptr: u8,
 }
 
+/// A `u16` with the low `n` bits set — the all-slots mask for an `n`-slot
+/// bucket (`n ≤ 16`).
+#[inline]
+pub const fn low_mask(n: u8) -> u16 {
+    ((1u32 << n) - 1) as u16
+}
+
+/// Index of the `n`-th set bit of `mask` (0-based, counting from the least
+/// significant bit). Equivalent to indexing the ascending list of set-bit
+/// positions — which is exactly how slot-candidate lists used to be built —
+/// so selection through this function consumes the same RNG draws and picks
+/// the same slot as the old `Vec`-based scan.
+///
+/// # Panics
+///
+/// Debug-asserts that `mask` has more than `n` set bits.
+#[inline]
+pub fn nth_set_bit(mut mask: u16, n: usize) -> u8 {
+    debug_assert!((mask.count_ones() as usize) > n, "nth_set_bit({mask:#x}, {n}) out of range");
+    for _ in 0..n {
+        mask &= mask - 1; // Clear the lowest set bit.
+    }
+    mask.trailing_zeros() as u8
+}
+
 /// Metadata of one bucket.
 ///
 /// The bucket exposes a *logical* slot space: its own physical slots
@@ -43,13 +74,19 @@ pub struct BucketMeta {
     /// `dynamicS`: dummy budget chosen at the last refresh.
     pub dynamic_s: u8,
     /// Real blocks currently mapped here (≤ `Z'`), with their slots.
-    pub entries: Vec<RealEntry>,
+    entries: Vec<RealEntry>,
     /// Validity bitmap over logical slots.
     valid: u16,
+    /// Occupancy bitmap: bit `i` set iff some entry's `ptr == i`.
+    real: u16,
+    /// Own slots whose content was consumed by a readPath.
+    dead: u16,
+    /// Own slots handed to the DeadQ / a remote bucket this epoch.
+    allocated: u16,
+    /// Number of own physical slots.
+    own_slots: u8,
     /// Number of logical slots at the last refresh.
     pub logical_slots: u8,
-    /// Status of the bucket's *own* physical slots.
-    pub status: Vec<SlotStatus>,
     /// Remote physical slots backing logical slots `own_slots..` — the
     /// paper's `remoteAddr`/`remoteInd` entries (at most `R`). Remote slots
     /// hold reserved dummies only; real blocks always live in own slots
@@ -61,33 +98,41 @@ impl BucketMeta {
     /// Creates metadata for a bucket with `own_slots` physical slots, all
     /// slots initially refreshed and invalid (empty tree).
     pub fn new(own_slots: u8) -> Self {
+        debug_assert!(own_slots <= 16, "slot bitmaps are u16");
         BucketMeta {
             count: 0,
             dynamic_s: 0,
             entries: Vec::new(),
             valid: 0,
+            real: 0,
+            dead: 0,
+            allocated: 0,
+            own_slots,
             logical_slots: own_slots,
-            status: vec![SlotStatus::Refreshed; usize::from(own_slots)],
             borrowed: Vec::new(),
         }
     }
 
     /// Whether logical slot `logical` resolves to a borrowed (remote) slot.
+    #[inline]
     pub fn is_remote(&self, logical: u8) -> bool {
-        logical >= self.own_slots()
+        logical >= self.own_slots
     }
 
     /// Number of own physical slots (excludes borrowed).
+    #[inline]
     pub fn own_slots(&self) -> u8 {
-        self.status.len() as u8
+        self.own_slots
     }
 
     /// Whether logical slot `i` still holds unread content.
+    #[inline]
     pub fn is_valid(&self, i: u8) -> bool {
         self.valid & (1 << i) != 0
     }
 
     /// Marks logical slot `i` valid/invalid.
+    #[inline]
     pub fn set_valid(&mut self, i: u8, v: bool) {
         if v {
             self.valid |= 1 << i;
@@ -96,9 +141,105 @@ impl BucketMeta {
         }
     }
 
+    /// Marks the first `n` logical slots valid and the rest invalid — a
+    /// bucket's state right after a rebuild.
+    #[inline]
+    pub fn set_all_valid(&mut self, n: u8) {
+        self.valid = low_mask(n);
+    }
+
     /// Number of valid logical slots.
+    #[inline]
     pub fn valid_count(&self) -> u8 {
         self.valid.count_ones() as u8
+    }
+
+    /// Bitmap of valid logical slots.
+    #[inline]
+    pub fn valid_mask(&self) -> u16 {
+        self.valid & low_mask(self.logical_slots)
+    }
+
+    /// Bitmap of valid logical slots that hold no real block — the dummy
+    /// candidates a readPath picks from.
+    #[inline]
+    pub fn dummy_mask(&self) -> u16 {
+        self.valid_mask() & !self.real
+    }
+
+    /// Bitmap of logical slots with no real block mapped (free for a new
+    /// entry), regardless of validity.
+    #[inline]
+    pub fn unoccupied_mask(&self) -> u16 {
+        !self.real & low_mask(self.logical_slots)
+    }
+
+    /// The status of own slot `j`.
+    #[inline]
+    pub fn status(&self, j: u8) -> SlotStatus {
+        debug_assert!(j < self.own_slots);
+        let bit = 1u16 << j;
+        if self.dead & bit != 0 {
+            SlotStatus::Dead
+        } else if self.allocated & bit != 0 {
+            SlotStatus::Allocated
+        } else {
+            SlotStatus::Refreshed
+        }
+    }
+
+    /// Sets the status of own slot `j`.
+    #[inline]
+    pub fn set_status(&mut self, j: u8, st: SlotStatus) {
+        debug_assert!(j < self.own_slots);
+        let bit = 1u16 << j;
+        self.dead &= !bit;
+        self.allocated &= !bit;
+        match st {
+            SlotStatus::Dead => self.dead |= bit,
+            SlotStatus::Allocated => self.allocated |= bit,
+            SlotStatus::Refreshed => {}
+        }
+    }
+
+    /// Bitmap of own slots currently `Dead` — gatherDEADs' scan.
+    #[inline]
+    pub fn dead_mask(&self) -> u16 {
+        self.dead
+    }
+
+    /// Bitmap of own slots not `Refreshed` (dead or allocated) — the
+    /// rebuild-time census scan.
+    #[inline]
+    pub fn not_refreshed_mask(&self) -> u16 {
+        self.dead | self.allocated
+    }
+
+    /// Resets every own slot to `Refreshed` (a rebuild's rewrite).
+    #[inline]
+    pub fn reset_statuses(&mut self) {
+        self.dead = 0;
+        self.allocated = 0;
+    }
+
+    /// The real entries currently mapped here.
+    #[inline]
+    pub fn entries(&self) -> &[RealEntry] {
+        &self.entries
+    }
+
+    /// Maps a new real entry into the bucket.
+    pub fn push_entry(&mut self, e: RealEntry) {
+        debug_assert!(self.real & (1 << e.ptr) == 0, "slot {} double-mapped", e.ptr);
+        self.real |= 1 << e.ptr;
+        self.entries.push(e);
+    }
+
+    /// Unmaps every real entry, keeping the entry buffer's capacity.
+    #[inline]
+    pub fn clear_entries(&mut self) {
+        self.entries.clear();
+        self.real = 0;
     }
 
     /// The real entry stored for `block`, if present here.
@@ -109,24 +250,28 @@ impl BucketMeta {
     /// Removes and returns the entry for `block`.
     pub fn take_entry(&mut self, block: BlockId) -> Option<RealEntry> {
         let i = self.entries.iter().position(|e| e.addr == block)?;
-        Some(self.entries.swap_remove(i))
+        let e = self.entries.swap_remove(i);
+        self.real &= !(1 << e.ptr);
+        Some(e)
     }
 
     /// The real entry (if any) whose `ptr` is logical slot `i`.
     pub fn entry_at_slot(&self, i: u8) -> Option<&RealEntry> {
+        if self.real & (1 << i) == 0 {
+            return None;
+        }
         self.entries.iter().find(|e| e.ptr == i)
     }
 
     /// Logical slots that are valid, optionally excluding real-block slots.
     pub fn valid_slots(&self, exclude_real: bool) -> Vec<u8> {
-        (0..self.logical_slots)
-            .filter(|&i| self.is_valid(i))
-            .filter(|&i| !exclude_real || self.entry_at_slot(i).is_none())
-            .collect()
+        let mask = if exclude_real { self.dummy_mask() } else { self.valid_mask() };
+        (0..self.logical_slots).filter(|&i| mask & (1 << i) != 0).collect()
     }
 
     /// readPath budget left before an earlyReshuffle is due, under a
     /// sustained budget of `budget` accesses.
+    #[inline]
     pub fn needs_reshuffle(&self, budget: u8) -> bool {
         self.count >= budget
     }
@@ -151,11 +296,13 @@ impl MetadataStore {
     }
 
     /// Borrow the metadata of `bucket`.
+    #[inline]
     pub fn get(&self, bucket: aboram_tree::BucketId) -> &BucketMeta {
         &self.buckets[bucket.raw() as usize]
     }
 
     /// Mutably borrow the metadata of `bucket`.
+    #[inline]
     pub fn get_mut(&mut self, bucket: aboram_tree::BucketId) -> &mut BucketMeta {
         &mut self.buckets[bucket.raw() as usize]
     }
@@ -167,6 +314,7 @@ impl MetadataStore {
     /// # Panics
     ///
     /// Panics if `logical` is out of range for the bucket (engine bug).
+    #[inline]
     pub fn resolve(&self, bucket: aboram_tree::BucketId, logical: u8) -> SlotId {
         let meta = self.get(bucket);
         let own = meta.own_slots();
@@ -277,7 +425,7 @@ mod tests {
     fn entries_and_slots() {
         let mut m = BucketMeta::new(8);
         m.logical_slots = 8;
-        m.entries.push(RealEntry { addr: 42, label: PathId::new(3), ptr: 2 });
+        m.push_entry(RealEntry { addr: 42, label: PathId::new(3), ptr: 2 });
         for i in 0..4 {
             m.set_valid(i, true);
         }
@@ -287,8 +435,58 @@ mod tests {
         // Dummy candidates exclude the real slot.
         assert_eq!(m.valid_slots(true), vec![0, 1, 3]);
         assert_eq!(m.valid_slots(false), vec![0, 1, 2, 3]);
+        assert_eq!(m.dummy_mask(), 0b1011);
+        assert_eq!(m.valid_mask(), 0b1111);
         assert_eq!(m.take_entry(42).unwrap().addr, 42);
         assert!(m.entry_of(42).is_none());
+        assert_eq!(m.dummy_mask(), 0b1111, "freed slot rejoins the dummy pool");
+    }
+
+    #[test]
+    fn nth_set_bit_matches_ascending_enumeration() {
+        let mask: u16 = 0b1011_0100_1010_0010;
+        let ascending: Vec<u8> = (0..16).filter(|&i| mask & (1 << i) != 0).collect();
+        for (n, &want) in ascending.iter().enumerate() {
+            assert_eq!(nth_set_bit(mask, n), want);
+        }
+        assert_eq!(nth_set_bit(1, 0), 0);
+        assert_eq!(nth_set_bit(0x8000, 0), 15);
+    }
+
+    #[test]
+    fn low_mask_widths() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(3), 0b111);
+        assert_eq!(low_mask(16), u16::MAX);
+    }
+
+    #[test]
+    fn status_masks_track_lifecycle() {
+        let mut m = BucketMeta::new(6);
+        assert_eq!(m.status(0), SlotStatus::Refreshed);
+        assert_eq!(m.not_refreshed_mask(), 0);
+        m.set_status(2, SlotStatus::Dead);
+        m.set_status(4, SlotStatus::Dead);
+        assert_eq!(m.dead_mask(), 0b10100);
+        m.set_status(2, SlotStatus::Allocated);
+        assert_eq!(m.status(2), SlotStatus::Allocated);
+        assert_eq!(m.dead_mask(), 0b10000);
+        assert_eq!(m.not_refreshed_mask(), 0b10100);
+        m.reset_statuses();
+        assert_eq!(m.not_refreshed_mask(), 0);
+        assert_eq!(m.status(4), SlotStatus::Refreshed);
+    }
+
+    #[test]
+    fn unoccupied_mask_complements_entries() {
+        let mut m = BucketMeta::new(4);
+        assert_eq!(m.unoccupied_mask(), 0b1111);
+        m.push_entry(RealEntry { addr: 1, label: PathId::new(0), ptr: 0 });
+        m.push_entry(RealEntry { addr: 2, label: PathId::new(0), ptr: 3 });
+        assert_eq!(m.unoccupied_mask(), 0b0110);
+        m.clear_entries();
+        assert_eq!(m.unoccupied_mask(), 0b1111);
+        assert!(m.entries().is_empty());
     }
 
     #[test]

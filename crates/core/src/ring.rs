@@ -41,7 +41,7 @@ use crate::config::OramConfig;
 use crate::deadq::DeadQueues;
 use crate::error::OramError;
 use crate::fault::{FaultSite, BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES};
-use crate::metadata::{MetadataStore, RealEntry, SlotStatus};
+use crate::metadata::{nth_set_bit, MetadataStore, RealEntry, SlotStatus};
 use crate::posmap::PositionMap;
 use crate::sink::{MemorySink, OramOp};
 use crate::stash::{Stash, StashBlock};
@@ -109,6 +109,36 @@ impl DataStore {
     }
 }
 
+/// Per-access scratch buffers, held on the engine so the hot path reuses
+/// one allocation per buffer instead of reallocating every access.
+///
+/// Each user takes its buffer with `std::mem::take`, works on the owned
+/// `Vec`, and stores it back when done — so a reentrant call (readPath →
+/// evictPath → rebuild) simply sees an empty buffer and allocates afresh,
+/// never aliasing an in-use one. Contents never survive across uses (every
+/// taker clears first), so the buffers carry no protocol state.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// readPath's path bucket list.
+    path_buckets: Vec<BucketId>,
+    /// evictPath's path bucket list.
+    evict_buckets: Vec<BucketId>,
+    /// rebuild's deepest-first bucket order.
+    order: Vec<BucketId>,
+    /// rebuild read phase: logical slots to read for one bucket.
+    read_slots: Vec<u8>,
+    /// rebuild read phase: batched physical read addresses for one bucket.
+    read_addrs: Vec<SlotAddr>,
+    /// rebuild read phase: valid real entries pulled to the stash.
+    to_stash: Vec<RealEntry>,
+    /// rebuild refill: matching stash block ids (ascending).
+    candidates: Vec<crate::BlockId>,
+    /// rebuild refill: the slot permutation.
+    slots: Vec<u8>,
+    /// rebuild refill: (slot, block) placements for the write phase.
+    placed: Vec<(u8, StashBlock)>,
+}
+
 /// The Ring ORAM engine (see module docs).
 #[derive(Debug, Clone)]
 pub struct RingOram {
@@ -125,6 +155,7 @@ pub struct RingOram {
     evict_counter: u64,
     stats: OramStats,
     remote_enabled: bool,
+    scratch: Scratch,
 }
 
 impl RingOram {
@@ -171,6 +202,7 @@ impl RingOram {
             evict_counter: 0,
             stats: OramStats::new(cfg.levels, cfg.track_lifetimes),
             remote_enabled,
+            scratch: Scratch::default(),
         };
         engine.bulk_load()?;
         if cfg.store_data {
@@ -190,13 +222,12 @@ impl RingOram {
                 let bucket = self.geo.bucket_on_path(label, Level(l));
                 let cap = self.geo.level_config(Level(l)).z_real;
                 let m = self.meta.get_mut(bucket);
-                if m.entries.len() < usize::from(cap.min(m.logical_slots)) {
+                if m.entries().len() < usize::from(cap.min(m.logical_slots)) {
                     // Pick a random free logical slot for the block.
-                    let taken: Vec<u8> = m.entries.iter().map(|e| e.ptr).collect();
-                    let free: Vec<u8> =
-                        (0..m.logical_slots).filter(|s| !taken.contains(s)).collect();
-                    let ptr = free[self.rng.gen_range(0..free.len())];
-                    m.entries.push(RealEntry { addr: block, label, ptr });
+                    let free = m.unoccupied_mask();
+                    let n = free.count_ones() as usize;
+                    let ptr = nth_set_bit(free, self.rng.gen_range(0..n));
+                    m.push_entry(RealEntry { addr: block, label, ptr });
                     placed = true;
                     break;
                 }
@@ -387,7 +418,9 @@ impl RingOram {
                 (PathId::new(leaf), PathId::new(leaf))
             }
         };
-        let buckets: Vec<BucketId> = self.geo.path_buckets(label).collect();
+        let mut buckets = std::mem::take(&mut self.scratch.path_buckets);
+        buckets.clear();
+        buckets.extend(self.geo.path_buckets(label));
 
         // (1) Metadata access for every off-chip bucket on the path; the
         // gatherDEADs procedure piggybacks on it (§V-B2).
@@ -418,15 +451,19 @@ impl RingOram {
                 Some(e) => e.ptr,
                 None => {
                     // A valid reserved dummy, else a valid green slot (CB).
-                    let dummies = m.valid_slots(true);
-                    let pick_from = if dummies.is_empty() { m.valid_slots(false) } else { dummies };
+                    // Selection is the nth set bit of a slot mask, which
+                    // enumerates candidates in the same ascending order the
+                    // old Vec scan did — identical RNG draw, identical slot.
+                    let dummies = m.dummy_mask();
+                    let pick_from = if dummies == 0 { m.valid_mask() } else { dummies };
                     debug_assert!(
-                        !pick_from.is_empty(),
+                        pick_from != 0,
                         "bucket {bucket} has no valid slot (count={}, budget={})",
                         m.count,
                         self.budget(bucket)
                     );
-                    pick_from[self.rng.gen_range(0..pick_from.len())]
+                    let n = pick_from.count_ones() as usize;
+                    nth_set_bit(pick_from, self.rng.gen_range(0..n))
                 }
             };
             let phys = self.meta.resolve(bucket, logical);
@@ -447,7 +484,7 @@ impl RingOram {
             if remote {
                 self.stats.remote_slot_reads += 1;
             } else {
-                m.status[usize::from(logical)] = SlotStatus::Dead;
+                m.set_status(logical, SlotStatus::Dead);
                 self.stats.slot_died(level, phys.bucket.raw(), phys.index, now);
             }
 
@@ -532,6 +569,7 @@ impl RingOram {
             self.reads_since_evict = 0;
             self.evict_path(OramOp::EvictPath, sink)?;
         }
+        self.scratch.path_buckets = buckets;
         Ok(fetched)
     }
 
@@ -544,8 +582,12 @@ impl RingOram {
         if op == OramOp::EvictPath {
             self.stats.evict_paths += 1;
         }
-        let buckets: Vec<BucketId> = self.geo.path_buckets(path).collect();
-        self.rebuild_buckets(&buckets, Some(path), op, sink)
+        let mut buckets = std::mem::take(&mut self.scratch.evict_buckets);
+        buckets.clear();
+        buckets.extend(self.geo.path_buckets(path));
+        let result = self.rebuild_buckets(&buckets, Some(path), op, sink);
+        self.scratch.evict_buckets = buckets;
+        result
     }
 
     /// Shared rebuild for evictPath (whole path) and earlyReshuffle (single
@@ -559,54 +601,64 @@ impl RingOram {
         sink: &mut impl MemorySink,
     ) -> Result<(), OramError> {
         let now = self.stats.online_accesses();
+        let mut read_slots = std::mem::take(&mut self.scratch.read_slots);
+        let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
+        let mut to_stash = std::mem::take(&mut self.scratch.to_stash);
 
         // Read phase: metadata plus Z' block reads per bucket.
         for &bucket in buckets {
             self.fetch_metadata(bucket, false, sink)?;
             let z_real = self.geo.level_config(bucket.level()).z_real;
             let m = self.meta.get(bucket);
-            let mut read_slots: Vec<u8> =
-                m.entries.iter().filter(|e| m.is_valid(e.ptr)).map(|e| e.ptr).collect();
+            read_slots.clear();
+            read_slots.extend(m.entries().iter().filter(|e| m.is_valid(e.ptr)).map(|e| e.ptr));
             // Pad to Z' reads so reshuffle traffic is shape-faithful.
             let mut extra = 0;
             while read_slots.len() < usize::from(z_real.min(m.logical_slots)) {
                 read_slots.push(extra % m.logical_slots);
                 extra += 1;
             }
-            for &logical in &read_slots {
-                let phys = self.meta.resolve(bucket, logical);
-                if self.off_chip(bucket) {
-                    let addr = self.slot_addr(phys)?;
-                    sink.read(addr, op, false);
+            if self.off_chip(bucket) {
+                // One DRAM command batch per bucket rather than one call
+                // per slot; issue order within the batch is unchanged.
+                read_addrs.clear();
+                for &logical in &read_slots {
+                    let phys = self.meta.resolve(bucket, logical);
+                    read_addrs.push(self.slot_addr(phys)?);
+                }
+                sink.read_batch(&read_addrs, op, false);
+                for _ in &read_addrs {
                     telemetry::mem_read(op.phase(), bucket.level().0);
                 }
             }
             // Pull the valid real blocks into the stash.
             let m = self.meta.get_mut(bucket);
-            let entries = std::mem::take(&mut m.entries);
-            let mut to_stash = Vec::new();
-            for e in entries {
-                if m.is_valid(e.ptr) {
-                    to_stash.push(e);
-                }
-                // Invalid entries were already consumed; drop them.
-            }
+            to_stash.clear();
+            to_stash.extend(m.entries().iter().copied().filter(|e| m.is_valid(e.ptr)));
+            // Invalid entries were already consumed; all are unmapped here.
+            m.clear_entries();
             for e in &to_stash {
                 let phys = self.meta.resolve(bucket, e.ptr);
                 let plain = self.fetch_block(phys, op, false, sink)?;
                 self.stash.insert(StashBlock { block: e.addr, label: e.label, data: plain });
             }
         }
+        self.scratch.read_slots = read_slots;
+        self.scratch.read_addrs = read_addrs;
+        self.scratch.to_stash = to_stash;
         // Occupancy may transiently exceed capacity here: the read phase
         // holds a whole path's blocks in flight. The bound is enforced at
         // operation boundaries, after the rebuild places blocks back.
 
         // Rebuild phase, deepest bucket first so blocks sink to the leaves.
-        let mut order: Vec<BucketId> = buckets.to_vec();
+        let mut order = std::mem::take(&mut self.scratch.order);
+        order.clear();
+        order.extend_from_slice(buckets);
         order.sort_by_key(|b| std::cmp::Reverse(b.level()));
-        for bucket in order {
-            self.rebuild_one(bucket, evict_path, op, sink, now)?;
+        for &b in &order {
+            self.rebuild_one(b, evict_path, op, sink, now)?;
         }
+        self.scratch.order = order;
         Ok(())
     }
 
@@ -633,11 +685,13 @@ impl RingOram {
         // Census: the rewrite revives every own slot that died this epoch,
         // including slots that were gathered into the pool (the home
         // reclaims them; any borrower's remote dummy there is silently
-        // invalidated, which is harmless for dummies).
-        for j in 0..self.meta.get(bucket).own_slots() {
-            if self.meta.get(bucket).status[usize::from(j)] != SlotStatus::Refreshed {
-                self.stats.slot_revived(level, bucket.raw(), j, now);
-            }
+        // invalidated, which is harmless for dummies). Iterated as set bits
+        // of the not-refreshed word, ascending like the old index scan.
+        let mut revive = self.meta.get(bucket).not_refreshed_mask();
+        while revive != 0 {
+            let j = revive.trailing_zeros() as u8;
+            revive &= revive - 1;
+            self.stats.slot_revived(level, bucket.raw(), j, now);
         }
 
         // Borrow fresh dead slots on extension levels (DR / AB), validating
@@ -654,7 +708,7 @@ impl RingOram {
                         continue; // Never borrow a slot we are about to rewrite.
                     }
                     let home = self.meta.get(slot.bucket);
-                    if home.status[usize::from(slot.index)] == SlotStatus::Allocated {
+                    if home.status(slot.index) == SlotStatus::Allocated {
                         self.stats.slot_reused(level, slot.bucket.raw(), slot.index, now);
                         new_borrowed.push(slot);
                         break;
@@ -674,9 +728,7 @@ impl RingOram {
 
         // New epoch: the bucket always rewrites all of its own slots.
         let m = self.meta.get_mut(bucket);
-        for st in m.status.iter_mut() {
-            *st = SlotStatus::Refreshed;
-        }
+        m.reset_statuses();
         m.borrowed = new_borrowed;
         m.logical_slots = m.own_slots() + m.borrowed.len() as u8;
         let logical_slots = m.logical_slots;
@@ -684,41 +736,47 @@ impl RingOram {
         let real_capacity = cfg_l.z_real.min(own_slots);
         m.dynamic_s = logical_slots - real_capacity;
         m.count = 0;
-        for i in 0..16 {
-            m.set_valid(i, i < logical_slots);
-        }
+        m.set_all_valid(logical_slots);
 
-        // Refill with matching stash blocks.
+        // Refill with matching stash blocks (ascending id order, truncated
+        // to capacity — same selection as the old collect-and-take scan).
         let geo = &self.geo;
-        let candidates: Vec<BlockId> = match evict_path {
-            Some(p) => {
-                self.stash.matching_blocks(|label| geo.common_prefix_levels(label, p) > level.0)
-            }
-            None => self.stash.matching_blocks(|label| geo.bucket_is_on_path(bucket, label)),
-        };
-        let chosen: Vec<BlockId> =
-            candidates.into_iter().take(usize::from(real_capacity)).collect();
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        match evict_path {
+            Some(p) => self.stash.matching_blocks_into(&mut candidates, |label| {
+                geo.common_prefix_levels(label, p) > level.0
+            }),
+            None => self.stash.matching_blocks_into(&mut candidates, |label| {
+                geo.bucket_is_on_path(bucket, label)
+            }),
+        }
+        candidates.truncate(usize::from(real_capacity));
 
         // Random distinct slots for the chosen blocks (the permutation).
         // Real blocks go into own slots only; borrowed (remote) logical
         // slots always hold reserved dummies.
-        let mut slots: Vec<u8> = (0..own_slots).collect();
+        let mut slots = std::mem::take(&mut self.scratch.slots);
+        slots.clear();
+        slots.extend(0..own_slots);
         for i in (1..slots.len()).rev() {
             let j = self.rng.gen_range(0..=i);
             slots.swap(i, j);
         }
-        let mut placed = Vec::with_capacity(chosen.len());
-        for (i, block) in chosen.iter().enumerate() {
+        let mut placed = std::mem::take(&mut self.scratch.placed);
+        placed.clear();
+        for (i, block) in candidates.iter().enumerate() {
             let entry = self
                 .stash
                 .remove(*block)
                 .ok_or(OramError::Internal { context: "eviction candidate left the stash" })?;
             placed.push((slots[i], entry));
         }
+        self.scratch.candidates = candidates;
+        self.scratch.slots = slots;
         {
             let m = self.meta.get_mut(bucket);
             for (ptr, e) in &placed {
-                m.entries.push(RealEntry { addr: e.block, label: e.label, ptr: *ptr });
+                m.push_entry(RealEntry { addr: e.block, label: e.label, ptr: *ptr });
             }
         }
 
@@ -744,6 +802,7 @@ impl RingOram {
             let addr = self.metadata_addr(bucket)?;
             self.post_write(addr, OramOp::Metadata, false, level.0, sink)?;
         }
+        self.scratch.placed = placed;
         Ok(())
     }
 
@@ -755,20 +814,14 @@ impl RingOram {
         if !self.deadqs.tracks(level) || !self.geo.level_config(level).has_dynamic_extension() {
             return;
         }
-        let dead_slots: Vec<u8> = self
-            .meta
-            .get(bucket)
-            .status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == SlotStatus::Dead)
-            .map(|(j, _)| j as u8)
-            .collect();
+        let mut dead = self.meta.get(bucket).dead_mask();
         let mut gathered = 0u64;
-        for j in dead_slots {
+        while dead != 0 {
+            let j = dead.trailing_zeros() as u8;
+            dead &= dead - 1;
             let slot = aboram_tree::SlotId::new(bucket, j);
             if self.deadqs.enqueue(slot) {
-                self.meta.get_mut(bucket).status[usize::from(j)] = SlotStatus::Allocated;
+                self.meta.get_mut(bucket).set_status(j, SlotStatus::Allocated);
                 gathered += 1;
             } else {
                 telemetry::counter_add("deadq.enqueue_full", 1);
@@ -1078,7 +1131,7 @@ mod tests {
         for raw in 0..oram.geometry().bucket_count() {
             let bucket = BucketId::new(raw);
             let m = oram.meta.get(bucket);
-            for e in &m.entries {
+            for e in m.entries() {
                 assert!(!m.is_remote(e.ptr), "{bucket}: real block in remote slot");
             }
         }
@@ -1094,7 +1147,7 @@ mod tests {
         for raw in 0..oram.geometry().bucket_count() {
             let bucket = BucketId::new(raw);
             let m = oram.meta.get(bucket);
-            recount += m.status.iter().filter(|s| **s != SlotStatus::Refreshed).count() as u64;
+            recount += u64::from(m.not_refreshed_mask().count_ones());
         }
         assert_eq!(recount, oram.stats().dead_total(), "incremental census drifted");
     }

@@ -84,6 +84,22 @@ pub trait MemorySink {
     fn read(&mut self, addr: SlotAddr, op: OramOp, online: bool);
     /// One 64 B write at `addr`.
     fn write(&mut self, addr: SlotAddr, op: OramOp, online: bool);
+    /// A batch of 64 B reads, issued in slice order. Semantically identical
+    /// to calling [`read`](Self::read) once per address (the default does
+    /// exactly that); sinks backed by the memory system override it to issue
+    /// the whole bucket's worth of commands as one batch.
+    fn read_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        for &addr in addrs {
+            self.read(addr, op, online);
+        }
+    }
+    /// A batch of 64 B writes, issued in slice order (see
+    /// [`read_batch`](Self::read_batch)).
+    fn write_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        for &addr in addrs {
+            self.write(addr, op, online);
+        }
+    }
     /// Asks whether the transfer being verified at `addr` faulted. The
     /// engine calls this at its verification sites (MAC check of a fetched
     /// block, metadata check, write-CRC acknowledgment); a
@@ -159,6 +175,26 @@ impl MemorySink for CountingSink {
             self.offline += 1;
         }
     }
+
+    fn read_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        let n = addrs.len() as u64;
+        self.reads[op.tag() as usize] += n;
+        if online {
+            self.online += n;
+        } else {
+            self.offline += n;
+        }
+    }
+
+    fn write_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        let n = addrs.len() as u64;
+        self.writes[op.tag() as usize] += n;
+        if online {
+            self.online += n;
+        } else {
+            self.offline += n;
+        }
+    }
 }
 
 /// A sink backed by the cycle-level DRAM model.
@@ -204,6 +240,35 @@ impl TimingSink {
         self.memory.completion_time(id)
     }
 
+    /// Schedules every pending online read, clears the pending list and
+    /// returns `(latest completion cycle, read count)` — the allocation-free
+    /// equivalent of [`take_online_reads`](TimingSink::take_online_reads)
+    /// followed by per-id [`completion_time`](TimingSink::completion_time).
+    /// `floor` seeds the maximum (the access's start cycle).
+    pub fn drain_online_reads(&mut self, floor: u64) -> (u64, u64) {
+        let mut done = floor;
+        for i in 0..self.online_reads.len() {
+            done = done.max(self.memory.completion_time(self.online_reads[i]));
+        }
+        let count = self.online_reads.len() as u64;
+        self.online_reads.clear();
+        (done, count)
+    }
+
+    /// Schedules *every* request issued since the last drain, clears the
+    /// pending list and returns the latest completion cycle (at least
+    /// `floor`) — the allocation-free equivalent of
+    /// [`take_all_requests`](TimingSink::take_all_requests) followed by
+    /// per-id completion lookups.
+    pub fn drain_all_requests(&mut self, floor: u64) -> u64 {
+        let mut done = floor;
+        for i in 0..self.all_requests.len() {
+            done = done.max(self.memory.completion_time(self.all_requests[i]));
+        }
+        self.all_requests.clear();
+        done
+    }
+
     /// Access to the underlying memory system (stats, drain).
     pub fn memory(&self) -> &MemorySystem {
         &self.memory
@@ -229,6 +294,33 @@ impl MemorySink for TimingSink {
         let pri = if online { Priority::Online } else { Priority::Offline };
         let id = self.memory.enqueue(MemOpKind::Write, addr.byte(), pri, op.tag(), self.now);
         self.all_requests.push(id);
+    }
+
+    fn read_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        let pri = if online { Priority::Online } else { Priority::Offline };
+        let ids = self.memory.enqueue_batch(
+            MemOpKind::Read,
+            addrs.iter().map(|a| a.byte()),
+            pri,
+            op.tag(),
+            self.now,
+        );
+        if online {
+            self.online_reads.extend(ids.clone());
+        }
+        self.all_requests.extend(ids);
+    }
+
+    fn write_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
+        let pri = if online { Priority::Online } else { Priority::Offline };
+        let ids = self.memory.enqueue_batch(
+            MemOpKind::Write,
+            addrs.iter().map(|a| a.byte()),
+            pri,
+            op.tag(),
+            self.now,
+        );
+        self.all_requests.extend(ids);
     }
 }
 

@@ -95,12 +95,24 @@ impl Stash {
 
     /// Collects the ids of blocks whose labels satisfy `pred` — the eviction
     /// scan ("searches the entire stash", §III-A).
-    pub fn matching_blocks(&self, mut pred: impl FnMut(PathId) -> bool) -> Vec<BlockId> {
-        let mut ids: Vec<BlockId> =
-            self.blocks.values().filter(|e| pred(e.label)).map(|e| e.block).collect();
-        // Deterministic order for reproducible simulations.
-        ids.sort_unstable();
+    pub fn matching_blocks(&self, pred: impl FnMut(PathId) -> bool) -> Vec<BlockId> {
+        let mut ids = Vec::new();
+        self.matching_blocks_into(&mut ids, pred);
         ids
+    }
+
+    /// [`matching_blocks`](Self::matching_blocks) into a caller-owned buffer
+    /// (cleared first), so the per-rebuild eviction scan reuses one
+    /// allocation. The result is identical: matching ids in ascending order.
+    pub fn matching_blocks_into(
+        &self,
+        out: &mut Vec<BlockId>,
+        mut pred: impl FnMut(PathId) -> bool,
+    ) {
+        out.clear();
+        out.extend(self.blocks.values().filter(|e| pred(e.label)).map(|e| e.block));
+        // Deterministic order for reproducible simulations.
+        out.sort_unstable();
     }
 }
 

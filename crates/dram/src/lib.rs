@@ -51,4 +51,4 @@ pub use cpu::RobCpu;
 pub use energy::{EnergyParams, EnergyReport};
 pub use mapping::DecodedAddr;
 pub use stats::{MemoryStats, RowBufferOutcome};
-pub use system::MemorySystem;
+pub use system::{MemorySystem, RequestIdRange};

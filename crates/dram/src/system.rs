@@ -4,7 +4,6 @@ use crate::channel::{Channel, MemOpKind, Priority, RequestId};
 use crate::config::DramConfig;
 use crate::mapping::decode;
 use crate::stats::MemoryStats;
-use std::collections::HashMap;
 
 /// Number of distinct traffic tags the statistics track. Tags are opaque to
 /// the memory system; the ORAM layer uses them to attribute traffic to
@@ -36,10 +35,47 @@ pub struct MemorySystem {
     cfg: DramConfig,
     channels: Vec<Channel>,
     stats: MemoryStats,
-    completions: HashMap<RequestId, u64>,
-    routing: HashMap<RequestId, u8>,
-    next_id: u64,
+    /// Completion cycle per request, indexed by the request's raw id
+    /// ([`NOT_DONE`] until scheduled). Ids are dense and monotonic, so a
+    /// flat `Vec` replaces the old per-request hash maps — same semantics,
+    /// no hashing on the hot path.
+    completions: Vec<u64>,
+    /// Owning channel per request, indexed by raw id.
+    routing: Vec<u8>,
 }
+
+/// Sentinel for "not yet scheduled" in [`MemorySystem::completions`].
+/// Completion cycles are CPU cycles and can never reach `u64::MAX`.
+const NOT_DONE: u64 = u64::MAX;
+
+/// The contiguous block of [`RequestId`]s minted by one
+/// [`MemorySystem::enqueue_batch`] call, in issue order.
+#[derive(Debug, Clone)]
+pub struct RequestIdRange {
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for RequestIdRange {
+    type Item = RequestId;
+
+    fn next(&mut self) -> Option<RequestId> {
+        if self.next < self.end {
+            let id = RequestId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RequestIdRange {}
 
 impl MemorySystem {
     /// Creates a memory system from a configuration.
@@ -49,9 +85,8 @@ impl MemorySystem {
             cfg,
             channels,
             stats: MemoryStats::new(TAG_SLOTS),
-            completions: HashMap::new(),
-            routing: HashMap::new(),
-            next_id: 0,
+            completions: Vec::new(),
+            routing: Vec::new(),
         }
     }
 
@@ -71,13 +106,51 @@ impl MemorySystem {
         tag: u32,
         now: u64,
     ) -> RequestId {
-        let id = RequestId(self.next_id);
-        self.next_id += 1;
+        let id = self.enqueue_inner(kind, addr, priority, tag, now);
+        let depth = self.channels[self.routing[id.0 as usize] as usize].queue_depth();
+        aboram_telemetry::gauge("dram.queue_depth", depth as f64);
+        id
+    }
+
+    /// Enqueues a batch of same-kind requests in slice order (one bucket's
+    /// commands), returning their contiguous id range. Identical semantics
+    /// to calling [`enqueue`](MemorySystem::enqueue) per address, except the
+    /// `dram.queue_depth` gauge is sampled once after the batch (its
+    /// last-value reading is the same either way).
+    pub fn enqueue_batch(
+        &mut self,
+        kind: MemOpKind,
+        addrs: impl IntoIterator<Item = u64>,
+        priority: Priority,
+        tag: u32,
+        now: u64,
+    ) -> RequestIdRange {
+        let start = self.routing.len() as u64;
+        let mut last_channel = None;
+        for addr in addrs {
+            let id = self.enqueue_inner(kind, addr, priority, tag, now);
+            last_channel = Some(self.routing[id.0 as usize]);
+        }
+        if let Some(ch) = last_channel {
+            let depth = self.channels[ch as usize].queue_depth();
+            aboram_telemetry::gauge("dram.queue_depth", depth as f64);
+        }
+        RequestIdRange { next: start, end: self.routing.len() as u64 }
+    }
+
+    fn enqueue_inner(
+        &mut self,
+        kind: MemOpKind,
+        addr: u64,
+        priority: Priority,
+        tag: u32,
+        now: u64,
+    ) -> RequestId {
+        let id = RequestId(self.routing.len() as u64);
         let decoded = decode(&self.cfg, addr);
-        self.routing.insert(id, decoded.channel);
-        let channel = &mut self.channels[decoded.channel as usize];
-        channel.enqueue(id, kind, priority, tag, decoded, now);
-        aboram_telemetry::gauge("dram.queue_depth", channel.queue_depth() as f64);
+        self.routing.push(decoded.channel);
+        self.completions.push(NOT_DONE);
+        self.channels[decoded.channel as usize].enqueue(id, kind, priority, tag, decoded, now);
         id
     }
 
@@ -88,14 +161,15 @@ impl MemorySystem {
     ///
     /// Panics if `id` was never enqueued (caller bug).
     pub fn completion_time(&mut self, id: RequestId) -> u64 {
-        if let Some(&t) = self.completions.get(&id) {
-            return t;
+        let done = self.completions[id.0 as usize];
+        if done != NOT_DONE {
+            return done;
         }
-        let channel = *self.routing.get(&id).expect("unknown request id");
+        let channel = self.routing[id.0 as usize];
         loop {
             match self.channels[channel as usize].schedule_one(&mut self.stats) {
                 Some((done_id, t)) => {
-                    self.completions.insert(done_id, t);
+                    self.completions[done_id.0 as usize] = t;
                     if done_id == id {
                         return t;
                     }
@@ -109,7 +183,7 @@ impl MemorySystem {
     pub fn drain(&mut self) {
         for ch in &mut self.channels {
             while let Some((id, t)) = ch.schedule_one(&mut self.stats) {
-                self.completions.insert(id, t);
+                self.completions[id.0 as usize] = t;
             }
         }
     }

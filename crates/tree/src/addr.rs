@@ -51,8 +51,14 @@ impl SlotAddr {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysicalLayout {
     levels: u8,
-    /// First data-region *block* index of each level.
-    level_base_block: Vec<u64>,
+    /// Per-level slot-base table: byte address a bucket's slot 0 *would*
+    /// have if the level started at raw bucket index 0, i.e.
+    /// `base_byte(level) - first_raw(level) * z * BLOCK_BYTES` in wrapping
+    /// arithmetic. Lets [`slot_addr`](PhysicalLayout::slot_addr) use
+    /// `bucket.raw()` directly instead of recomputing `index_in_level`.
+    level_slot_base: Vec<u64>,
+    /// Bucket stride (`Z * BLOCK_BYTES`) at each level, in bytes.
+    level_stride: Vec<u64>,
     /// Physical slots per bucket (`Z`) at each level.
     level_z: Vec<u8>,
     /// First byte of the metadata region.
@@ -64,20 +70,28 @@ impl PhysicalLayout {
     /// Builds the layout for `geometry`.
     pub fn new(geometry: &TreeGeometry) -> Self {
         let levels = geometry.levels();
-        let mut level_base_block = Vec::with_capacity(levels as usize);
+        let mut level_slot_base = Vec::with_capacity(levels as usize);
+        let mut level_stride = Vec::with_capacity(levels as usize);
         let mut level_z = Vec::with_capacity(levels as usize);
         let mut next_block = 0u64;
         for l in 0..levels {
             let level = Level(l);
             let z = geometry.level_config(level).z_total();
-            level_base_block.push(next_block);
+            let stride = u64::from(z) * BLOCK_BYTES;
+            let first_raw = (1u64 << l) - 1;
+            // May wrap below zero for non-uniform trees; slot_addr's matching
+            // wrapping_add cancels it exactly for every in-range bucket.
+            level_slot_base
+                .push((next_block * BLOCK_BYTES).wrapping_sub(first_raw.wrapping_mul(stride)));
+            level_stride.push(stride);
             level_z.push(z);
             next_block += geometry.buckets_at_level(level) * u64::from(z);
         }
         let metadata_base = next_block * BLOCK_BYTES;
         PhysicalLayout {
             levels,
-            level_base_block,
+            level_slot_base,
+            level_stride,
             level_z,
             metadata_base,
             bucket_count: geometry.bucket_count(),
@@ -90,22 +104,24 @@ impl PhysicalLayout {
     ///
     /// Returns [`GeometryError::BucketOutOfRange`] or
     /// [`GeometryError::SlotOutOfRange`] for invalid identifiers.
+    #[inline]
     pub fn slot_addr(&self, slot: SlotId) -> Result<SlotAddr, GeometryError> {
-        if slot.bucket.raw() >= self.bucket_count {
+        let raw = slot.bucket.raw();
+        if raw >= self.bucket_count {
             return Err(GeometryError::BucketOutOfRange {
-                bucket: slot.bucket.raw(),
+                bucket: raw,
                 buckets: self.bucket_count,
             });
         }
-        let level = slot.bucket.level();
-        let z = self.level_z[level.0 as usize];
+        let l = slot.bucket.level().0 as usize;
+        let z = self.level_z[l];
         if slot.index >= z {
             return Err(GeometryError::SlotOutOfRange { slot: slot.index, z_total: z });
         }
-        let block = self.level_base_block[level.0 as usize]
-            + slot.bucket.index_in_level() * u64::from(z)
-            + u64::from(slot.index);
-        Ok(SlotAddr(block * BLOCK_BYTES))
+        let byte = self.level_slot_base[l]
+            .wrapping_add(raw.wrapping_mul(self.level_stride[l]))
+            .wrapping_add(u64::from(slot.index) * BLOCK_BYTES);
+        Ok(SlotAddr(byte))
     }
 
     /// Byte address of a bucket's metadata block.
@@ -113,6 +129,7 @@ impl PhysicalLayout {
     /// # Errors
     ///
     /// Returns [`GeometryError::BucketOutOfRange`] for invalid buckets.
+    #[inline]
     pub fn metadata_addr(&self, bucket: BucketId) -> Result<SlotAddr, GeometryError> {
         if bucket.raw() >= self.bucket_count {
             return Err(GeometryError::BucketOutOfRange {

@@ -123,21 +123,25 @@ impl TreeGeometry {
     }
 
     /// Number of tree levels (`L` in the paper).
+    #[inline]
     pub fn levels(&self) -> u8 {
         self.levels
     }
 
     /// Leaf level index (`L - 1`).
+    #[inline]
     pub fn leaf_level(&self) -> Level {
         Level(self.levels - 1)
     }
 
     /// Number of leaves, i.e. number of distinct paths: `2^(L-1)`.
+    #[inline]
     pub fn leaf_count(&self) -> u64 {
         1u64 << (self.levels - 1)
     }
 
     /// Total number of buckets: `2^L - 1`.
+    #[inline]
     pub fn bucket_count(&self) -> u64 {
         (1u64 << self.levels) - 1
     }
@@ -147,6 +151,7 @@ impl TreeGeometry {
     /// # Panics
     ///
     /// Panics if `level` is out of range (a programming error in the caller).
+    #[inline]
     pub fn buckets_at_level(&self, level: Level) -> u64 {
         assert!(level.0 < self.levels, "level {level} out of range");
         1u64 << level.0
@@ -157,6 +162,7 @@ impl TreeGeometry {
     /// # Panics
     ///
     /// Panics if `level` is out of range (a programming error in the caller).
+    #[inline]
     pub fn level_config(&self, level: Level) -> LevelConfig {
         self.configs[level.0 as usize]
     }
@@ -200,6 +206,7 @@ impl TreeGeometry {
     /// # Panics
     ///
     /// Panics if `path` or `level` is out of range.
+    #[inline]
     pub fn bucket_on_path(&self, path: PathId, level: Level) -> BucketId {
         assert!(path.leaf() < self.leaf_count());
         assert!(level.0 < self.levels);
@@ -208,6 +215,7 @@ impl TreeGeometry {
     }
 
     /// Whether `bucket` lies on `path`.
+    #[inline]
     pub fn bucket_is_on_path(&self, bucket: BucketId, path: PathId) -> bool {
         let level = bucket.level();
         level.0 < self.levels && self.bucket_on_path(path, level) == bucket
@@ -219,6 +227,7 @@ impl TreeGeometry {
     /// root. Path ORAM / Ring ORAM eviction uses this to place a block as
     /// deep as possible: a stash block mapped to `p1` may be written into any
     /// bucket of the eviction path `p2` at level `< common_prefix_levels`.
+    #[inline]
     pub fn common_prefix_levels(&self, p1: PathId, p2: PathId) -> u8 {
         debug_assert!(p1.leaf() < self.leaf_count() && p2.leaf() < self.leaf_count());
         let diff = p1.leaf() ^ p2.leaf();

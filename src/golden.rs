@@ -62,10 +62,8 @@ pub fn run_case(scheme: Scheme) -> Result<SimulationReport, OramError> {
     let cfg = OramConfig::builder(GOLDEN_LEVELS, scheme).seed(GOLDEN_SEED).build()?;
     let mut driver = TimingDriver::new(&cfg, DramConfig::default())?;
     driver.warm_up(GOLDEN_WARMUP)?;
-    let profile = profiles::spec2017()
-        .into_iter()
-        .find(|p| p.name == "mcf")
-        .expect("mcf profile present");
+    let profile =
+        profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf profile present");
     let mut gen = TraceGenerator::new(&profile, GOLDEN_SEED);
     driver.run((0..GOLDEN_RECORDS).map(|_| gen.next_record()))
 }
