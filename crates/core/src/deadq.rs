@@ -90,6 +90,19 @@ impl DeadQueues {
         slot
     }
 
+    /// Iterates the queued entries at `level`, oldest first (empty for
+    /// untracked levels) — the invariant checker's view into the queues.
+    pub fn entries(&self, level: Level) -> impl Iterator<Item = &DeadSlot> {
+        let idx =
+            if self.tracks(level) { Some((level.0 - self.first_level) as usize) } else { None };
+        idx.into_iter().flat_map(move |i| self.queues[i].iter())
+    }
+
+    /// Configured per-level capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Current queue length at `level` (0 for untracked levels).
     pub fn len(&self, level: Level) -> usize {
         if self.tracks(level) {

@@ -20,10 +20,11 @@ use aboram_tree::{BucketId, Level, PathId, PhysicalLayout, SlotAddr, TreeGeometr
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Per-bucket state: which real blocks currently sit in the bucket.
+/// Per-bucket state: which real blocks currently sit in the bucket, each
+/// with its path label and (when the data path is on) its contents.
 #[derive(Debug, Clone, Default)]
 struct PathBucket {
-    blocks: Vec<(BlockId, PathId)>,
+    blocks: Vec<(BlockId, PathId, [u8; BLOCK_BYTES])>,
 }
 
 /// A Path ORAM engine.
@@ -51,6 +52,7 @@ pub struct PathOram {
     rng: StdRng,
     accesses: u64,
     recovery: RecoveryStats,
+    store_data: bool,
 }
 
 impl PathOram {
@@ -79,6 +81,7 @@ impl PathOram {
             rng,
             accesses: 0,
             recovery: RecoveryStats::new(),
+            store_data: cfg.store_data,
         };
         engine.bulk_load()?;
         Ok(engine)
@@ -94,7 +97,7 @@ impl PathOram {
                 let cap = usize::from(self.geo.level_config(Level(l)).z_real);
                 let pb = &mut self.buckets[bucket.raw() as usize];
                 if pb.blocks.len() < cap {
-                    pb.blocks.push((block, label));
+                    pb.blocks.push((block, label, [0; BLOCK_BYTES]));
                     placed = true;
                     break;
                 }
@@ -202,6 +205,51 @@ impl PathOram {
     /// Returns [`OramError::BlockOutOfRange`] or
     /// [`OramError::StashOverflow`].
     pub fn access(&mut self, block: BlockId, sink: &mut impl MemorySink) -> Result<(), OramError> {
+        self.access_inner(block, None, sink).map(|_| ())
+    }
+
+    /// Reads `block`'s contents through the full protocol.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`OramError::DataPathDisabled`] unless the configuration
+    /// enabled `store_data`; otherwise same failure modes as
+    /// [`access`](Self::access).
+    pub fn read(
+        &mut self,
+        block: BlockId,
+        sink: &mut impl MemorySink,
+    ) -> Result<[u8; BLOCK_BYTES], OramError> {
+        if !self.store_data {
+            return Err(OramError::DataPathDisabled);
+        }
+        self.access_inner(block, None, sink)?
+            .ok_or(OramError::Internal { context: "enabled data path returned no block" })
+    }
+
+    /// Writes `data` to `block` through the full protocol.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`read`](Self::read).
+    pub fn write(
+        &mut self,
+        block: BlockId,
+        data: [u8; BLOCK_BYTES],
+        sink: &mut impl MemorySink,
+    ) -> Result<(), OramError> {
+        if !self.store_data {
+            return Err(OramError::DataPathDisabled);
+        }
+        self.access_inner(block, Some(data), sink).map(|_| ())
+    }
+
+    fn access_inner(
+        &mut self,
+        block: BlockId,
+        new_data: Option<[u8; BLOCK_BYTES]>,
+        sink: &mut impl MemorySink,
+    ) -> Result<Option<[u8; BLOCK_BYTES]>, OramError> {
         if block >= self.posmap.len() {
             return Err(OramError::BlockOutOfRange { block, count: self.posmap.len() });
         }
@@ -222,12 +270,26 @@ impl PathOram {
                 }
             }
             let pb = &mut self.buckets[bucket.raw() as usize];
-            for (b, l) in pb.blocks.drain(..) {
-                self.stash.insert(StashBlock { block: b, label: l, data: [0; BLOCK_BYTES] });
+            for (b, l, d) in pb.blocks.drain(..) {
+                self.stash.insert(StashBlock { block: b, label: l, data: d });
             }
         }
-        // (2) Remap.
+        // (2) Remap, then serve the request from the stash (the whole path
+        // was just pulled in, so the target is guaranteed to be there).
         self.stash.relabel(block, new_label);
+        let served = if self.store_data {
+            let cur = self
+                .stash
+                .get(block)
+                .ok_or(OramError::Internal { context: "target block missing after path read" })?;
+            let out = cur.data;
+            if let Some(data) = new_data {
+                self.stash.insert(StashBlock { block, label: new_label, data });
+            }
+            Some(out)
+        } else {
+            None
+        };
         if self.stash.overflowed() {
             return Err(OramError::StashOverflow { capacity: self.stash.capacity() });
         }
@@ -244,7 +306,7 @@ impl PathOram {
                     .stash
                     .remove(b)
                     .ok_or(OramError::Internal { context: "eviction candidate left the stash" })?;
-                self.buckets[bucket.raw() as usize].blocks.push((e.block, e.label));
+                self.buckets[bucket.raw() as usize].blocks.push((e.block, e.label, e.data));
             }
             let z = self.geo.level_config(level).z_total();
             for s in 0..z {
@@ -257,7 +319,7 @@ impl PathOram {
         if self.recovery != recovery_before {
             self.recovery.degraded_accesses += 1;
         }
-        Ok(())
+        Ok(served)
     }
 
     /// Checks that a block is findable (stash or its path) — test hook.
@@ -270,7 +332,7 @@ impl PathOram {
         }
         let label = self.posmap.path_of(block);
         self.geo.path_buckets(label).any(|bucket| {
-            self.buckets[bucket.raw() as usize].blocks.iter().any(|(b, _)| *b == block)
+            self.buckets[bucket.raw() as usize].blocks.iter().any(|(b, ..)| *b == block)
         })
     }
 

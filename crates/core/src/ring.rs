@@ -1033,6 +1033,94 @@ impl RingOram {
             m.entry_of(block).is_some_and(|e| m.is_valid(e.ptr))
         })
     }
+
+    /// Exhaustive structural-invariant check over the stash, every bucket's
+    /// metadata and the DeadQs (DESIGN.md §5). Expensive — a test hook for
+    /// the property suite; returns a description of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable violation description.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        // (1) Stash bound holds at every operation boundary.
+        if self.stash.len() > self.stash.capacity() {
+            return Err(format!(
+                "stash occupancy {} exceeds capacity {}",
+                self.stash.len(),
+                self.stash.capacity()
+            ));
+        }
+        for raw in 0..self.geo.bucket_count() {
+            let bucket = BucketId::new(raw);
+            let m = self.meta.get(bucket);
+            let own = m.own_slots();
+            // (2) Logical slot accounting: own slots plus borrowed remotes.
+            if usize::from(m.logical_slots) != usize::from(own) + m.borrowed.len() {
+                return Err(format!(
+                    "{bucket}: logical_slots {} != own {} + borrowed {}",
+                    m.logical_slots,
+                    own,
+                    m.borrowed.len()
+                ));
+            }
+            // (3) Real blocks live in distinct *own* slots only; remote
+            // slots hold reserved dummies exclusively.
+            let mut occupied = 0u16;
+            for e in m.entries() {
+                if e.ptr >= own {
+                    return Err(format!(
+                        "{bucket}: real block {} in remote slot {}",
+                        e.addr, e.ptr
+                    ));
+                }
+                if occupied & (1u16 << e.ptr) != 0 {
+                    return Err(format!("{bucket}: two real blocks share slot {}", e.ptr));
+                }
+                occupied |= 1u16 << e.ptr;
+            }
+            // (4) No slot is simultaneously live and reclaimed: a Dead or
+            // Allocated status always pairs with a cleared valid bit.
+            let conflict = m.not_refreshed_mask() & m.valid_mask();
+            if conflict != 0 {
+                return Err(format!("{bucket}: slots {conflict:#06x} are both valid and dead"));
+            }
+            // (5) Borrowed slots come from a *different* bucket on the
+            // *same* level and stay inside the lender's own-slot range.
+            for slot in &m.borrowed {
+                if slot.bucket == bucket {
+                    return Err(format!("{bucket}: borrows from itself"));
+                }
+                if slot.bucket.level() != bucket.level() {
+                    return Err(format!(
+                        "{bucket}: borrowed slot {slot:?} crosses levels (paper requires \
+                         same-level lending)"
+                    ));
+                }
+                if slot.index >= self.meta.get(slot.bucket).own_slots() {
+                    return Err(format!("{bucket}: borrowed slot {slot:?} out of lender range"));
+                }
+            }
+        }
+        // (6) DeadQ entries are level-consistent, in-bounds and within the
+        // configured capacity. (A queued slot may be stale — its home bucket
+        // can have reshuffled since — so slot *status* is validated lazily
+        // at dequeue time, not here.)
+        for l in 0..self.cfg.levels {
+            let level = Level(l);
+            if self.deadqs.len(level) > self.deadqs.capacity() {
+                return Err(format!("DeadQ level {l}: length exceeds capacity"));
+            }
+            for slot in self.deadqs.entries(level) {
+                if slot.bucket.level() != level {
+                    return Err(format!("DeadQ level {l}: entry {slot:?} on wrong level"));
+                }
+                if slot.index >= self.meta.get(slot.bucket).own_slots() {
+                    return Err(format!("DeadQ level {l}: entry {slot:?} out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

