@@ -5,7 +5,7 @@
 //! user's critical path. This binary measures the online-latency cost of
 //! removing the priority classes, for Baseline and AB.
 
-use aboram_bench::{emit, Experiment};
+use aboram_bench::{emit, CellExecutor, Experiment};
 use aboram_core::{Scheme, TimingDriver};
 use aboram_dram::DramConfig;
 use aboram_stats::Table;
@@ -15,24 +15,29 @@ fn main() {
     let env = Experiment::from_env();
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
 
+    // (scheme × priority mode) cells; the snapshot cache means both cells
+    // of a scheme pay the warm-up at most once between them.
+    let grid: Vec<(Scheme, bool)> =
+        [Scheme::Baseline, Scheme::Ab].into_iter().flat_map(|s| [(s, false), (s, true)]).collect();
+    let cycles = CellExecutor::from_env().run(grid, |_, (scheme, ignore)| {
+        eprintln!("[{scheme}, ignore_priority={ignore}]");
+        let oram = env.warmed_oram(scheme).expect("warm-up ok");
+        let dram = DramConfig { ignore_priority: ignore, ..DramConfig::default() };
+        let mut driver = TimingDriver::from_oram(oram, dram);
+        let mut gen = TraceGenerator::new(&profile, env.seed);
+        let report = driver.run((0..env.timed).map(|_| gen.next_record())).expect("run ok");
+        report.exec_cycles
+    });
+
     let mut table = Table::new(
         "DRAM priority ablation — execution time with vs without online priority",
         &["scheme", "with priority (Mcycles)", "without (Mcycles)", "slowdown from removing"],
     );
-    for scheme in [Scheme::Baseline, Scheme::Ab] {
-        eprintln!("[warming {scheme}]");
-        let oram = env.warmed_oram(scheme).expect("warm-up ok");
-        let mut cycles = [0u64; 2];
-        for (k, ignore) in [false, true].into_iter().enumerate() {
-            let dram = DramConfig { ignore_priority: ignore, ..DramConfig::default() };
-            let mut driver = TimingDriver::from_oram(oram.clone(), dram);
-            let mut gen = TraceGenerator::new(&profile, env.seed);
-            let report = driver.run((0..env.timed).map(|_| gen.next_record())).expect("run ok");
-            cycles[k] = report.exec_cycles;
-        }
+    for (k, scheme) in [Scheme::Baseline, Scheme::Ab].into_iter().enumerate() {
+        let (with, without) = (cycles[2 * k], cycles[2 * k + 1]);
         table.row(
             &[&scheme.to_string()],
-            &[cycles[0] as f64 / 1e6, cycles[1] as f64 / 1e6, cycles[1] as f64 / cycles[0] as f64],
+            &[with as f64 / 1e6, without as f64 / 1e6, without as f64 / with as f64],
         );
     }
 

@@ -6,7 +6,7 @@
 //! savings saturating around L-3 while the performance loss stays a few
 //! percent and grows roughly linearly with `x`.
 
-use aboram_bench::{emit, telemetry_from_env, Experiment};
+use aboram_bench::{emit, telemetry_from_env, CellExecutor, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::Table;
 use aboram_trace::profiles;
@@ -16,10 +16,16 @@ fn main() {
     let _telemetry = telemetry_from_env();
     let base_space = env.space_report(Scheme::PlainRing).expect("valid config");
 
-    // Timed baseline.
+    // Timed cells: the baseline plus every L-x shrink, fanned out together.
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
-    eprintln!("[warm-up + timed run: baseline]");
-    let base_report = env.warmed_timed(Scheme::PlainRing, &profile).expect("timed run ok");
+    let schemes: Vec<Scheme> = std::iter::once(Scheme::PlainRing)
+        .chain((1..=7u8).map(|x| Scheme::RingShrink { bottom_levels: x }))
+        .collect();
+    let reports = CellExecutor::from_env().run(schemes, |_, scheme| {
+        eprintln!("[warm-up + timed run: {scheme}]");
+        env.warmed_timed(scheme, &profile).expect("timed run ok")
+    });
+    let base_report = &reports[0];
 
     let mut table = Table::new(
         "Fig. 4 — space and slowdown for L-x (plain Ring ORAM, S -> S-3 on last x levels)",
@@ -29,8 +35,7 @@ fn main() {
     for x in 1..=7u8 {
         let scheme = Scheme::RingShrink { bottom_levels: x };
         let space = env.normalized_space(scheme, &base_space).expect("valid config");
-        eprintln!("[warm-up + timed run: L-{x}]");
-        let report = env.warmed_timed(scheme, &profile).expect("timed run ok");
+        let report = &reports[usize::from(x)];
         let slowdown = report.exec_cycles as f64 / base_report.exec_cycles as f64;
         table.row(&[&format!("L-{x}")], &[space, slowdown]);
     }

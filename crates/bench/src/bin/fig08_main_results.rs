@@ -4,9 +4,13 @@
 //! Fig. 9 bandwidth comparison, which comes from the same runs.
 //!
 //! Scale with `ABORAM_LEVELS`, `ABORAM_WARMUP`, `ABORAM_TIMED`; restrict the
-//! benchmark list with `ABORAM_BENCHES=<n>`.
+//! benchmark list with `ABORAM_BENCHES=<n>`; set the worker count with
+//! `ABORAM_JOBS` (cells are deterministic, so the tables are byte-identical
+//! for any jobs count).
 
-use aboram_bench::{emit, evaluated_schemes, space_report_of, telemetry_from_env, Experiment};
+use aboram_bench::{
+    emit, evaluated_schemes, space_report_of, telemetry_from_env, CellExecutor, Experiment,
+};
 use aboram_core::{OramConfig, OramOp, Scheme};
 use aboram_stats::{geometric_mean, Table};
 use aboram_trace::profiles;
@@ -62,20 +66,30 @@ fn main() {
         &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
     );
 
-    let mut warmed = Vec::new();
-    for scheme in evaluated_schemes() {
+    let executor = CellExecutor::from_env();
+    let warmed: Vec<_> = executor.run(evaluated_schemes(), |_, scheme| {
         eprintln!("[warming {scheme}]");
-        warmed.push((scheme, env.warmed_oram(scheme).expect("warm-up ok")));
-    }
+        (scheme, env.warmed_oram(scheme).expect("warm-up ok"))
+    });
+
+    // Every (benchmark × scheme) timed window is an independent cell: fan
+    // them all out at once, then assemble the tables from the ordered
+    // results exactly as the sequential loops did.
+    let grid: Vec<(usize, usize)> =
+        (0..suite.len()).flat_map(|p| (0..warmed.len()).map(move |k| (p, k))).collect();
+    let reports = executor.run(grid, |_, (p, k)| {
+        let report = env.timed_run(warmed[k].1.clone(), &suite[p]).expect("timed run ok");
+        eprintln!("[benchmark {} / {}]", suite[p].name, warmed[k].0);
+        report
+    });
 
     let mut norm_by_scheme: Vec<Vec<f64>> = vec![Vec::new(); 5];
     let mut frac_sums = [[0.0f64; 5]; 5];
-    for profile in &suite {
-        eprintln!("[benchmark {}]", profile.name);
+    for (p, profile) in suite.iter().enumerate() {
         let mut exec = [0f64; 5];
         let mut bw = [0f64; 5];
-        for (k, (_, oram)) in warmed.iter().enumerate() {
-            let report = env.timed_run(oram.clone(), profile).expect("timed run ok");
+        for k in 0..warmed.len() {
+            let report = &reports[p * warmed.len() + k];
             exec[k] = report.exec_cycles as f64;
             bw[k] = report.bandwidth();
             for (j, op) in OramOp::ALL.into_iter().enumerate() {

@@ -5,7 +5,7 @@
 //! number of bottom levels). Space savings shrink as fewer levels
 //! participate, while execution time stays near Baseline.
 
-use aboram_bench::{emit, telemetry_from_env, Experiment};
+use aboram_bench::{emit, telemetry_from_env, CellExecutor, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::Table;
 use aboram_trace::profiles;
@@ -16,25 +16,33 @@ fn main() {
     let base_space = env.space_report(Scheme::Baseline).expect("config");
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
 
-    eprintln!("[baseline warm-up + run]");
-    let base_report = env.warmed_timed(Scheme::Baseline, &profile).expect("timed run ok");
+    // One cell per config: the baseline plus DR with 6..1 bottom levels
+    // (table order), fanned out over the executor.
+    let schemes: Vec<Scheme> = std::iter::once(Scheme::Baseline)
+        .chain((1..=6u8).rev().map(|bottom| Scheme::Dr { bottom_levels: bottom }))
+        .collect();
+    let cells = CellExecutor::from_env().run(schemes, |_, scheme| {
+        eprintln!("[{scheme} warm-up + run]");
+        let oram = env.warmed_oram(scheme).expect("warm-up ok");
+        let ext = oram.stats().extension_ratio();
+        let report = env.timed_run(oram, &profile).expect("timed run ok");
+        (ext, report)
+    });
+    let base_report = &cells[0].1;
 
     let mut table = Table::new(
         "Fig. 11 — DR sensitivity to the number of participating bottom levels",
         &["config", "normalized space", "normalized time", "extension ratio"],
     );
     table.row(&["Baseline"], &[1.0, 1.0, 0.0]);
-    for bottom in (1..=6u8).rev() {
+    for (i, bottom) in (1..=6u8).rev().enumerate() {
         let scheme = Scheme::Dr { bottom_levels: bottom };
         let paper_level = 24 - bottom; // the paper's DR-L<k> naming
-        eprintln!("[DR-L{paper_level} warm-up + run]");
         let space = env.normalized_space(scheme, &base_space).expect("config");
-        let oram = env.warmed_oram(scheme).expect("warm-up ok");
-        let ext = oram.stats().extension_ratio();
-        let report = env.timed_run(oram, &profile).expect("timed run ok");
+        let (ext, report) = &cells[i + 1];
         table.row(
             &[&format!("DR-L{paper_level}")],
-            &[space, report.exec_cycles as f64 / base_report.exec_cycles as f64, ext],
+            &[space, report.exec_cycles as f64 / base_report.exec_cycles as f64, *ext],
         );
     }
 

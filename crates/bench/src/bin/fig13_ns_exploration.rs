@@ -5,7 +5,7 @@
 //! for NS and L3-S1 for AB from this sweep; aggressive settings like L3-S3
 //! degrade performance sharply.
 
-use aboram_bench::{emit, telemetry_from_env, Experiment};
+use aboram_bench::{emit, telemetry_from_env, CellExecutor, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::Table;
 use aboram_trace::profiles;
@@ -16,8 +16,19 @@ fn main() {
     let base_space = env.space_report(Scheme::Baseline).expect("config");
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
 
-    eprintln!("[baseline warm-up + run]");
-    let base_report = env.warmed_timed(Scheme::Baseline, &profile).expect("timed run ok");
+    // One cell per config: the baseline plus the full Ly-Sx sweep in table
+    // order, fanned out over the executor.
+    let schemes: Vec<Scheme> = std::iter::once(Scheme::Baseline)
+        .chain(
+            (1..=3u8)
+                .flat_map(|y| (1..=3u8).map(move |x| Scheme::Ns { bottom_levels: y, shrink: x })),
+        )
+        .collect();
+    let reports = CellExecutor::from_env().run(schemes, |_, scheme| {
+        eprintln!("[{scheme} warm-up + run]");
+        env.warmed_timed(scheme, &profile).expect("timed run ok")
+    });
+    let base_report = &reports[0];
 
     let mut table = Table::new(
         "Fig. 13 — NS exploration (Ly-Sx on the CB baseline)",
@@ -27,9 +38,8 @@ fn main() {
     for y in 1..=3u8 {
         for x in 1..=3u8 {
             let scheme = Scheme::Ns { bottom_levels: y, shrink: x };
-            eprintln!("[L{y}-S{x} warm-up + run]");
             let space = env.normalized_space(scheme, &base_space).expect("config");
-            let report = env.warmed_timed(scheme, &profile).expect("timed run ok");
+            let report = &reports[usize::from((y - 1) * 3 + x)];
             table.row(
                 &[&format!("L{y}-S{x}")],
                 &[space, report.exec_cycles as f64 / base_report.exec_cycles as f64],

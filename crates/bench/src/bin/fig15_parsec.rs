@@ -4,7 +4,7 @@
 //! results are workload-independent; DR/AB should again land within a few
 //! percent of Baseline.
 
-use aboram_bench::{emit, evaluated_schemes, telemetry_from_env, Experiment};
+use aboram_bench::{emit, evaluated_schemes, telemetry_from_env, CellExecutor, Experiment};
 use aboram_core::Scheme;
 use aboram_stats::{geometric_mean, Table};
 use aboram_trace::profiles;
@@ -16,23 +16,29 @@ fn main() {
         std::env::var("ABORAM_BENCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
     let suite: Vec<_> = profiles::parsec().into_iter().take(bench_count).collect();
 
-    let mut warmed = Vec::new();
-    for scheme in evaluated_schemes() {
+    let executor = CellExecutor::from_env();
+    let warmed: Vec<_> = executor.run(evaluated_schemes(), |_, scheme| {
         eprintln!("[warming {scheme}]");
-        warmed.push((scheme, env.warmed_oram(scheme).expect("warm-up ok")));
-    }
+        (scheme, env.warmed_oram(scheme).expect("warm-up ok"))
+    });
+
+    let grid: Vec<(usize, usize)> =
+        (0..suite.len()).flat_map(|p| (0..warmed.len()).map(move |k| (p, k))).collect();
+    let reports = executor.run(grid, |_, (p, k)| {
+        let report = env.timed_run(warmed[k].1.clone(), &suite[p]).expect("timed run ok");
+        eprintln!("[benchmark {} / {}]", suite[p].name, warmed[k].0);
+        report
+    });
 
     let mut table = Table::new(
         "Fig. 15 — PARSEC normalized execution time",
         &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
     );
     let mut norms: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for profile in &suite {
-        eprintln!("[benchmark {}]", profile.name);
+    for (p, profile) in suite.iter().enumerate() {
         let mut exec = [0f64; 5];
-        for (k, (_, oram)) in warmed.iter().enumerate() {
-            let report = env.timed_run(oram.clone(), profile).expect("timed run ok");
-            exec[k] = report.exec_cycles as f64;
+        for k in 0..warmed.len() {
+            exec[k] = reports[p * warmed.len() + k].exec_cycles as f64;
         }
         let normalized: Vec<f64> = exec.iter().map(|e| e / exec[0]).collect();
         for (k, v) in normalized.iter().enumerate() {

@@ -1,24 +1,32 @@
 //! Hot-path microbenchmark: wall-clock cost of the simulator's inner loop
 //! on the Fig. 8 smoke workload, plus a golden-digest equivalence check.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * default — time the fig08 smoke workload (protocol-mode warm-up plus a
 //!   cycle-level timed window, per scheme) and print per-phase wall-clock
-//!   milliseconds. `results/perf_baseline.md` records the pre- and
-//!   post-optimization numbers produced by this mode.
+//!   milliseconds. Cells fan out over the [`CellExecutor`] (`--jobs N` /
+//!   `ABORAM_JOBS`) and warm-ups are served from the snapshot cache
+//!   (`ABORAM_SNAPCACHE=off` to disable). `results/perf_baseline.md`
+//!   records the pre- and post-optimization numbers produced by this mode.
+//! * `--scaling` — run the smoke grid at 1/2/4/max jobs, print the
+//!   wall-clock for each, and append the table to
+//!   `results/perf_baseline.md`.
 //! * `--check-golden` — replay every golden case from `aboram::golden` and
 //!   compare its digest against the committed fixture under `tests/golden/`,
-//!   exiting 1 on any divergence. CI runs this so a performance change that
-//!   moves behaviour by even one bit fails the build.
+//!   exiting 1 on any divergence. The warm-up goes through the snapshot
+//!   cache, so running this twice exercises both the cold (populate) and
+//!   warm (restore) paths; CI runs it both ways so a performance change —
+//!   or a cache bug — that moves behaviour by even one bit fails the build.
 //!
 //! ```text
 //! cargo run --release -p aboram-bench --bin hotpath_bench
-//! cargo run --release -p aboram-bench --bin hotpath_bench -- --iters 5
+//! cargo run --release -p aboram-bench --bin hotpath_bench -- --iters 5 --jobs 4
+//! cargo run --release -p aboram-bench --bin hotpath_bench -- --scaling
 //! cargo run --release -p aboram-bench --bin hotpath_bench -- --check-golden
 //! ```
 
-use aboram_bench::{emit, Experiment};
+use aboram_bench::{default_jobs, emit, warmed_engine_cached, CellExecutor, Experiment};
 use aboram_core::Scheme;
 use aboram_trace::profiles;
 use std::time::Instant;
@@ -37,7 +45,11 @@ fn main() {
         return;
     }
     let iters: usize = flag_value(&args, "--iters").unwrap_or(3);
-    smoke(iters);
+    if args.iter().any(|a| a == "--scaling") {
+        scaling(iters);
+        return;
+    }
+    smoke(iters, CellExecutor::from_env_or_args(&args));
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<usize> {
@@ -45,43 +57,75 @@ fn flag_value(args: &[String], name: &str) -> Option<usize> {
     args.get(i + 1)?.parse().ok()
 }
 
-/// Times the fig08 smoke workload: for each evaluated scheme pair, a
-/// protocol-mode warm-up (CountingSink churn — the readPath/evictPath inner
-/// loop) and a cycle-level timed window (TimingSink + DRAM model).
-fn smoke(iters: usize) {
-    let env = Experiment {
+fn smoke_env() -> Experiment {
+    Experiment {
         levels: SMOKE_LEVELS,
         warmup: SMOKE_WARMUP,
         timed: SMOKE_TIMED,
         protocol_accesses: 0,
         seed: SMOKE_SEED,
-    };
-    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
-    let schemes = [Scheme::Baseline, Scheme::Ab];
+    }
+}
 
+const SMOKE_SCHEMES: [Scheme; 2] = [Scheme::Baseline, Scheme::Ab];
+
+/// One measured smoke cell: warm-up (cache-served when possible) plus the
+/// timed window, both wall-clocked.
+fn smoke_cell(env: &Experiment, scheme: Scheme) -> (f64, f64, u64) {
+    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
+    let t0 = Instant::now();
+    let oram = env.warmed_oram(scheme).expect("warm-up ok");
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let report = env.timed_run(oram, &profile).expect("timed run ok");
+    let timed_ms = t1.elapsed().as_secs_f64() * 1e3;
+    (warm_ms, timed_ms, report.exec_cycles)
+}
+
+/// Runs the full (scheme × iteration) smoke grid on `executor` and returns
+/// per-scheme (best warm ms, best timed ms, best total ms, exec cycles).
+fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f64, u64)> {
+    let env = smoke_env();
+    let cells: Vec<Scheme> =
+        SMOKE_SCHEMES.iter().flat_map(|&s| std::iter::repeat(s).take(iters)).collect();
+    let measured = executor.run(cells, |_, scheme| (scheme, smoke_cell(&env, scheme)));
+    SMOKE_SCHEMES
+        .iter()
+        .map(|&scheme| {
+            let mut best_warm = f64::MAX;
+            let mut best_timed = f64::MAX;
+            let mut best_total = f64::MAX;
+            let mut cycles = None;
+            for (_, (warm, timed, exec)) in measured.iter().filter(|(s, _)| *s == scheme) {
+                best_warm = best_warm.min(*warm);
+                best_timed = best_timed.min(*timed);
+                best_total = best_total.min(warm + timed);
+                // Every iteration must reproduce the same simulated cycles
+                // regardless of jobs count or cache state — determinism is
+                // checked on every benchmark run, not only in CI.
+                match cycles {
+                    None => cycles = Some(*exec),
+                    Some(c) => {
+                        assert_eq!(c, *exec, "{scheme}: exec cycles diverged across iterations");
+                    }
+                }
+            }
+            (scheme, best_warm, best_timed, best_total, cycles.expect("at least one iteration"))
+        })
+        .collect()
+}
+
+/// Times the fig08 smoke workload: for each evaluated scheme pair, a
+/// protocol-mode warm-up (CountingSink churn — the readPath/evictPath inner
+/// loop) and a cycle-level timed window (TimingSink + DRAM model).
+fn smoke(iters: usize, executor: CellExecutor) {
     let mut lines = String::from(
         "# hotpath_bench — fig08 smoke workload\n\n\
          | scheme | warm-up ms (best) | timed ms (best) | total ms (best) | exec cycles |\n\
          |---|---|---|---|---|\n",
     );
     let mut grand_total_best = 0.0f64;
-    for scheme in schemes {
-        let mut best_warm = f64::MAX;
-        let mut best_timed = f64::MAX;
-        let mut best_total = f64::MAX;
-        let mut exec_cycles = 0u64;
-        for _ in 0..iters {
-            let t0 = Instant::now();
-            let oram = env.warmed_oram(scheme).expect("warm-up ok");
-            let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let t1 = Instant::now();
-            let report = env.timed_run(oram, &profile).expect("timed run ok");
-            let timed_ms = t1.elapsed().as_secs_f64() * 1e3;
-            exec_cycles = report.exec_cycles;
-            best_warm = best_warm.min(warm_ms);
-            best_timed = best_timed.min(timed_ms);
-            best_total = best_total.min(warm_ms + timed_ms);
-        }
+    for (scheme, best_warm, best_timed, best_total, exec_cycles) in smoke_grid(iters, executor) {
         grand_total_best += best_total;
         lines.push_str(&format!(
             "| {scheme} | {best_warm:.1} | {best_timed:.1} | {best_total:.1} | {exec_cycles} |\n"
@@ -92,13 +136,57 @@ fn smoke(iters: usize) {
     }
     lines.push_str(&format!(
         "\nworkload: L={SMOKE_LEVELS}, warmup={SMOKE_WARMUP}, timed={SMOKE_TIMED}, \
-         seed={SMOKE_SEED:#x}, best of {iters} iterations\n\
-         grand total (best): {grand_total_best:.1} ms\n"
+         seed={SMOKE_SEED:#x}, best of {iters} iterations, {} worker(s)\n\
+         grand total (best): {grand_total_best:.1} ms\n",
+        executor.jobs()
     ));
     emit("hotpath_bench.md", &lines);
 }
 
+/// Measures the smoke grid's wall-clock at 1/2/4/max jobs and appends the
+/// scaling table to `results/perf_baseline.md`.
+fn scaling(iters: usize) {
+    let max = default_jobs();
+    let mut counts = vec![1usize, 2, 4, max];
+    counts.retain(|&j| j <= max);
+    counts.sort_unstable();
+    counts.dedup();
+    let mut table = String::from(
+        "\n## Thread scaling — fig08 smoke workload\n\n\
+         | jobs | grid wall-clock ms | speedup vs 1 job |\n|---|---|---|\n",
+    );
+    let mut first = None;
+    for &jobs in &counts {
+        let t0 = Instant::now();
+        let grid = smoke_grid(iters, CellExecutor::with_jobs(jobs));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let base = *first.get_or_insert(wall_ms);
+        table.push_str(&format!("| {jobs} | {wall_ms:.1} | {:.2}x |\n", base / wall_ms));
+        eprintln!(
+            "[jobs={jobs}: {wall_ms:.1} ms wall-clock, {} schemes x {iters} iters]",
+            grid.len()
+        );
+    }
+    table.push_str(&format!(
+        "\nworkload: L={SMOKE_LEVELS}, warmup={SMOKE_WARMUP} (snapshot-cache served after \
+         the first cell), timed={SMOKE_TIMED}, {iters} iteration(s) per scheme, max jobs = \
+         available parallelism ({max}).\n"
+    ));
+    print!("{table}");
+    let path = std::path::Path::new("results/perf_baseline.md");
+    let appended = std::fs::OpenOptions::new().append(true).open(path).and_then(|mut f| {
+        use std::io::Write;
+        f.write_all(table.as_bytes())
+    });
+    match appended {
+        Ok(()) => eprintln!("[appended to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not append to {} ({e})", path.display()),
+    }
+}
+
 /// Replays every golden case and compares against the committed fixtures.
+/// Warm-ups go through the snapshot cache, so consecutive runs check the
+/// cold and warm paths respectively.
 fn check_golden() {
     let root = std::env::var("ABORAM_GOLDEN_DIR").unwrap_or_else(|_| {
         // Default: tests/golden relative to the workspace root (CI runs from
@@ -107,7 +195,11 @@ fn check_golden() {
     });
     let mut failed = false;
     for (name, scheme) in aboram::golden::cases() {
-        let report = aboram::golden::run_case(scheme).expect("golden case runs");
+        let cfg = aboram::golden::case_config(scheme).expect("golden config builds");
+        let warm_seed = aboram::golden::warm_up_seed(&cfg);
+        let oram = warmed_engine_cached(&cfg, aboram::golden::GOLDEN_WARMUP, warm_seed)
+            .expect("golden warm-up runs");
+        let report = aboram::golden::run_case_from(oram).expect("golden case runs");
         let got = aboram::golden::digest_json(name, scheme, &report);
         let path = std::path::Path::new(&root).join(format!("{name}.json"));
         match std::fs::read_to_string(&path) {

@@ -41,13 +41,9 @@ const BINARIES: &[&str] = &[
 ];
 
 fn job_count() -> usize {
-    let default = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-    std::env::var("ABORAM_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(default)
-        .min(BINARIES.len())
+    // jobs_from_env logs (once) when the available_parallelism probe fails
+    // and the pool falls back to a single worker.
+    aboram_bench::jobs_from_env().min(BINARIES.len())
 }
 
 fn main() {
@@ -68,12 +64,20 @@ fn main() {
                 let Some(&name) = BINARIES.get(i) else { break };
                 let t0 = Instant::now();
                 eprintln!("[{}/{}] {name}", i + 1, BINARIES.len());
-                match Command::new(exe_dir.join(name)).status() {
-                    Ok(s) if s.success() => {
+                // Capture output so concurrent binaries don't interleave;
+                // a failing binary's output is replayed immediately, not
+                // discovered at the end-of-suite summary.
+                match Command::new(exe_dir.join(name)).output() {
+                    Ok(out) if out.status.success() => {
                         eprintln!("      {name} done in {:.0}s", t0.elapsed().as_secs_f64());
                     }
-                    Ok(s) => {
-                        eprintln!("      {name} FAILED with {s}");
+                    Ok(out) => {
+                        eprintln!(
+                            "      {name} FAILED with {}\n--- {name} stdout ---\n{}\n--- {name} stderr ---\n{}",
+                            out.status,
+                            String::from_utf8_lossy(&out.stdout).trim_end(),
+                            String::from_utf8_lossy(&out.stderr).trim_end(),
+                        );
                         failures.lock().expect("failure list").push(name);
                     }
                     Err(e) => {

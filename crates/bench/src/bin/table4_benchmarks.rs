@@ -3,7 +3,7 @@
 //! Generates each synthetic benchmark's trace and measures its MPKI,
 //! verifying the generators are calibrated to the paper's Table IV.
 
-use aboram_bench::{emit, Experiment};
+use aboram_bench::{emit, CellExecutor, Experiment};
 use aboram_stats::Table;
 use aboram_trace::{profiles, MpkiMeter, TraceGenerator};
 
@@ -14,12 +14,15 @@ fn main() {
         "Table IV — benchmark MPKI: paper vs generated",
         &["benchmark", "paper read", "gen read", "paper write", "gen write"],
     );
-    for profile in profiles::spec2017() {
+    let meters = CellExecutor::from_env().run(profiles::spec2017(), |_, profile| {
         let mut gen = TraceGenerator::new(&profile, env.seed);
         let mut meter = MpkiMeter::new();
         for _ in 0..records {
             meter.observe(&gen.next_record());
         }
+        (profile, meter)
+    });
+    for (profile, meter) in meters {
         table.row(
             &[profile.name],
             &[profile.read_mpki, meter.read_mpki(), profile.write_mpki, meter.write_mpki()],

@@ -1,0 +1,258 @@
+//! Deterministic parallel cell executor.
+//!
+//! Every figure and table is a grid of independent (scheme × workload ×
+//! config) simulation cells. [`CellExecutor`] fans those cells out over a
+//! scoped thread pool while keeping every observable output identical to a
+//! sequential run:
+//!
+//! * **Results** are collected into slots indexed by cell position, so the
+//!   caller assembles tables in the original cell order no matter which
+//!   worker finished first.
+//! * **Determinism** comes from the cells themselves: each cell seeds its
+//!   own RNGs from its configuration (or from [`derive_cell_seed`]), never
+//!   from shared mutable state, so the jobs count cannot move a single bit
+//!   of any simulated result.
+//! * **Telemetry** is captured per cell. When the calling thread has a
+//!   collector installed (see `telemetry_from_env`), each cell runs under
+//!   its own [`aboram_telemetry::Collector`] writing to an in-memory
+//!   buffer; after the grid completes, the buffers are drained *in cell
+//!   order* into the caller's collector. The resulting JSONL trace is
+//!   byte-identical for any jobs count, including `--jobs 1`.
+//!
+//! The worker count follows the `run_all` convention: `ABORAM_JOBS` (or a
+//! `--jobs N` flag where a binary accepts one), defaulting to the machine's
+//! available parallelism and clamped to it — oversubscription cannot speed
+//! up CPU-bound cells and only distorts wall-clock timings. A failed
+//! `available_parallelism` probe logs the fallback to one worker once
+//! instead of silently serializing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+
+/// Resolves the default worker count, logging (once per process) when the
+/// parallelism probe fails and the pool falls back to a single worker.
+pub fn default_jobs() -> usize {
+    static WARN_ONCE: Once = Once::new();
+    match std::thread::available_parallelism() {
+        Ok(n) => n.get(),
+        Err(e) => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: available_parallelism probe failed ({e}); \
+                     falling back to 1 worker (set ABORAM_JOBS to override)"
+                );
+            });
+            1
+        }
+    }
+}
+
+/// Reads the worker count from `ABORAM_JOBS`, falling back to
+/// [`default_jobs`]. Zero and unparsable values are ignored, and requests
+/// beyond the machine's available parallelism are clamped: simulation
+/// cells are CPU-bound, so oversubscribing physical cores cannot finish a
+/// grid sooner — it only inflates the per-cell wall-clock timings that
+/// `hotpath_bench` reports.
+pub fn jobs_from_env() -> usize {
+    std::env::var("ABORAM_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .map_or_else(default_jobs, clamp_jobs)
+}
+
+/// Clamps a requested worker count to available parallelism (see
+/// [`jobs_from_env`]). When the probe fails the request is honoured as-is.
+fn clamp_jobs(requested: usize) -> usize {
+    match std::thread::available_parallelism() {
+        Ok(cap) => requested.clamp(1, cap.get()),
+        Err(_) => requested.max(1),
+    }
+}
+
+/// Derives an independent per-cell seed from a base seed and a cell index
+/// using the SplitMix64 finalizer — the scheme cells should use when they
+/// need a seed that is unique per grid position rather than shared from the
+/// experiment configuration. Pure function of `(base, index)`, so the
+/// derived stream is identical for any jobs count.
+#[must_use]
+pub fn derive_cell_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-width scoped thread pool for simulation cells.
+#[derive(Debug, Clone, Copy)]
+pub struct CellExecutor {
+    jobs: usize,
+}
+
+impl CellExecutor {
+    /// An executor with exactly `jobs` workers (floored at one). No
+    /// parallelism clamp is applied here — callers sizing from user input
+    /// should go through [`CellExecutor::from_env`] or
+    /// [`CellExecutor::from_env_or_args`].
+    pub fn with_jobs(jobs: usize) -> Self {
+        CellExecutor { jobs: jobs.max(1) }
+    }
+
+    /// An executor sized by `ABORAM_JOBS` / available parallelism.
+    pub fn from_env() -> Self {
+        Self::with_jobs(jobs_from_env())
+    }
+
+    /// Like [`CellExecutor::from_env`], but a `--jobs N` pair in `args`
+    /// takes precedence over the environment. The flag is clamped to
+    /// available parallelism like `ABORAM_JOBS` (see [`jobs_from_env`]).
+    pub fn from_env_or_args(args: &[String]) -> Self {
+        let flag = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0);
+        match flag {
+            Some(n) => Self::with_jobs(clamp_jobs(n)),
+            None => Self::from_env(),
+        }
+    }
+
+    /// The worker count this executor fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes `f(index, cell)` for every cell, returning the results in
+    /// cell order. Workers claim cells through an atomic cursor, so a
+    /// single-worker executor walks the grid in order exactly like the old
+    /// sequential loops. A panicking cell propagates to the caller.
+    ///
+    /// When the calling thread has a telemetry collector installed, each
+    /// cell records into a private collector and the per-cell traces are
+    /// appended to the caller's collector in cell order afterwards (see the
+    /// module docs for the byte-identity argument).
+    pub fn run<T, R, F>(&self, cells: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let traced = aboram_telemetry::enabled();
+        let caller_collector = if traced { aboram_telemetry::uninstall() } else { None };
+
+        let n = cells.len();
+        let slots: Vec<Mutex<Option<T>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(n.max(1));
+
+        let mut collected: Vec<(usize, R, Option<String>)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let cell = slots[i]
+                                .lock()
+                                .expect("cell slot lock")
+                                .take()
+                                .expect("cell claimed exactly once");
+                            let buf = traced.then(|| {
+                                let (collector, buf) =
+                                    aboram_telemetry::Collector::to_shared_buffer();
+                                aboram_telemetry::install(collector);
+                                buf
+                            });
+                            let result = f(i, cell);
+                            let trace = buf.map(|b| {
+                                if let Some(mut c) = aboram_telemetry::uninstall() {
+                                    let _ = c.flush();
+                                }
+                                b.take()
+                            });
+                            local.push((i, result, trace));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => collected.extend(part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        collected.sort_by_key(|(i, ..)| *i);
+
+        if let Some(mut collector) = caller_collector {
+            for (_, _, trace) in &collected {
+                if let Some(text) = trace {
+                    collector.append_raw(text);
+                }
+            }
+            let _ = collector.flush();
+            aboram_telemetry::install(collector);
+        }
+        collected.into_iter().map(|(_, r, _)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        for jobs in [1, 2, 4, 7] {
+            let cells: Vec<usize> = (0..23).collect();
+            let out = CellExecutor::with_jobs(jobs).run(cells, |i, c| {
+                assert_eq!(i, c);
+                c * 10
+            });
+            assert_eq!(out, (0..23).map(|i| i * 10).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u64> = CellExecutor::with_jobs(4).run(Vec::<u64>::new(), |_, c| c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let a = derive_cell_seed(2023, 0);
+        let b = derive_cell_seed(2023, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_cell_seed(2023, 0), "pure function of (base, index)");
+        assert_ne!(derive_cell_seed(2024, 0), a, "base seed participates");
+    }
+
+    #[test]
+    fn telemetry_merges_in_cell_order_for_any_jobs_count() {
+        let trace_for = |jobs: usize| {
+            let (collector, buf) = aboram_telemetry::Collector::to_shared_buffer();
+            aboram_telemetry::install(collector);
+            CellExecutor::with_jobs(jobs).run((0u64..6).collect(), |_, c| {
+                aboram_telemetry::begin_run("cell", 2, 16);
+                aboram_telemetry::counter_add("executor.test_cell", c + 1);
+                aboram_telemetry::end_run(c, 0);
+            });
+            let mut c = aboram_telemetry::uninstall().expect("collector still installed");
+            c.flush().expect("flush");
+            buf.take()
+        };
+        let sequential = trace_for(1);
+        assert!(sequential.contains("executor.test_cell"), "{sequential}");
+        for jobs in [2, 4] {
+            assert_eq!(trace_for(jobs), sequential, "jobs={jobs} trace must be byte-identical");
+        }
+    }
+}

@@ -20,6 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod executor;
+mod snapcache;
+
+pub use executor::{default_jobs, derive_cell_seed, jobs_from_env, CellExecutor};
+pub use snapcache::{cache_dir, cache_enabled, cache_key, warmed_engine_cached};
+
 use aboram_core::{
     AccessKind, CountingSink, OramConfig, OramError, RingOram, Scheme, SimulationReport,
     TimingDriver,
@@ -84,16 +90,21 @@ impl Experiment {
 
     /// Builds and warms an engine for `scheme` with uniform random accesses
     /// (the §VII warm-up phase).
+    ///
+    /// The warmed steady state is served from the snapshot cache when a
+    /// matching entry exists (see [`warmed_engine_cached`]); the restored
+    /// engine is bit-identical to a freshly simulated warm-up. Set
+    /// `ABORAM_SNAPCACHE=off` to always warm fresh.
     pub fn warmed_oram(&self, scheme: Scheme) -> Result<RingOram, OramError> {
         let cfg = self.config(scheme)?;
-        let mut oram = RingOram::new(&cfg)?;
-        let mut sink = CountingSink::new();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xaaaa);
-        let blocks = cfg.real_block_count();
-        for _ in 0..self.warmup {
-            oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)?;
-        }
-        Ok(oram)
+        warmed_engine_cached(&cfg, self.warmup, self.warmup_seed())
+    }
+
+    /// The warm-up RNG seed [`Experiment::warmed_oram`] draws its uniform
+    /// accesses from (distinct from the engine seed so the warm-up stream
+    /// and the engine's internal randomness stay independent).
+    pub fn warmup_seed(&self) -> u64 {
+        self.seed ^ 0xaaaa
     }
 
     /// Runs one benchmark's timed window against a pre-warmed engine and

@@ -1,0 +1,213 @@
+//! Warm-up snapshot cache.
+//!
+//! Warm-up dominates every timed cell's wall-clock (see
+//! `results/perf_baseline.md`): tens of thousands of protocol accesses just
+//! to reach the steady state the paper measures from. The steady state is a
+//! pure function of (configuration, warm-up length, warm-up seed), so it is
+//! cached: the first cell to need a given warm-up simulates it once and
+//! stores the engine's [`RingOram::snapshot`] bytes under
+//! `target/aboram-snapcache/`; every later cell — in this process or the
+//! next — restores it in milliseconds.
+//!
+//! # Cache key and invalidation
+//!
+//! A cache entry is named by an FNV-1a digest of:
+//!
+//! * [`aboram_core::config_digest`] — every behavior-affecting
+//!   [`OramConfig`] field, including the engine seed;
+//! * [`aboram_core::SNAPSHOT_VERSION`] — bumped whenever the snapshot
+//!   format *or* engine behavior changes, which orphans stale entries;
+//! * the warm-up access count and the warm-up RNG seed.
+//!
+//! The snapshot body additionally carries its own header digest and
+//! trailing checksum, so a colliding, truncated or corrupt file fails
+//! [`RingOram::restore`] and the cell silently falls back to a fresh
+//! warm-up (rewriting the entry). Restored engines are bit-identical to
+//! freshly warmed ones — stats, RNG stream and all — which is what keeps
+//! golden digests and `exec cycles` unchanged cold or warm.
+//!
+//! # Knobs
+//!
+//! * `ABORAM_SNAPCACHE=off` (or `0`) disables the cache entirely;
+//! * `ABORAM_SNAPCACHE_DIR=<path>` relocates it (tests use a tempdir).
+
+use aboram_core::{config_digest, AccessKind, CountingSink, OramConfig, OramError, RingOram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Whether the snapshot cache is active (`ABORAM_SNAPCACHE` not `off`/`0`).
+pub fn cache_enabled() -> bool {
+    !matches!(std::env::var("ABORAM_SNAPCACHE").as_deref(), Ok("off") | Ok("0") | Ok("false"))
+}
+
+/// The cache directory: `ABORAM_SNAPCACHE_DIR`, or `aboram-snapcache/`
+/// inside the workspace `target/` directory (anchored at compile time so
+/// binaries and unit tests agree regardless of their working directory).
+pub fn cache_dir() -> PathBuf {
+    std::env::var("ABORAM_SNAPCACHE_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/aboram-snapcache")
+    })
+}
+
+/// The cache key for a (config, warm-up length, warm-up seed) triple.
+#[must_use]
+pub fn cache_key(cfg: &OramConfig, warmup: u64, warm_seed: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(32);
+    bytes.extend_from_slice(&config_digest(cfg).to_le_bytes());
+    bytes.extend_from_slice(&u64::from(aboram_core::SNAPSHOT_VERSION).to_le_bytes());
+    bytes.extend_from_slice(&warmup.to_le_bytes());
+    bytes.extend_from_slice(&warm_seed.to_le_bytes());
+    aboram_stats::fnv1a64(&bytes)
+}
+
+/// Builds an engine warmed by `warmup` uniform read accesses drawn from
+/// `StdRng::seed_from_u64(warm_seed)` — the §VII warm-up phase shared by
+/// `Experiment::warmed_oram` and `TimingDriver::warm_up` — restoring it
+/// from the snapshot cache when possible and populating the cache
+/// otherwise.
+///
+/// Engines whose configuration stores encrypted block data
+/// (`cfg.store_data`) refuse to snapshot; they warm fresh every time.
+///
+/// # Errors
+///
+/// Propagates engine construction and protocol errors. Cache I/O failures
+/// are never fatal: an unreadable entry falls back to a fresh warm-up and
+/// an unwritable directory just skips the store.
+pub fn warmed_engine_cached(
+    cfg: &OramConfig,
+    warmup: u64,
+    warm_seed: u64,
+) -> Result<RingOram, OramError> {
+    if !cache_enabled() || cfg.store_data {
+        return warm_fresh(cfg, warmup, warm_seed);
+    }
+    warmed_engine_cached_at(&cache_dir(), cfg, warmup, warm_seed)
+}
+
+/// The cache path, with an explicit directory (tests use a tempdir).
+fn warmed_engine_cached_at(
+    dir: &Path,
+    cfg: &OramConfig,
+    warmup: u64,
+    warm_seed: u64,
+) -> Result<RingOram, OramError> {
+    let path = dir.join(format!("{:016x}.snap", cache_key(cfg, warmup, warm_seed)));
+    if let Ok(bytes) = std::fs::read(&path) {
+        match RingOram::restore(cfg, &bytes) {
+            Ok(oram) => return Ok(oram),
+            Err(e) => eprintln!(
+                "warning: snapshot cache entry {} rejected ({e}); re-warming",
+                path.display()
+            ),
+        }
+    }
+    let oram = warm_fresh(cfg, warmup, warm_seed)?;
+    match oram.snapshot() {
+        Ok(bytes) => store_entry(dir, &path, &bytes),
+        Err(e) => eprintln!("warning: engine refused to snapshot ({e}); not caching"),
+    }
+    Ok(oram)
+}
+
+fn warm_fresh(cfg: &OramConfig, warmup: u64, warm_seed: u64) -> Result<RingOram, OramError> {
+    let mut oram = RingOram::new(cfg)?;
+    let mut sink = CountingSink::new();
+    let mut rng = StdRng::seed_from_u64(warm_seed);
+    let blocks = cfg.real_block_count();
+    for _ in 0..warmup {
+        oram.access(AccessKind::Read, rng.gen_range(0..blocks), None, &mut sink)?;
+    }
+    Ok(oram)
+}
+
+/// Stores `bytes` at `path` via a unique temporary file and an atomic
+/// rename, so concurrent cells warming the same configuration never observe
+/// a half-written entry. Failures are logged and ignored — the cache is an
+/// accelerator, not a correctness dependency.
+fn store_entry(dir: &Path, path: &Path, bytes: &[u8]) {
+    static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create snapshot cache dir {} ({e})", dir.display());
+        return;
+    }
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let stored = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = stored {
+        eprintln!("warning: cannot store snapshot cache entry {} ({e})", path.display());
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aboram_core::Scheme;
+
+    fn test_cfg(seed: u64) -> OramConfig {
+        OramConfig::builder(10, Scheme::Ab).seed(seed).build().expect("config")
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("aboram-snapcache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        dir
+    }
+
+    #[test]
+    fn cache_key_separates_every_input() {
+        let cfg = test_cfg(1);
+        let base = cache_key(&cfg, 100, 7);
+        assert_eq!(base, cache_key(&cfg, 100, 7));
+        assert_ne!(base, cache_key(&cfg, 101, 7), "warm-up length keyed");
+        assert_ne!(base, cache_key(&cfg, 100, 8), "warm-up seed keyed");
+        assert_ne!(base, cache_key(&test_cfg(2), 100, 7), "config digest keyed");
+    }
+
+    #[test]
+    fn cold_then_warm_produce_the_same_engine_as_fresh() {
+        let dir = tempdir("roundtrip");
+        let cfg = test_cfg(42);
+        let fresh = warm_fresh(&cfg, 400, 42 ^ 0xaaaa).expect("fresh warm-up");
+
+        // Cold pass populates the cache; warm pass restores from it. Both
+        // must match the straight-line warm-up bit for bit.
+        for pass in ["cold", "warm"] {
+            let oram =
+                warmed_engine_cached_at(&dir, &cfg, 400, 42 ^ 0xaaaa).expect("cached warm-up");
+            oram.validate_invariants().expect("restored engine is sound");
+            assert_eq!(
+                oram.snapshot().expect("snapshot"),
+                fresh.snapshot().expect("snapshot"),
+                "{pass} engine diverged from fresh warm-up"
+            );
+        }
+        assert_eq!(
+            std::fs::read_dir(&dir).expect("cache dir").count(),
+            1,
+            "exactly one cache entry, no leftover temp files"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_falls_back_to_fresh_warmup() {
+        let dir = tempdir("corrupt");
+        let cfg = test_cfg(7);
+        let path = dir.join(format!("{:016x}.snap", cache_key(&cfg, 200, 9)));
+        std::fs::write(&path, b"definitely not a snapshot").expect("write corrupt entry");
+        let oram = warmed_engine_cached_at(&dir, &cfg, 200, 9).expect("fallback warm-up");
+        let fresh = warm_fresh(&cfg, 200, 9).expect("fresh");
+        assert_eq!(oram.snapshot().expect("snap"), fresh.snapshot().expect("snap"));
+        assert!(path.exists(), "corrupt entry was rewritten with a good snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,75 @@
+//! Differential checks for the parallel cell executor: the jobs count must
+//! never move a single bit of any observable output. A fig08-shaped
+//! (profile × scheme) grid is run at `jobs=1` and `jobs=4` and the
+//! assembled result table, the telemetry JSONL trace and the golden-case
+//! digests are compared byte for byte.
+
+use aboram_bench::{CellExecutor, Experiment};
+use aboram_core::Scheme;
+use aboram_telemetry::Collector;
+use aboram_trace::profiles;
+use std::path::Path;
+
+/// Runs a small fig08-shaped grid (2 profiles × 3 schemes, warmed + timed)
+/// on `jobs` workers and returns the assembled table plus the telemetry
+/// trace the run produced.
+fn fig08_shaped_grid(jobs: usize) -> (String, String) {
+    let env =
+        Experiment { levels: 10, warmup: 1_500, timed: 200, protocol_accesses: 0, seed: 0xD1FF };
+    let suite: Vec<_> = profiles::spec2017().into_iter().take(2).collect();
+    let schemes = [Scheme::Baseline, Scheme::DR, Scheme::Ab];
+
+    let (collector, buf) = Collector::to_shared_buffer();
+    aboram_telemetry::install(collector);
+    let grid: Vec<(usize, usize)> =
+        (0..suite.len()).flat_map(|p| (0..schemes.len()).map(move |k| (p, k))).collect();
+    let cycles = CellExecutor::with_jobs(jobs).run(grid, |_, (p, k)| {
+        env.warmed_timed(schemes[k], &suite[p]).expect("timed run ok").exec_cycles
+    });
+    let mut c = aboram_telemetry::uninstall().expect("collector still installed");
+    c.flush().expect("flush");
+
+    let mut table = String::from("| benchmark | scheme | exec cycles |\n|---|---|---|\n");
+    for (p, profile) in suite.iter().enumerate() {
+        for (k, scheme) in schemes.iter().enumerate() {
+            table.push_str(&format!(
+                "| {} | {scheme} | {} |\n",
+                profile.name,
+                cycles[p * schemes.len() + k]
+            ));
+        }
+    }
+    (table, buf.take())
+}
+
+#[test]
+fn jobs_count_never_moves_a_bit_in_tables_or_telemetry() {
+    let (table_seq, trace_seq) = fig08_shaped_grid(1);
+    assert!(table_seq.lines().count() > 2, "grid produced rows:\n{table_seq}");
+    assert!(trace_seq.contains("\"run\""), "telemetry captured runs:\n{trace_seq}");
+
+    let (table_par, trace_par) = fig08_shaped_grid(4);
+    assert_eq!(table_seq, table_par, "result table depends on jobs count");
+    assert_eq!(trace_seq, trace_par, "telemetry trace depends on jobs count");
+}
+
+#[test]
+fn golden_digests_identical_at_any_jobs_count() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    let cases = aboram::golden::cases();
+
+    let digest_grid = |jobs: usize| {
+        CellExecutor::with_jobs(jobs).run(cases.to_vec(), |_, (name, scheme)| {
+            let report = aboram::golden::run_case(scheme).expect("golden case runs");
+            aboram::golden::digest_json(name, scheme, &report)
+        })
+    };
+
+    let sequential = digest_grid(1);
+    for ((name, _), got) in cases.iter().zip(&sequential) {
+        let want = std::fs::read_to_string(fixtures.join(format!("{name}.json")))
+            .expect("committed golden fixture");
+        assert_eq!(&want, got, "{name}: jobs=1 digest diverged from the committed fixture");
+    }
+    assert_eq!(sequential, digest_grid(4), "golden digests depend on jobs count");
+}

@@ -200,6 +200,13 @@ impl TimingDriver {
         self.sink.inner().memory().stats()
     }
 
+    /// XOR applied to the engine seed to derive [`warm_up`]'s RNG seed.
+    /// Exposed so external warm-up replays (e.g. a snapshot cache) can
+    /// reproduce the exact access stream `warm_up` would generate.
+    ///
+    /// [`warm_up`]: Self::warm_up
+    pub const WARM_UP_SEED_XOR: u64 = 0x3aa3_5717;
+
     /// Warms the ORAM protocol state with `accesses` uniform random
     /// accesses that generate no timed memory traffic — the paper's §VII
     /// methodology (38 M of 40 M trace records warm the tree before the
@@ -212,7 +219,8 @@ impl TimingDriver {
         use rand::{Rng, SeedableRng};
         let mut sink = crate::sink::CountingSink::new();
         let blocks = self.oram.config().real_block_count();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.oram.config().seed ^ 0x3aa3_5717);
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(self.oram.config().seed ^ Self::WARM_UP_SEED_XOR);
         for _ in 0..accesses {
             let block = rng.gen_range(0..blocks);
             self.oram.access(AccessKind::Read, block, None, &mut sink)?;

@@ -57,6 +57,13 @@ pub enum OramError {
         /// Which invariant broke.
         context: &'static str,
     },
+    /// An engine snapshot could not be taken or restored — truncated or
+    /// corrupted bytes, a format-version mismatch, or a snapshot taken under
+    /// a different configuration. Cache layers treat this as a miss.
+    SnapshotInvalid {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OramError {
@@ -87,6 +94,9 @@ impl fmt::Display for OramError {
             OramError::Internal { context } => {
                 write!(f, "internal invariant violated: {context}")
             }
+            OramError::SnapshotInvalid { reason } => {
+                write!(f, "snapshot rejected: {reason}")
+            }
         }
     }
 }
@@ -103,6 +113,12 @@ impl Error for OramError {
 impl From<GeometryError> for OramError {
     fn from(e: GeometryError) -> Self {
         OramError::Geometry(e)
+    }
+}
+
+impl From<aboram_stats::CodecError> for OramError {
+    fn from(e: aboram_stats::CodecError) -> Self {
+        OramError::SnapshotInvalid { reason: e.reason }
     }
 }
 
@@ -128,5 +144,7 @@ mod tests {
         assert!(u.to_string().contains("write-ack"));
         let i = OramError::Internal { context: "candidate missing from stash" };
         assert!(i.to_string().contains("invariant"));
+        let s = OramError::SnapshotInvalid { reason: "bad magic".to_string() };
+        assert!(s.to_string().contains("bad magic"));
     }
 }

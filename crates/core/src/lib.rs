@@ -54,6 +54,7 @@ mod recursion;
 mod ring;
 mod security;
 mod sink;
+mod snapshot;
 mod stash;
 mod stats;
 
@@ -72,6 +73,7 @@ pub use recursion::{PlbConfig, PosMapHierarchy};
 pub use ring::{AccessKind, RingOram};
 pub use security::{attack_success_rate, SecurityReport};
 pub use sink::{CountingSink, MemorySink, OramOp, TimingSink};
+pub use snapshot::{config_digest, SNAPSHOT_VERSION};
 pub use stash::{Stash, StashBlock};
 pub use stats::OramStats;
 

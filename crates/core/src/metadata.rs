@@ -275,6 +275,61 @@ impl BucketMeta {
     pub fn needs_reshuffle(&self, budget: u8) -> bool {
         self.count >= budget
     }
+
+    /// Decomposes the bucket into its raw fields — snapshot serialization.
+    pub(crate) fn to_raw(&self) -> BucketMetaRaw {
+        BucketMetaRaw {
+            count: self.count,
+            dynamic_s: self.dynamic_s,
+            entries: self.entries.clone(),
+            valid: self.valid,
+            real: self.real,
+            dead: self.dead,
+            allocated: self.allocated,
+            own_slots: self.own_slots,
+            logical_slots: self.logical_slots,
+            borrowed: self.borrowed.clone(),
+        }
+    }
+
+    /// Rebuilds a bucket from raw fields captured by
+    /// [`to_raw`](Self::to_raw) — snapshot restore.
+    pub(crate) fn from_raw(raw: BucketMetaRaw) -> Self {
+        debug_assert_eq!(
+            raw.real,
+            raw.entries.iter().fold(0u16, |m, e| m | (1 << e.ptr)),
+            "occupancy bitmap inconsistent with entries"
+        );
+        BucketMeta {
+            count: raw.count,
+            dynamic_s: raw.dynamic_s,
+            entries: raw.entries,
+            valid: raw.valid,
+            real: raw.real,
+            dead: raw.dead,
+            allocated: raw.allocated,
+            own_slots: raw.own_slots,
+            logical_slots: raw.logical_slots,
+            borrowed: raw.borrowed,
+        }
+    }
+}
+
+/// The raw fields of one [`BucketMeta`], exposed crate-internally so the
+/// snapshot codec can round-trip buckets bit-exactly without widening the
+/// bucket's own API.
+#[derive(Debug, Clone)]
+pub(crate) struct BucketMetaRaw {
+    pub count: u8,
+    pub dynamic_s: u8,
+    pub entries: Vec<RealEntry>,
+    pub valid: u16,
+    pub real: u16,
+    pub dead: u16,
+    pub allocated: u16,
+    pub own_slots: u8,
+    pub logical_slots: u8,
+    pub borrowed: Vec<SlotId>,
 }
 
 /// All bucket metadata plus resolution of logical slots to physical slots.
@@ -323,6 +378,16 @@ impl MetadataStore {
         } else {
             meta.borrowed[usize::from(logical - own)]
         }
+    }
+
+    /// All bucket metadata in heap order — snapshot serialization.
+    pub(crate) fn buckets(&self) -> &[BucketMeta] {
+        &self.buckets
+    }
+
+    /// Rebuilds a store from buckets in heap order — snapshot restore.
+    pub(crate) fn from_buckets(buckets: Vec<BucketMeta>) -> Self {
+        MetadataStore { buckets }
     }
 
     /// Total buckets tracked.

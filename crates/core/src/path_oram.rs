@@ -341,6 +341,183 @@ impl PathOram {
     }
 }
 
+/// Snapshot serialization (see the `snapshot` module docs for the format).
+impl PathOram {
+    /// Serializes the engine's complete mutable state — position map, bucket
+    /// contents, stash, access counter, recovery counters and RNG words — so
+    /// that [`restore`](Self::restore) followed by any access sequence
+    /// behaves bit-identically to this engine running the same sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::SnapshotInvalid`] when the data path is enabled
+    /// (block contents are deliberately excluded from snapshots).
+    pub fn snapshot(&self) -> Result<Vec<u8>, OramError> {
+        if self.store_data {
+            return Err(OramError::SnapshotInvalid {
+                reason: "data path enabled; snapshots cover metadata-only engines".to_string(),
+            });
+        }
+        let mut w = crate::snapshot::Writer::new();
+        crate::snapshot::write_header(&mut w, crate::snapshot::KIND_PATH, &self.cfg);
+
+        w.u64(self.accesses);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+
+        let paths = self.posmap.raw_paths();
+        w.u64(self.geo.leaf_count());
+        w.u64(paths.len() as u64);
+        for &p in paths {
+            w.u64(p);
+        }
+
+        w.u64(self.stash.capacity() as u64);
+        w.u64(self.stash.peak() as u64);
+        let stash_blocks = self.stash.snapshot_blocks();
+        w.u64(stash_blocks.len() as u64);
+        for b in &stash_blocks {
+            w.u64(b.block);
+            w.u64(b.label.leaf());
+        }
+
+        w.u64(self.buckets.len() as u64);
+        for bucket in &self.buckets {
+            w.u8(bucket.blocks.len() as u8);
+            for (block, label, _) in &bucket.blocks {
+                w.u64(*block);
+                w.u64(label.leaf());
+            }
+        }
+
+        for v in [
+            self.recovery.integrity_faults_detected,
+            self.recovery.integrity_faults_recovered,
+            self.recovery.integrity_retries,
+            self.recovery.metadata_faults_detected,
+            self.recovery.metadata_faults_recovered,
+            self.recovery.metadata_retries,
+            self.recovery.dropped_writes_detected,
+            self.recovery.dropped_writes_recovered,
+            self.recovery.write_retries,
+            self.recovery.escalated_evictions,
+            self.recovery.degraded_accesses,
+            self.recovery.backoff_cycles,
+        ] {
+            w.u64(v);
+        }
+        Ok(crate::snapshot::seal(w))
+    }
+
+    /// Rebuilds an engine from [`snapshot`](Self::snapshot) bytes taken
+    /// under an identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::SnapshotInvalid`] on truncated or corrupted
+    /// bytes, a format-version mismatch, or a configuration (digest)
+    /// mismatch; geometry errors propagate as from [`new`](Self::new).
+    pub fn restore(cfg: &OramConfig, bytes: &[u8]) -> Result<Self, OramError> {
+        if cfg.store_data {
+            return Err(OramError::SnapshotInvalid {
+                reason: "data path enabled; snapshots cover metadata-only engines".to_string(),
+            });
+        }
+        let body = crate::snapshot::verify_sealed(bytes)?;
+        let mut r = crate::snapshot::Reader::new(body);
+        crate::snapshot::check_header(&mut r, crate::snapshot::KIND_PATH, cfg)?;
+
+        let geo = cfg.geometry()?;
+        let layout = PhysicalLayout::new(&geo);
+
+        let accesses = r.u64()?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.u64()?;
+        }
+
+        let leaves = r.u64()?;
+        if leaves != geo.leaf_count() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "leaf count disagrees with geometry".to_string(),
+            });
+        }
+        let n_paths = r.len_prefix(8)?;
+        let mut paths = Vec::with_capacity(n_paths);
+        for _ in 0..n_paths {
+            paths.push(r.u64()?);
+        }
+        let posmap = PositionMap::from_raw_parts(paths, leaves);
+
+        let stash_capacity = r.u64()? as usize;
+        let stash_peak = r.u64()? as usize;
+        let n_stash = r.len_prefix(16)?;
+        let mut stash_blocks = Vec::with_capacity(n_stash);
+        for _ in 0..n_stash {
+            let block = r.u64()?;
+            let label = PathId::new(r.u64()?);
+            stash_blocks.push(StashBlock { block, label, data: [0; BLOCK_BYTES] });
+        }
+        let stash = Stash::from_snapshot(stash_capacity, stash_peak, stash_blocks);
+
+        let n_buckets = r.len_prefix(1)?;
+        if n_buckets as u64 != geo.bucket_count() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "bucket count disagrees with geometry".to_string(),
+            });
+        }
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let n = usize::from(r.u8()?);
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let block = r.u64()?;
+                let label = PathId::new(r.u64()?);
+                blocks.push((block, label, [0; BLOCK_BYTES]));
+            }
+            buckets.push(PathBucket { blocks });
+        }
+
+        let mut rec = [0u64; 12];
+        for v in &mut rec {
+            *v = r.u64()?;
+        }
+        let recovery = RecoveryStats {
+            integrity_faults_detected: rec[0],
+            integrity_faults_recovered: rec[1],
+            integrity_retries: rec[2],
+            metadata_faults_detected: rec[3],
+            metadata_faults_recovered: rec[4],
+            metadata_retries: rec[5],
+            dropped_writes_detected: rec[6],
+            dropped_writes_recovered: rec[7],
+            write_retries: rec[8],
+            escalated_evictions: rec[9],
+            degraded_accesses: rec[10],
+            backoff_cycles: rec[11],
+        };
+        if r.remaining() != 0 {
+            return Err(OramError::SnapshotInvalid {
+                reason: "trailing bytes after engine body".to_string(),
+            });
+        }
+
+        Ok(PathOram {
+            cfg: cfg.clone(),
+            geo,
+            layout,
+            posmap,
+            buckets,
+            stash,
+            rng: StdRng::from_state(rng_state),
+            accesses,
+            recovery,
+            store_data: false,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,18 @@ impl PositionMap {
     pub fn leaves(&self) -> u64 {
         self.leaves
     }
+
+    /// Raw path assignments in block-id order — snapshot serialization.
+    pub(crate) fn raw_paths(&self) -> &[u64] {
+        &self.paths
+    }
+
+    /// Rebuilds a map from raw parts captured by
+    /// [`raw_paths`](Self::raw_paths) — snapshot restore.
+    pub(crate) fn from_raw_parts(paths: Vec<u64>, leaves: u64) -> Self {
+        assert!(leaves.is_power_of_two(), "leaf count must be a power of two");
+        PositionMap { paths, leaves }
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,25 @@ impl Stash {
         self.blocks.values()
     }
 
+    /// Buffered blocks sorted by block id — snapshot serialization (the
+    /// map's own iteration order is unspecified and must not leak).
+    pub(crate) fn snapshot_blocks(&self) -> Vec<StashBlock> {
+        let mut blocks: Vec<StashBlock> = self.blocks.values().copied().collect();
+        blocks.sort_unstable_by_key(|e| e.block);
+        blocks
+    }
+
+    /// Rebuilds a stash from snapshot parts, restoring the sticky peak
+    /// exactly (inserting alone would under-report it).
+    pub(crate) fn from_snapshot(capacity: usize, peak: usize, blocks: Vec<StashBlock>) -> Self {
+        let mut stash = Stash::new(capacity);
+        for entry in blocks {
+            stash.insert(entry);
+        }
+        stash.peak = peak.max(stash.peak);
+        stash
+    }
+
     /// Collects the ids of blocks whose labels satisfy `pred` — the eviction
     /// scan ("searches the entire stash", §III-A).
     pub fn matching_blocks(&self, pred: impl FnMut(PathId) -> bool) -> Vec<BlockId> {

@@ -1,9 +1,10 @@
 //! The multi-channel memory system façade.
 
 use crate::channel::{Channel, MemOpKind, Priority, RequestId};
-use crate::config::DramConfig;
+use crate::config::{AddressMapping, DramConfig, PagePolicy};
 use crate::mapping::decode;
 use crate::stats::MemoryStats;
+use aboram_stats::{fnv1a64, ByteReader, ByteWriter, CodecError};
 
 /// Number of distinct traffic tags the statistics track. Tags are opaque to
 /// the memory system; the ORAM layer uses them to attribute traffic to
@@ -216,11 +217,239 @@ impl MemorySystem {
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
     }
+
+    /// Serializes the memory system's complete state — per-request
+    /// completion/routing tables, statistics and per-channel scheduler state
+    /// (open rows, activate history, bus/clock cursors, stall windows) — so
+    /// that [`restore`](MemorySystem::restore) followed by any request
+    /// sequence behaves cycle-identically to this instance running the same
+    /// sequence.
+    ///
+    /// Snapshots are quiescent-only: call [`drain`](MemorySystem::drain)
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when requests are still pending on any channel.
+    pub fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
+        if self.pending() != 0 {
+            return Err(CodecError::new("memory system has pending requests; drain first"));
+        }
+        let mut w = ByteWriter::new();
+        w.bytes(&DRAM_SNAPSHOT_MAGIC);
+        w.u32(DRAM_SNAPSHOT_VERSION);
+        w.u64(dram_config_digest(&self.cfg));
+        w.u64(self.completions.len() as u64);
+        for &c in &self.completions {
+            w.u64(c);
+        }
+        w.u64(self.routing.len() as u64);
+        for &ch in &self.routing {
+            w.u8(ch);
+        }
+        self.stats.snapshot_into(&mut w);
+        w.u64(self.channels.len() as u64);
+        for ch in &self.channels {
+            ch.snapshot_into(&mut w)?;
+        }
+        let digest = fnv1a64(w.as_bytes());
+        w.u64(digest);
+        Ok(w.into_bytes())
+    }
+
+    /// Rebuilds a memory system from [`snapshot`](MemorySystem::snapshot)
+    /// bytes taken under an identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or corrupted bytes, a format-version mismatch, or
+    /// a configuration (digest) mismatch.
+    pub fn restore(cfg: DramConfig, bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 8 {
+            return Err(CodecError::new("snapshot too short"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if fnv1a64(body) != stored {
+            return Err(CodecError::new("integrity trailer mismatch"));
+        }
+        let mut r = ByteReader::new(body);
+        if r.bytes(4)? != DRAM_SNAPSHOT_MAGIC {
+            return Err(CodecError::new("bad magic"));
+        }
+        let version = r.u32()?;
+        if version != DRAM_SNAPSHOT_VERSION {
+            return Err(CodecError::new(format!(
+                "snapshot version {version}, simulator expects {DRAM_SNAPSHOT_VERSION}"
+            )));
+        }
+        if r.u64()? != dram_config_digest(&cfg) {
+            return Err(CodecError::new("configuration digest mismatch"));
+        }
+        let n_completions = r.len_prefix(8)?;
+        let mut completions = Vec::with_capacity(n_completions);
+        for _ in 0..n_completions {
+            completions.push(r.u64()?);
+        }
+        let n_routing = r.len_prefix(1)?;
+        if n_routing != n_completions {
+            return Err(CodecError::new("routing and completion tables disagree"));
+        }
+        let mut routing = Vec::with_capacity(n_routing);
+        for _ in 0..n_routing {
+            routing.push(r.u8()?);
+        }
+        let stats = MemoryStats::restore_from(&mut r)?;
+        let n_channels = r.len_prefix(1)?;
+        if n_channels != usize::from(cfg.channels) {
+            return Err(CodecError::new("channel count disagrees with configuration"));
+        }
+        let mut channels = Vec::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            channels.push(Channel::restore_from(&cfg, &mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::new("trailing bytes after memory-system body"));
+        }
+        Ok(MemorySystem { cfg, channels, stats, completions, routing })
+    }
+}
+
+/// Memory-system snapshot format version. Bump whenever the simulated
+/// timing behavior changes, so stale cached state is never replayed.
+pub const DRAM_SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic bytes opening every memory-system snapshot stream.
+const DRAM_SNAPSHOT_MAGIC: [u8; 4] = *b"ABSM";
+
+/// Stable digest over every [`DramConfig`] field. Two configs with equal
+/// digests build identical memory systems, so the digest is a sound
+/// snapshot-compatibility check and cache-key ingredient.
+pub fn dram_config_digest(cfg: &DramConfig) -> u64 {
+    let mut w = ByteWriter::new();
+    w.u8(cfg.channels);
+    w.u8(cfg.ranks);
+    w.u8(cfg.banks);
+    w.u64(cfg.row_bytes);
+    for t in [
+        cfg.timing.t_rcd,
+        cfg.timing.t_rp,
+        cfg.timing.t_cas,
+        cfg.timing.t_ras,
+        cfg.timing.t_wr,
+        cfg.timing.t_wtr,
+        cfg.timing.burst,
+        cfg.timing.t_faw,
+        cfg.timing.t_refi,
+        cfg.timing.t_rfc,
+    ] {
+        w.u64(t);
+    }
+    w.u64(cfg.cpu_clock_ratio);
+    w.u8(match cfg.mapping {
+        AddressMapping::PageInterleave => 0,
+        AddressMapping::LineInterleave => 1,
+    });
+    w.u64(cfg.write_queue_high as u64);
+    w.u64(cfg.write_queue_low as u64);
+    w.u8(match cfg.page_policy {
+        PagePolicy::Open => 0,
+        PagePolicy::Closed => 1,
+    });
+    w.u8(u8::from(cfg.ignore_priority));
+    fnv1a64(w.as_bytes())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_restore_continues_cycle_identically() {
+        let cfg = DramConfig::default();
+        let mut warmed = MemorySystem::new(cfg);
+        for i in 0..500u64 {
+            let addr = (i * 37 % 512) * 64;
+            let kind = if i % 3 == 0 { MemOpKind::Write } else { MemOpKind::Read };
+            let prio = if i % 4 == 0 { Priority::Offline } else { Priority::Online };
+            warmed.enqueue(kind, addr, prio, (i % 4) as u32, i * 10);
+        }
+        warmed.drain();
+
+        let bytes = warmed.snapshot().unwrap();
+        let mut restored = MemorySystem::restore(cfg, &bytes).unwrap();
+        assert_eq!(warmed.stats(), restored.stats());
+
+        // Both instances must service identical further traffic at identical
+        // cycles, including completion_time queries on pre-snapshot ids.
+        let old_id = RequestId(42);
+        assert_eq!(warmed.completion_time(old_id), restored.completion_time(old_id));
+        for i in 0..200u64 {
+            let addr = (i * 53 % 512) * 64;
+            let now = 10_000 + i * 7;
+            let a = warmed.enqueue(MemOpKind::Read, addr, Priority::Online, 1, now);
+            let b = restored.enqueue(MemOpKind::Read, addr, Priority::Online, 1, now);
+            assert_eq!(a, b, "request ids must continue from the same counter");
+            assert_eq!(warmed.completion_time(a), restored.completion_time(b));
+        }
+        warmed.drain();
+        restored.drain();
+        assert_eq!(warmed.stats(), restored.stats());
+        assert_eq!(warmed.snapshot().unwrap(), restored.snapshot().unwrap());
+    }
+
+    #[test]
+    fn snapshot_requires_quiescence_and_matching_config() {
+        let cfg = DramConfig::default();
+        let mut mem = MemorySystem::new(cfg);
+        mem.enqueue(MemOpKind::Read, 0, Priority::Online, 0, 0);
+        assert!(mem.snapshot().is_err(), "pending requests must block the snapshot");
+        mem.drain();
+        let bytes = mem.snapshot().unwrap();
+
+        let other = DramConfig { channels: 2, ..cfg };
+        assert!(MemorySystem::restore(other, &bytes).is_err(), "config digest must match");
+
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(MemorySystem::restore(cfg, &corrupt).is_err(), "corruption must be detected");
+        assert!(MemorySystem::restore(cfg, &bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn config_digest_covers_timing_and_policy() {
+        let base = DramConfig::default();
+        let d0 = dram_config_digest(&base);
+        let variants = [
+            DramConfig { channels: 2, ..base },
+            DramConfig { ranks: 1, ..base },
+            DramConfig { row_bytes: 4096, ..base },
+            DramConfig { cpu_clock_ratio: 2, ..base },
+            DramConfig { mapping: AddressMapping::LineInterleave, ..base },
+            DramConfig { page_policy: PagePolicy::Closed, ..base },
+            DramConfig { ignore_priority: true, ..base },
+            DramConfig { timing: crate::config::DramTiming { t_cas: 12, ..base.timing }, ..base },
+        ];
+        for v in &variants {
+            assert_ne!(d0, dram_config_digest(v), "field change must move the digest: {v:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_injected_stall_windows() {
+        let cfg = DramConfig::default();
+        let mut mem = MemorySystem::new(cfg);
+        mem.inject_channel_stall(0, 50_000, 10_000);
+        let restored = MemorySystem::restore(cfg, &mem.snapshot().unwrap()).unwrap();
+        let mut a = mem;
+        let mut b = restored;
+        let ra = a.enqueue(MemOpKind::Read, 0, Priority::Online, 0, 55_000);
+        let rb = b.enqueue(MemOpKind::Read, 0, Priority::Online, 0, 55_000);
+        let ta = a.completion_time(ra);
+        assert_eq!(ta, b.completion_time(rb));
+        assert!(ta >= 60_000, "stall window must survive the round trip");
+    }
 
     #[test]
     fn requests_route_to_all_channels() {

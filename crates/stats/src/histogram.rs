@@ -75,6 +75,12 @@ impl LevelHistogram {
         &self.bins
     }
 
+    /// Rebuilds a histogram from a name and its raw bins (the inverse of
+    /// [`LevelHistogram::bins`]) — snapshot restore uses this.
+    pub fn from_bins(name: impl Into<String>, bins: Vec<u64>) -> Self {
+        LevelHistogram { name: name.into(), bins }
+    }
+
     /// Element-wise accumulation of `other` into `self` (windowed telemetry
     /// snapshots merge shards this way).
     ///
@@ -198,6 +204,14 @@ mod tests {
         let mut a = LevelHistogram::new("a", 2);
         let b = LevelHistogram::new("b", 3);
         a.merge(&b);
+    }
+
+    #[test]
+    fn from_bins_round_trip() {
+        let mut h = LevelHistogram::new("dead", 3);
+        h.add(1, 9);
+        h.add(2, 4);
+        assert_eq!(LevelHistogram::from_bins(h.name(), h.bins().to_vec()), h);
     }
 
     #[test]

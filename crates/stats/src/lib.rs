@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 mod histogram;
 mod recovery;
 mod series;
 mod summary;
 mod table;
 
+pub use codec::{fnv1a64, ByteReader, ByteWriter, CodecError};
 pub use histogram::LevelHistogram;
 pub use recovery::RecoveryStats;
 pub use series::TimeSeries;

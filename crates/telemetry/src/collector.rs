@@ -116,6 +116,20 @@ impl Collector {
         self.out.flush()
     }
 
+    /// Writes pre-rendered JSONL straight to the sink. This is the merge
+    /// step of parallel pipelines: each work item records into its own
+    /// collector backed by a [`SharedBuffer`], and the session collector
+    /// appends the drained buffers in item order, yielding a trace
+    /// byte-identical to a sequential run's.
+    pub fn append_raw(&mut self, text: &str) {
+        if self.write_error || text.is_empty() {
+            return;
+        }
+        if self.out.write_all(text.as_bytes()).is_err() {
+            self.write_error = true;
+        }
+    }
+
     fn emit(&mut self, line: String) {
         if self.write_error {
             return;
@@ -256,6 +270,15 @@ impl SharedBuffer {
     /// The bytes written so far, as UTF-8 (lossy).
     pub fn contents(&self) -> String {
         String::from_utf8_lossy(&self.0.lock().expect("buffer lock")).into_owned()
+    }
+
+    /// Removes and returns everything written so far, leaving the buffer
+    /// empty. Parallel pipelines give each work item its own collector and
+    /// buffer, then drain the buffers in item order into one output stream —
+    /// the result is byte-identical to a sequential run's trace.
+    pub fn take(&self) -> String {
+        let bytes = std::mem::take(&mut *self.0.lock().expect("buffer lock"));
+        String::from_utf8_lossy(&bytes).into_owned()
     }
 }
 
@@ -467,6 +490,31 @@ mod tests {
         assert!(out.contains("\"t\":\"ringdump\""), "{out}");
         assert!(out.contains("\"kind\":\"evict_path\""), "{out}");
         assert!(out.contains("\"t\":\"sum\",\"records\":2,\"exec\":1000,\"bus\":64"), "{out}");
+    }
+
+    #[test]
+    fn append_raw_passes_bytes_through_unchanged() {
+        let (collector, buf) = Collector::to_shared_buffer();
+        let mut c = collector;
+        c.append_raw("{\"t\":\"run\"}\n{\"t\":\"sum\"}\n");
+        c.append_raw("");
+        c.flush().expect("flush");
+        assert_eq!(buf.contents(), "{\"t\":\"run\"}\n{\"t\":\"sum\"}\n");
+    }
+
+    #[test]
+    fn shared_buffer_take_drains_across_threads() {
+        let buf = SharedBuffer::default();
+        let mut writer = buf.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                use std::io::Write;
+                writeln!(writer, "from worker").unwrap();
+            });
+        });
+        assert_eq!(buf.take(), "from worker\n");
+        assert_eq!(buf.take(), "", "take drains the buffer");
+        assert_eq!(buf.contents(), "");
     }
 
     #[test]

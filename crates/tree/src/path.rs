@@ -119,6 +119,18 @@ impl SlotId {
     pub const fn new(bucket: BucketId, index: u8) -> Self {
         SlotId { bucket, index }
     }
+
+    /// Packs the slot into one `u64` (`bucket << 8 | index`) for compact,
+    /// stable serialization. Bucket indices stay well below `2^56` for any
+    /// realistic tree (56 levels), which [`SlotId::unpack`] relies on.
+    pub const fn pack(self) -> u64 {
+        (self.bucket.raw() << 8) | self.index as u64
+    }
+
+    /// Inverse of [`SlotId::pack`].
+    pub const fn unpack(packed: u64) -> Self {
+        SlotId { bucket: BucketId::new(packed >> 8), index: (packed & 0xff) as u8 }
+    }
 }
 
 impl fmt::Display for SlotId {
@@ -226,6 +238,17 @@ mod tests {
         // Each bucket is the parent of the next one down the path.
         for w in buckets.windows(2) {
             assert_eq!(w[1].parent(), Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn slot_pack_round_trips() {
+        for level in 0..24u8 {
+            let b = BucketId::from_level_index(Level(level), (1u64 << level) - 1);
+            for index in [0u8, 7, 12, 255] {
+                let s = SlotId::new(b, index);
+                assert_eq!(SlotId::unpack(s.pack()), s);
+            }
         }
     }
 
