@@ -5,7 +5,7 @@
 //! user's critical path. This binary measures the online-latency cost of
 //! removing the priority classes, for Baseline and AB.
 
-use aboram_bench::{emit, CellExecutor, Experiment};
+use aboram_bench::{emit, CellExecutor, CostModel, Experiment};
 use aboram_core::{Scheme, TimingDriver};
 use aboram_dram::DramConfig;
 use aboram_stats::Table;
@@ -17,23 +17,28 @@ fn main() {
 
     // (scheme × priority mode) cells; the snapshot cache means both cells
     // of a scheme pay the warm-up at most once between them.
-    let grid: Vec<(Scheme, bool)> =
-        [Scheme::Baseline, Scheme::Ab].into_iter().flat_map(|s| [(s, false), (s, true)]).collect();
-    let cycles = CellExecutor::from_env().run(grid, |_, (scheme, ignore)| {
-        eprintln!("[{scheme}, ignore_priority={ignore}]");
-        let oram = env.warmed_oram(scheme).expect("warm-up ok");
-        let dram = DramConfig { ignore_priority: ignore, ..DramConfig::default() };
-        let mut driver = TimingDriver::from_oram(oram, dram);
-        let mut gen = TraceGenerator::new(&profile, env.seed);
-        let report = driver.run((0..env.timed).map(|_| gen.next_record())).expect("run ok");
-        report.exec_cycles
-    });
+    let schemes = aboram_bench::suite::dram_priority_schemes();
+    let grid: Vec<(Scheme, bool)> = schemes.iter().flat_map(|&s| [(s, false), (s, true)]).collect();
+    let model = CostModel::from_env();
+    let cycles = CellExecutor::from_env().run_weighted(
+        grid,
+        |_, cell: &(Scheme, bool)| model.predict(cell.0, env.levels, env.warmup + env.timed as u64),
+        |_, (scheme, ignore)| {
+            eprintln!("[{scheme}, ignore_priority={ignore}]");
+            let oram = env.warmed_oram(scheme).expect("warm-up ok");
+            let dram = DramConfig { ignore_priority: ignore, ..DramConfig::default() };
+            let mut driver = TimingDriver::from_oram(oram, dram);
+            let mut gen = TraceGenerator::new(&profile, env.seed);
+            let report = driver.run((0..env.timed).map(|_| gen.next_record())).expect("run ok");
+            report.exec_cycles
+        },
+    );
 
     let mut table = Table::new(
         "DRAM priority ablation — execution time with vs without online priority",
         &["scheme", "with priority (Mcycles)", "without (Mcycles)", "slowdown from removing"],
     );
-    for (k, scheme) in [Scheme::Baseline, Scheme::Ab].into_iter().enumerate() {
+    for (k, scheme) in schemes.into_iter().enumerate() {
         let (with, without) = (cycles[2 * k], cycles[2 * k + 1]);
         table.row(
             &[&scheme.to_string()],

@@ -19,14 +19,23 @@
 //!   warm (restore) paths; CI runs it both ways so a performance change —
 //!   or a cache bug — that moves behaviour by even one bit fails the build.
 //!
+//! `--evict-cache` (composable with any mode) force-evicts every snapshot
+//! cache entry first, so `--evict-cache --check-golden` replays the golden
+//! cases on the guaranteed-cold path even when earlier runs populated the
+//! cache — CI's third replay flavor.
+//!
 //! ```text
 //! cargo run --release -p aboram-bench --bin hotpath_bench
 //! cargo run --release -p aboram-bench --bin hotpath_bench -- --iters 5 --jobs 4
 //! cargo run --release -p aboram-bench --bin hotpath_bench -- --scaling
 //! cargo run --release -p aboram-bench --bin hotpath_bench -- --check-golden
+//! cargo run --release -p aboram-bench --bin hotpath_bench -- --evict-cache --check-golden
 //! ```
 
-use aboram_bench::{default_jobs, emit, warmed_engine_cached, CellExecutor, Experiment};
+use aboram_bench::{
+    cache_dir, default_jobs, emit, evict_all, persistent_stats, warmed_engine_cached, CellExecutor,
+    CostModel, Experiment,
+};
 use aboram_core::Scheme;
 use aboram_trace::profiles;
 use std::time::Instant;
@@ -40,6 +49,10 @@ const SMOKE_SEED: u64 = 0x5EED_F108;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--evict-cache") {
+        let evicted = evict_all(&cache_dir());
+        eprintln!("[evicted {evicted} snapshot cache entr(ies) — cold path guaranteed]");
+    }
     if args.iter().any(|a| a == "--check-golden") {
         check_golden();
         return;
@@ -69,15 +82,16 @@ fn smoke_env() -> Experiment {
 
 const SMOKE_SCHEMES: [Scheme; 2] = [Scheme::Baseline, Scheme::Ab];
 
-/// One measured smoke cell: warm-up (cache-served when possible) plus the
-/// timed window, both wall-clocked.
+/// One measured smoke cell: a warmed driver (served whole from the
+/// full-driver snapshot cache when possible) plus the timed window, both
+/// wall-clocked.
 fn smoke_cell(env: &Experiment, scheme: Scheme) -> (f64, f64, u64) {
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
     let t0 = Instant::now();
-    let oram = env.warmed_oram(scheme).expect("warm-up ok");
+    let driver = env.warmed_driver(scheme).expect("warm-up ok");
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
-    let report = env.timed_run(oram, &profile).expect("timed run ok");
+    let report = env.timed_run_on(driver, &profile).expect("timed run ok");
     let timed_ms = t1.elapsed().as_secs_f64() * 1e3;
     (warm_ms, timed_ms, report.exec_cycles)
 }
@@ -86,9 +100,14 @@ fn smoke_cell(env: &Experiment, scheme: Scheme) -> (f64, f64, u64) {
 /// per-scheme (best warm ms, best timed ms, best total ms, exec cycles).
 fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f64, u64)> {
     let env = smoke_env();
+    let model = CostModel::from_env();
     let cells: Vec<Scheme> =
         SMOKE_SCHEMES.iter().flat_map(|&s| std::iter::repeat(s).take(iters)).collect();
-    let measured = executor.run(cells, |_, scheme| (scheme, smoke_cell(&env, scheme)));
+    let measured = executor.run_weighted(
+        cells,
+        |_, &s| model.predict(s, env.levels, env.warmup + env.timed as u64),
+        |_, scheme| (scheme, smoke_cell(&env, scheme)),
+    );
     SMOKE_SCHEMES
         .iter()
         .map(|&scheme| {
@@ -119,6 +138,7 @@ fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f6
 /// protocol-mode warm-up (CountingSink churn — the readPath/evictPath inner
 /// loop) and a cycle-level timed window (TimingSink + DRAM model).
 fn smoke(iters: usize, executor: CellExecutor) {
+    let cache_before = persistent_stats(&cache_dir());
     let mut lines = String::from(
         "# hotpath_bench — fig08 smoke workload\n\n\
          | scheme | warm-up ms (best) | timed ms (best) | total ms (best) | exec cycles |\n\
@@ -137,8 +157,10 @@ fn smoke(iters: usize, executor: CellExecutor) {
     lines.push_str(&format!(
         "\nworkload: L={SMOKE_LEVELS}, warmup={SMOKE_WARMUP}, timed={SMOKE_TIMED}, \
          seed={SMOKE_SEED:#x}, best of {iters} iterations, {} worker(s)\n\
-         grand total (best): {grand_total_best:.1} ms\n",
-        executor.jobs()
+         grand total (best): {grand_total_best:.1} ms\n\
+         snapshot cache: {}\n",
+        executor.jobs(),
+        persistent_stats(&cache_dir()).since(&cache_before)
     ));
     emit("hotpath_bench.md", &lines);
 }

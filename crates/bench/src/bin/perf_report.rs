@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```sh
-//! perf_report trace1.jsonl [trace2.jsonl ...]
+//! perf_report [--flamegraph] trace1.jsonl [trace2.jsonl ...]
 //! ```
 //!
 //! Each input is a trace produced by `aboram simulate --telemetry <out>`
@@ -14,15 +14,30 @@
 //! breakdown ends with a consistency line cross-checking the phase-
 //! attributed bus cycles against the cycles the DRAM model reported
 //! (they must agree within 1 %).
+//!
+//! `--flamegraph` additionally writes `results/flamegraph.folded` in the
+//! collapsed-stack format (`scheme;L<level>;<phase> <bus-cycles>`), ready
+//! for `inferno-flamegraph`, `flamegraph.pl` or a speedscope import.
 
 use aboram_bench::emit;
-use aboram_telemetry::{parse_trace, render_report, RunTrace};
+use aboram_telemetry::{fold_flamegraph, parse_trace, render_report, RunTrace};
 use std::io::BufReader;
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut flamegraph = false;
+    let paths: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--flamegraph" {
+                flamegraph = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
-        eprintln!("usage: perf_report <trace.jsonl> [more traces ...]");
+        eprintln!("usage: perf_report [--flamegraph] <trace.jsonl> [more traces ...]");
         std::process::exit(2);
     }
     let mut runs: Vec<RunTrace> = Vec::new();
@@ -40,6 +55,9 @@ fn main() {
     }
     let report = render_report(&runs);
     emit("perf_report.md", &report);
+    if flamegraph {
+        emit("flamegraph.folded", &fold_flamegraph(&runs));
+    }
     if runs.iter().any(|r| r.complete && r.attribution_error() > 0.01) {
         eprintln!("error: a run's phase attribution diverges from the DRAM-reported total");
         std::process::exit(1);

@@ -6,10 +6,20 @@
 //!
 //! `cargo run --release -p aboram-bench --bin run_all`
 //!
+//! Before any child launches, the suite's complete warm-up plan (the
+//! deduplicated union of every binary's warmed schemes — see
+//! `aboram_bench::suite`) is pre-warmed into the snapshot cache, expensive
+//! configurations first. Every child then restores its warm state instead
+//! of simulating it, and no two children ever race to compute the same
+//! entry. The end-of-suite summary reports the cache's hit/miss/store/evict
+//! counts for the whole run. `ABORAM_SNAPCACHE=off` disables both the
+//! pre-warm pass and the cache.
+//!
 //! Set `ABORAM_JOBS=1` to reproduce the old sequential behaviour (cheap
 //! protocol studies first, expensive timing sweeps last — workers claim
 //! binaries in list order, so a single worker walks it unchanged).
 
+use aboram_bench::{CellExecutor, CostModel, Experiment};
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -46,12 +56,39 @@ fn job_count() -> usize {
     aboram_bench::jobs_from_env().min(BINARIES.len())
 }
 
+/// Pays every distinct warm-up in the suite exactly once, before any child
+/// process launches. Cost-sorted over the executor, so the expensive
+/// configurations start first and the pass finishes as early as possible.
+fn prewarm() {
+    if !aboram_bench::cache_enabled() {
+        eprintln!("[snapshot cache off — skipping pre-warm, children warm fresh]");
+        return;
+    }
+    let env = Experiment::from_env();
+    let plan = aboram_bench::suite::warm_plan();
+    let model = CostModel::from_env();
+    let t0 = Instant::now();
+    eprintln!("[pre-warming {} distinct configuration(s) into the snapshot cache]", plan.len());
+    CellExecutor::from_env().run_weighted(
+        plan,
+        |_, &scheme| model.predict(scheme, env.levels, env.warmup),
+        |_, scheme| {
+            if let Err(e) = env.warmed_oram(scheme) {
+                eprintln!("warning: pre-warm of {scheme} failed ({e}); its cells warm inline");
+            }
+        },
+    );
+    eprintln!("[pre-warm done in {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
 fn main() {
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
         .expect("executable directory");
     let started = Instant::now();
+    let cache_before = aboram_bench::persistent_stats(&aboram_bench::cache_dir());
+    prewarm();
     let jobs = job_count();
     eprintln!("[{} experiments on {jobs} worker(s)]", BINARIES.len());
 
@@ -90,8 +127,9 @@ fn main() {
     });
 
     let failures = failures.into_inner().expect("failure list");
+    let cache = aboram_bench::persistent_stats(&aboram_bench::cache_dir()).since(&cache_before);
     eprintln!(
-        "\nsuite finished in {:.1} min; {} failures{}",
+        "\nsuite finished in {:.1} min; {} failures{}\nsnapshot cache: {cache}",
         started.elapsed().as_secs_f64() / 60.0,
         failures.len(),
         if failures.is_empty() { String::new() } else { format!(": {failures:?}") }

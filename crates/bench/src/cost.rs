@@ -1,0 +1,195 @@
+//! Predicted-cost model for scheduling simulation cells.
+//!
+//! A figure grid mixes cheap and expensive cells: an AB cell simulates
+//! fewer slots per access than a Baseline cell, a 2 000-record timed window
+//! costs a fraction of a 40 000-access warm-up, and a deep tree multiplies
+//! everything. Claiming cells in grid order lets one expensive straggler
+//! land last and serialize the tail of the run. The fix is classic
+//! longest-processing-time scheduling: predict each cell's cost, start the
+//! expensive cells first, and let idle workers steal the cheap leftovers
+//! (see `CellExecutor::run_weighted`).
+//!
+//! The prediction is `scheme weight × levels × accesses`. Simulated work
+//! per access is linear in the path length (levels) and in how many slots
+//! per level the scheme touches — exactly what the per-scheme weight
+//! captures. The default weights are calibrated from the golden-trace
+//! fixtures' measured execution cycles (`tests/golden/*.json`, L = 10,
+//! 600 records: cycles / (levels × records)); they only need to be *ordered*
+//! correctly to schedule well, so they are not sensitive to the host. A
+//! telemetry trace from a previous run recalibrates them exactly
+//! ([`CostModel::calibrate_from`], or `ABORAM_COST_CALIB=<trace.jsonl>` via
+//! [`CostModel::from_env`]).
+
+use aboram_core::Scheme;
+use aboram_telemetry::RunTrace;
+
+/// Predicts relative cell costs for the scheduler. Cheap to clone; carries
+/// only per-scheme weights.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    /// Calibrated overrides, keyed by the scheme's display label (the run
+    /// header's `scheme` field). Checked before the built-in defaults.
+    overrides: Vec<(String, u64)>,
+}
+
+impl CostModel {
+    /// The model with the built-in fixture-calibrated weights.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        CostModel::default()
+    }
+
+    /// Calibrates per-scheme weights from measured telemetry runs: for each
+    /// scheme label, `weight = Σ exec_cycles / Σ (levels × records)` across
+    /// its complete runs (in tenths, matching the default scale). Schemes
+    /// absent from the trace keep their default weight.
+    #[must_use]
+    pub fn calibrate_from(traces: &[RunTrace]) -> Self {
+        let mut sums: Vec<(String, u64, u64)> = Vec::new();
+        for t in traces {
+            if !t.complete || t.levels == 0 || t.records == 0 {
+                continue;
+            }
+            let work = u64::from(t.levels) * t.records;
+            match sums.iter_mut().find(|(label, ..)| *label == t.scheme) {
+                Some((_, cycles, denom)) => {
+                    *cycles += t.exec_cycles;
+                    *denom += work;
+                }
+                None => sums.push((t.scheme.clone(), t.exec_cycles, work)),
+            }
+        }
+        let overrides = sums
+            .into_iter()
+            .filter(|&(_, _, denom)| denom > 0)
+            .map(|(label, cycles, denom)| (label, (cycles * 10 / denom).max(1)))
+            .collect();
+        CostModel { overrides }
+    }
+
+    /// Builds the model from the environment: `ABORAM_COST_CALIB` naming a
+    /// telemetry JSONL trace recalibrates the weights from it; otherwise
+    /// (or when the trace is unreadable) the defaults apply.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let Ok(path) = std::env::var("ABORAM_COST_CALIB") else {
+            return CostModel::calibrated();
+        };
+        let traces = std::fs::File::open(&path)
+            .map(std::io::BufReader::new)
+            .and_then(aboram_telemetry::parse_trace);
+        match traces {
+            Ok(runs) if !runs.is_empty() => CostModel::calibrate_from(&runs),
+            Ok(_) => CostModel::calibrated(),
+            Err(e) => {
+                eprintln!("warning: ABORAM_COST_CALIB={path}: {e}; using default weights");
+                CostModel::calibrated()
+            }
+        }
+    }
+
+    /// Relative cost weight of one (access × level) for `scheme`, in tenths
+    /// of a simulated cycle.
+    ///
+    /// Defaults come from the golden fixtures (see the module docs): e.g.
+    /// Baseline measured 507 648 cycles over 10 levels × 600 records
+    /// → 84.6, stored as 846.
+    #[must_use]
+    pub fn weight(&self, scheme: Scheme) -> u64 {
+        let label = scheme.to_string();
+        if let Some((_, w)) = self.overrides.iter().find(|(l, _)| *l == label) {
+            return *w;
+        }
+        match scheme {
+            Scheme::PlainRing => 640,
+            Scheme::Baseline => 846,
+            Scheme::Ir => 844,
+            Scheme::Dr { .. } => 599,
+            Scheme::Ns { .. } => 543,
+            Scheme::Ab => 517,
+            // Not covered by the fixtures: Fig. 4's shrunken Ring does
+            // slightly less slot work than plain Ring, and DR+ keeps the
+            // full Baseline allocation plus extension slots.
+            Scheme::RingShrink { .. } => 620,
+            Scheme::DrPlus { .. } => 860,
+            // `Scheme` is non-exhaustive; a future variant schedules like
+            // the mid-cost schemes until it gets a measured weight.
+            _ => 640,
+        }
+    }
+
+    /// Predicted cost of a cell simulating `accesses` accesses over a
+    /// `levels`-deep tree under `scheme`. Saturating; only the relative
+    /// ordering matters.
+    #[must_use]
+    pub fn predict(&self, scheme: Scheme, levels: u8, accesses: u64) -> u64 {
+        self.weight(scheme).saturating_mul(u64::from(levels.max(1))).saturating_mul(accesses.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_order_schemes_by_measured_cost() {
+        let m = CostModel::calibrated();
+        // The fixture measurement: Baseline ≈ IR > Ring > DR > NS > AB.
+        assert!(m.weight(Scheme::Baseline) > m.weight(Scheme::PlainRing));
+        assert!(m.weight(Scheme::PlainRing) > m.weight(Scheme::Dr { bottom_levels: 6 }));
+        let dr = m.weight(Scheme::Dr { bottom_levels: 6 });
+        let ns = m.weight(Scheme::Ns { bottom_levels: 2, shrink: 2 });
+        assert!(dr > ns && ns > m.weight(Scheme::Ab));
+    }
+
+    #[test]
+    fn predict_scales_with_levels_and_accesses() {
+        let m = CostModel::calibrated();
+        let small = m.predict(Scheme::Ab, 10, 600);
+        assert!(m.predict(Scheme::Ab, 20, 600) > small, "deeper tree costs more");
+        assert!(m.predict(Scheme::Ab, 10, 6_000) > small, "longer window costs more");
+        assert_eq!(m.predict(Scheme::Ab, 10, 600), small, "pure function");
+        assert!(m.predict(Scheme::Ab, 0, 0) > 0, "degenerate cells still get a nonzero cost");
+    }
+
+    #[test]
+    fn calibration_overrides_defaults_from_measured_runs() {
+        let mut t = RunTrace {
+            scheme: "AB".to_string(),
+            levels: 10,
+            records: 600,
+            exec_cycles: 600_000, // 100 cycles per (level × record) → weight 1000
+            complete: true,
+            ..RunTrace::default()
+        };
+        let m = CostModel::calibrate_from(std::slice::from_ref(&t));
+        assert_eq!(m.weight(Scheme::Ab), 1_000);
+        assert_eq!(
+            m.weight(Scheme::Baseline),
+            CostModel::calibrated().weight(Scheme::Baseline),
+            "schemes absent from the trace keep their defaults"
+        );
+        // Incomplete runs are not trusted.
+        t.complete = false;
+        let m = CostModel::calibrate_from(std::slice::from_ref(&t));
+        assert_eq!(m.weight(Scheme::Ab), CostModel::calibrated().weight(Scheme::Ab));
+    }
+
+    #[test]
+    fn calibration_pools_repeated_runs_of_one_scheme() {
+        let runs: Vec<RunTrace> = [300_000u64, 900_000]
+            .iter()
+            .map(|&cycles| RunTrace {
+                scheme: "Baseline".to_string(),
+                levels: 10,
+                records: 600,
+                exec_cycles: cycles,
+                complete: true,
+                ..RunTrace::default()
+            })
+            .collect();
+        // Pooled: 1.2 M cycles over 12 000 level-records → weight 1000.
+        let m = CostModel::calibrate_from(&runs);
+        assert_eq!(m.weight(Scheme::Baseline), 1_000);
+    }
+}

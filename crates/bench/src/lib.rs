@@ -20,11 +20,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cost;
 mod executor;
 mod snapcache;
+pub mod suite;
 
+pub use cost::CostModel;
 pub use executor::{default_jobs, derive_cell_seed, jobs_from_env, CellExecutor};
-pub use snapcache::{cache_dir, cache_enabled, cache_key, warmed_engine_cached};
+pub use snapcache::{
+    cache_cap, cache_dir, cache_enabled, cache_key, driver_cache_key, evict_all, persistent_stats,
+    warmed_driver_cached, warmed_engine_cached, CacheStats, DEFAULT_CAP_BYTES,
+};
 
 use aboram_core::{
     AccessKind, CountingSink, OramConfig, OramError, RingOram, Scheme, SimulationReport,
@@ -114,19 +120,39 @@ impl Experiment {
         oram: RingOram,
         profile: &BenchmarkProfile,
     ) -> Result<SimulationReport, OramError> {
-        let mut driver = TimingDriver::from_oram(oram, DramConfig::default());
+        let driver = TimingDriver::from_oram(oram, DramConfig::default());
+        self.timed_run_on(driver, profile)
+    }
+
+    /// Runs one benchmark's timed window on an already-built driver (the
+    /// [`Experiment::warmed_driver`] path).
+    pub fn timed_run_on(
+        &self,
+        mut driver: TimingDriver,
+        profile: &BenchmarkProfile,
+    ) -> Result<SimulationReport, OramError> {
         let mut gen = TraceGenerator::new(profile, self.seed);
         driver.run((0..self.timed).map(|_| gen.next_record()))
     }
 
+    /// Builds a warmed [`TimingDriver`] for `scheme`, restoring the entire
+    /// driver (engine + DRAM twin + core cursors) from the snapshot cache
+    /// when a matching full-driver entry exists; a warmed engine entry is
+    /// the intermediate fallback (see [`warmed_driver_cached`]).
+    pub fn warmed_driver(&self, scheme: Scheme) -> Result<TimingDriver, OramError> {
+        let cfg = self.config(scheme)?;
+        warmed_driver_cached(&cfg, DramConfig::default(), self.warmup, self.warmup_seed())
+    }
+
     /// Warm-up plus one timed benchmark window in a single call — the
-    /// baseline-then-sweep pattern every timing figure repeats.
+    /// baseline-then-sweep pattern every timing figure repeats. The warmed
+    /// driver is served from the snapshot cache when possible.
     pub fn warmed_timed(
         &self,
         scheme: Scheme,
         profile: &BenchmarkProfile,
     ) -> Result<SimulationReport, OramError> {
-        self.timed_run(self.warmed_oram(scheme)?, profile)
+        self.timed_run_on(self.warmed_driver(scheme)?, profile)
     }
 
     /// Builds a protocol-mode study cell for `scheme`: a fresh engine, a

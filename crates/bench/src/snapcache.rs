@@ -1,4 +1,5 @@
-//! Warm-up snapshot cache.
+//! Warm-up snapshot cache (v2: shared index, LRU eviction, full-driver
+//! entries).
 //!
 //! Warm-up dominates every timed cell's wall-clock (see
 //! `results/perf_baseline.md`): tens of thousands of protocol accesses just
@@ -7,11 +8,13 @@
 //! cached: the first cell to need a given warm-up simulates it once and
 //! stores the engine's [`RingOram::snapshot`] bytes under
 //! `target/aboram-snapcache/`; every later cell — in this process or the
-//! next — restores it in milliseconds.
+//! next — restores it in milliseconds. Timed cells can go one step further
+//! and cache the *entire* [`TimingDriver`] (engine + DRAM twin + core
+//! cursors, `TimingDriver::snapshot`), skipping driver reconstruction too.
 //!
-//! # Cache key and invalidation
+//! # Cache keys and invalidation
 //!
-//! A cache entry is named by an FNV-1a digest of:
+//! An engine entry (`<key>.snap`) is named by an FNV-1a digest of:
 //!
 //! * [`aboram_core::config_digest`] — every behavior-affecting
 //!   [`OramConfig`] field, including the engine seed;
@@ -19,23 +22,46 @@
 //!   format *or* engine behavior changes, which orphans stale entries;
 //! * the warm-up access count and the warm-up RNG seed.
 //!
-//! The snapshot body additionally carries its own header digest and
-//! trailing checksum, so a colliding, truncated or corrupt file fails
-//! [`RingOram::restore`] and the cell silently falls back to a fresh
-//! warm-up (rewriting the entry). Restored engines are bit-identical to
-//! freshly warmed ones — stats, RNG stream and all — which is what keeps
-//! golden digests and `exec cycles` unchanged cold or warm.
+//! A driver entry (`<key>.drv`) additionally folds in
+//! [`aboram_dram::dram_config_digest`] and
+//! [`aboram_core::DRIVER_SNAPSHOT_VERSION`].
+//!
+//! Every snapshot body carries its own header digest and trailing checksum,
+//! so a colliding, truncated or corrupt file fails restore and the cell
+//! silently falls back to a fresh warm-up (rewriting the entry). Restored
+//! state is bit-identical to freshly warmed state — stats, RNG stream and
+//! all — which is what keeps golden digests and `exec cycles` unchanged
+//! cold, warm, or after eviction.
+//!
+//! # The shared index
+//!
+//! `index.txt` in the cache directory records every entry's size and
+//! last-use stamp plus running hit/miss/store/evict totals. All mutations
+//! happen under `index.lock` (created with `O_EXCL`, stolen when stale) and
+//! are published by atomic rename, so `run_all`'s child processes never
+//! race each other: lookups bump the LRU stamp, stores insert the entry and
+//! evict least-recently-used entries while the directory exceeds
+//! [`cache_cap`], and a corrupt index is rebuilt from the directory listing
+//! rather than trusted. Warm-ups themselves take a per-key compute lock so
+//! concurrent processes needing the same key pay the simulation exactly
+//! once — the loser waits for the winner's entry instead of re-warming.
 //!
 //! # Knobs
 //!
 //! * `ABORAM_SNAPCACHE=off` (or `0`) disables the cache entirely;
-//! * `ABORAM_SNAPCACHE_DIR=<path>` relocates it (tests use a tempdir).
+//! * `ABORAM_SNAPCACHE_DIR=<path>` relocates it (tests use a tempdir);
+//! * `ABORAM_SNAPCACHE_CAP=<bytes>` caps the total entry size (default
+//!   256 MiB); `0` evicts every entry as soon as it is stored.
 
 use aboram_core::{config_digest, AccessKind, CountingSink, OramConfig, OramError, RingOram};
+use aboram_core::{TimingDriver, DRIVER_SNAPSHOT_VERSION};
+use aboram_dram::{dram_config_digest, DramConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Whether the snapshot cache is active (`ABORAM_SNAPCACHE` not `off`/`0`).
 pub fn cache_enabled() -> bool {
@@ -51,6 +77,18 @@ pub fn cache_dir() -> PathBuf {
     })
 }
 
+/// Default total-size cap for cache entries.
+pub const DEFAULT_CAP_BYTES: u64 = 256 * 1024 * 1024;
+
+/// The total-size cap in force (`ABORAM_SNAPCACHE_CAP` bytes, default
+/// [`DEFAULT_CAP_BYTES`]).
+pub fn cache_cap() -> u64 {
+    std::env::var("ABORAM_SNAPCACHE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_CAP_BYTES)
+}
+
 /// The cache key for a (config, warm-up length, warm-up seed) triple.
 #[must_use]
 pub fn cache_key(cfg: &OramConfig, warmup: u64, warm_seed: u64) -> u64 {
@@ -61,6 +99,86 @@ pub fn cache_key(cfg: &OramConfig, warmup: u64, warm_seed: u64) -> u64 {
     bytes.extend_from_slice(&warm_seed.to_le_bytes());
     aboram_stats::fnv1a64(&bytes)
 }
+
+/// The cache key for a full-driver entry: the engine key plus the DRAM
+/// configuration and driver snapshot format.
+#[must_use]
+pub fn driver_cache_key(cfg: &OramConfig, dram: &DramConfig, warmup: u64, warm_seed: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(24);
+    bytes.extend_from_slice(&cache_key(cfg, warmup, warm_seed).to_le_bytes());
+    bytes.extend_from_slice(&dram_config_digest(dram).to_le_bytes());
+    bytes.extend_from_slice(&u64::from(DRIVER_SNAPSHOT_VERSION).to_le_bytes());
+    aboram_stats::fnv1a64(&bytes)
+}
+
+/// Running cache-activity totals (persisted in the shared index, so they
+/// aggregate across every process sharing the directory).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from an existing entry.
+    pub hits: u64,
+    /// Lookups that found no (usable) entry.
+    pub misses: u64,
+    /// Entries computed and written.
+    pub stores: u64,
+    /// Entries removed by the LRU size cap (or [`evict_all`]).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// The activity since `earlier` (saturating, in case the index was
+    /// rebuilt in between).
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            stores: self.stores.saturating_sub(earlier.stores),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hit(s), {} miss(es), {} store(s), {} eviction(s)",
+            self.hits, self.misses, self.stores, self.evictions
+        )
+    }
+}
+
+/// Reads the shared index's running totals (zeroes when the cache directory
+/// does not exist yet).
+pub fn persistent_stats(dir: &Path) -> CacheStats {
+    if !dir.exists() {
+        return CacheStats::default();
+    }
+    with_index(dir, |ix| ix.stats).unwrap_or_default()
+}
+
+/// Evicts every entry in `dir` (files and index records), returning how
+/// many were removed. Used to exercise the cold path deterministically
+/// (`hotpath_bench --check-golden` replays after a forced eviction).
+pub fn evict_all(dir: &Path) -> usize {
+    if !dir.exists() {
+        return 0;
+    }
+    with_index(dir, |ix| {
+        let n = ix.entries.len();
+        for e in std::mem::take(&mut ix.entries) {
+            let _ = std::fs::remove_file(entry_path_of(dir, e.key, e.kind));
+            ix.stats.evictions += 1;
+        }
+        n
+    })
+    .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Engine entries
+// ---------------------------------------------------------------------------
 
 /// Builds an engine warmed by `warmup` uniform read accesses drawn from
 /// `StdRng::seed_from_u64(warm_seed)` — the §VII warm-up phase shared by
@@ -88,31 +206,73 @@ pub fn warmed_engine_cached(
 }
 
 /// The cache path, with an explicit directory (tests use a tempdir).
-fn warmed_engine_cached_at(
+pub(crate) fn warmed_engine_cached_at(
     dir: &Path,
     cfg: &OramConfig,
     warmup: u64,
     warm_seed: u64,
 ) -> Result<RingOram, OramError> {
-    let path = dir.join(format!("{:016x}.snap", cache_key(cfg, warmup, warm_seed)));
-    if let Ok(bytes) = std::fs::read(&path) {
-        match RingOram::restore(cfg, &bytes) {
-            Ok(oram) => return Ok(oram),
-            Err(e) => eprintln!(
-                "warning: snapshot cache entry {} rejected ({e}); re-warming",
-                path.display()
-            ),
-        }
+    let key = cache_key(cfg, warmup, warm_seed);
+    if let Some(oram) = try_restore_engine(dir, key, cfg, true) {
+        return Ok(oram);
+    }
+    // Miss: compute under the per-key lock so concurrent processes warming
+    // the same configuration pay the simulation exactly once. Whether this
+    // process won the lock or waited out the previous winner, the entry may
+    // have landed meanwhile (a process that missed during the winner's
+    // computation can acquire a fresh lock right after the entry published),
+    // so re-check before warming; fresh computation is the last resort.
+    let _guard = ComputeLock::acquire(dir, key, EntryKind::Engine);
+    if let Some(oram) = try_restore_engine(dir, key, cfg, false) {
+        return Ok(oram);
     }
     let oram = warm_fresh(cfg, warmup, warm_seed)?;
-    match oram.snapshot() {
-        Ok(bytes) => store_entry(dir, &path, &bytes),
-        Err(e) => eprintln!("warning: engine refused to snapshot ({e}); not caching"),
-    }
+    store_snapshot(dir, key, EntryKind::Engine, || oram.snapshot());
     Ok(oram)
 }
 
-fn warm_fresh(cfg: &OramConfig, warmup: u64, warm_seed: u64) -> Result<RingOram, OramError> {
+/// Looks `key` up in the index (recording a hit or, when `count_miss`, a
+/// miss) and tries to restore the engine from its file.
+fn try_restore_engine(
+    dir: &Path,
+    key: u64,
+    cfg: &OramConfig,
+    count_miss: bool,
+) -> Option<RingOram> {
+    let in_index = with_index(dir, |ix| {
+        if ix.touch(key, EntryKind::Engine) {
+            ix.stats.hits += 1;
+            true
+        } else {
+            if count_miss {
+                ix.stats.misses += 1;
+            }
+            false
+        }
+    })
+    .unwrap_or(false);
+    if !in_index {
+        return None;
+    }
+    let path = entry_path_of(dir, key, EntryKind::Engine);
+    let bytes = std::fs::read(&path).ok()?;
+    match RingOram::restore(cfg, &bytes) {
+        Ok(oram) => Some(oram),
+        Err(e) => {
+            eprintln!(
+                "warning: snapshot cache entry {} rejected ({e}); re-warming",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+pub(crate) fn warm_fresh(
+    cfg: &OramConfig,
+    warmup: u64,
+    warm_seed: u64,
+) -> Result<RingOram, OramError> {
     let mut oram = RingOram::new(cfg)?;
     let mut sink = CountingSink::new();
     let mut rng = StdRng::seed_from_u64(warm_seed);
@@ -123,11 +283,146 @@ fn warm_fresh(cfg: &OramConfig, warmup: u64, warm_seed: u64) -> Result<RingOram,
     Ok(oram)
 }
 
-/// Stores `bytes` at `path` via a unique temporary file and an atomic
-/// rename, so concurrent cells warming the same configuration never observe
-/// a half-written entry. Failures are logged and ignored — the cache is an
-/// accelerator, not a correctness dependency.
-fn store_entry(dir: &Path, path: &Path, bytes: &[u8]) {
+// ---------------------------------------------------------------------------
+// Full-driver entries
+// ---------------------------------------------------------------------------
+
+/// Builds a [`TimingDriver`] around an engine warmed exactly like
+/// [`warmed_engine_cached`], restoring the *entire driver* (engine + DRAM
+/// twin + core cursors) from the cache when possible. On a driver-entry
+/// miss the warm engine itself still comes from the engine cache, so the
+/// layered lookup degrades gracefully: driver hit ≫ engine hit ≫ fresh
+/// warm-up.
+///
+/// # Errors
+///
+/// Propagates engine construction and protocol errors; cache I/O failures
+/// fall back to the engine path.
+pub fn warmed_driver_cached(
+    cfg: &OramConfig,
+    dram: DramConfig,
+    warmup: u64,
+    warm_seed: u64,
+) -> Result<TimingDriver, OramError> {
+    if !cache_enabled() || cfg.store_data {
+        return Ok(TimingDriver::from_oram(warm_fresh(cfg, warmup, warm_seed)?, dram));
+    }
+    warmed_driver_cached_at(&cache_dir(), cfg, dram, warmup, warm_seed)
+}
+
+/// [`warmed_driver_cached`] with an explicit directory (tests use a
+/// tempdir).
+pub(crate) fn warmed_driver_cached_at(
+    dir: &Path,
+    cfg: &OramConfig,
+    dram: DramConfig,
+    warmup: u64,
+    warm_seed: u64,
+) -> Result<TimingDriver, OramError> {
+    let key = driver_cache_key(cfg, &dram, warmup, warm_seed);
+    if let Some(driver) = try_restore_driver(dir, key, cfg, dram, true) {
+        return Ok(driver);
+    }
+    // Same per-key exactly-once protocol as the engine path. Whether this
+    // process won the lock or waited out the previous winner, the entry may
+    // have landed meanwhile — re-check before deriving (and re-storing) the
+    // driver. The underlying warm-up is additionally deduplicated by the
+    // engine-entry lock inside `warmed_engine_cached_at`.
+    let _guard = ComputeLock::acquire(dir, key, EntryKind::Driver);
+    if let Some(driver) = try_restore_driver(dir, key, cfg, dram, false) {
+        return Ok(driver);
+    }
+    let oram = warmed_engine_cached_at(dir, cfg, warmup, warm_seed)?;
+    let driver = TimingDriver::from_oram(oram, dram);
+    store_snapshot(dir, key, EntryKind::Driver, || driver.snapshot());
+    Ok(driver)
+}
+
+fn try_restore_driver(
+    dir: &Path,
+    key: u64,
+    cfg: &OramConfig,
+    dram: DramConfig,
+    count_miss: bool,
+) -> Option<TimingDriver> {
+    let in_index = with_index(dir, |ix| {
+        if ix.touch(key, EntryKind::Driver) {
+            ix.stats.hits += 1;
+            true
+        } else {
+            if count_miss {
+                ix.stats.misses += 1;
+            }
+            false
+        }
+    })
+    .unwrap_or(false);
+    if !in_index {
+        return None;
+    }
+    let path = entry_path_of(dir, key, EntryKind::Driver);
+    let bytes = std::fs::read(&path).ok()?;
+    match TimingDriver::restore(cfg, dram, &bytes) {
+        Ok(driver) => Some(driver),
+        Err(e) => {
+            eprintln!("warning: driver cache entry {} rejected ({e}); rebuilding", path.display());
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry files
+// ---------------------------------------------------------------------------
+
+/// The two entry flavors sharing the cache directory and index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKind {
+    /// Engine-only snapshot (`.snap`, magic ABSN).
+    Engine,
+    /// Full-driver snapshot (`.drv`, magic ABSD).
+    Driver,
+}
+
+impl EntryKind {
+    fn ext(self) -> &'static str {
+        match self {
+            EntryKind::Engine => "snap",
+            EntryKind::Driver => "drv",
+        }
+    }
+
+    fn parse(s: &str) -> Option<EntryKind> {
+        match s {
+            "snap" => Some(EntryKind::Engine),
+            "drv" => Some(EntryKind::Driver),
+            _ => None,
+        }
+    }
+}
+
+fn entry_path_of(dir: &Path, key: u64, kind: EntryKind) -> PathBuf {
+    dir.join(format!("{key:016x}.{}", kind.ext()))
+}
+
+/// Serializes via `snapshot`, writes the entry file (unique temp + atomic
+/// rename) and registers it in the index, evicting LRU entries past the
+/// size cap. Failures are logged and ignored — the cache is an accelerator,
+/// not a correctness dependency.
+fn store_snapshot<E: std::fmt::Display>(
+    dir: &Path,
+    key: u64,
+    kind: EntryKind,
+    snapshot: impl FnOnce() -> Result<Vec<u8>, E>,
+) {
+    let bytes = match snapshot() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("warning: state refused to snapshot ({e}); not caching");
+            return;
+        }
+    };
+    let path = entry_path_of(dir, key, kind);
     static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create snapshot cache dir {} ({e})", dir.display());
@@ -138,10 +433,284 @@ fn store_entry(dir: &Path, path: &Path, bytes: &[u8]) {
         std::process::id(),
         TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
     ));
-    let stored = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    let stored = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
     if let Err(e) = stored {
         eprintln!("warning: cannot store snapshot cache entry {} ({e})", path.display());
         let _ = std::fs::remove_file(&tmp);
+        return;
+    }
+    let cap = cache_cap();
+    with_index(dir, |ix| {
+        ix.insert(key, kind, bytes.len() as u64);
+        ix.stats.stores += 1;
+        ix.evict_over_cap(dir, cap);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The shared index
+// ---------------------------------------------------------------------------
+
+const INDEX_HEADER: &str = "aboram-snapcache-index v1";
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    key: u64,
+    kind: EntryKind,
+    bytes: u64,
+    /// LRU stamp: the index's logical clock at last use.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Index {
+    clock: u64,
+    stats: CacheStats,
+    entries: Vec<IndexEntry>,
+}
+
+impl Index {
+    /// Bumps `key`'s LRU stamp, reporting whether it is present.
+    fn touch(&mut self, key: u64, kind: EntryKind) -> bool {
+        self.clock += 1;
+        match self.entries.iter_mut().find(|e| e.key == key && e.kind == kind) {
+            Some(e) => {
+                e.stamp = self.clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, key: u64, kind: EntryKind, bytes: u64) {
+        self.clock += 1;
+        let stamp = self.clock;
+        match self.entries.iter_mut().find(|e| e.key == key && e.kind == kind) {
+            Some(e) => {
+                e.bytes = bytes;
+                e.stamp = stamp;
+            }
+            None => self.entries.push(IndexEntry { key, kind, bytes, stamp }),
+        }
+    }
+
+    /// Removes least-recently-used entries (files included) while the total
+    /// entry size exceeds `cap`.
+    fn evict_over_cap(&mut self, dir: &Path, cap: u64) {
+        let mut total: u64 = self.entries.iter().map(|e| e.bytes).sum();
+        while total > cap && !self.entries.is_empty() {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let e = self.entries.swap_remove(oldest);
+            let _ = std::fs::remove_file(entry_path_of(dir, e.key, e.kind));
+            total -= e.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn load(dir: &Path) -> Index {
+        match std::fs::read_to_string(dir.join("index.txt")) {
+            Ok(text) => Index::parse(&text).unwrap_or_else(|| Index::rebuild(dir)),
+            Err(_) => Index::rebuild(dir),
+        }
+    }
+
+    fn parse(text: &str) -> Option<Index> {
+        let mut lines = text.lines();
+        if lines.next()? != INDEX_HEADER {
+            return None;
+        }
+        let mut ix = Index::default();
+        for line in lines {
+            let mut f = line.split_whitespace();
+            match f.next()? {
+                "clock" => ix.clock = f.next()?.parse().ok()?,
+                "stats" => {
+                    ix.stats.hits = f.next()?.parse().ok()?;
+                    ix.stats.misses = f.next()?.parse().ok()?;
+                    ix.stats.stores = f.next()?.parse().ok()?;
+                    ix.stats.evictions = f.next()?.parse().ok()?;
+                }
+                "entry" => {
+                    let key = u64::from_str_radix(f.next()?, 16).ok()?;
+                    let kind = EntryKind::parse(f.next()?)?;
+                    let bytes = f.next()?.parse().ok()?;
+                    let stamp = f.next()?.parse().ok()?;
+                    ix.entries.push(IndexEntry { key, kind, bytes, stamp });
+                }
+                _ => return None,
+            }
+            if f.next().is_some() {
+                return None;
+            }
+        }
+        Some(ix)
+    }
+
+    /// Reconstructs the index from the directory listing — the recovery
+    /// path for a missing or corrupt index file. Usage history and totals
+    /// are lost, but every on-disk entry is preserved.
+    fn rebuild(dir: &Path) -> Index {
+        let mut ix = Index::default();
+        let Ok(listing) = std::fs::read_dir(dir) else { return ix };
+        for entry in listing.flatten() {
+            let path = entry.path();
+            let (Some(stem), Some(ext)) = (
+                path.file_stem().and_then(|s| s.to_str()),
+                path.extension().and_then(|s| s.to_str()),
+            ) else {
+                continue;
+            };
+            let (Ok(key), Some(kind)) = (u64::from_str_radix(stem, 16), EntryKind::parse(ext))
+            else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            ix.entries.push(IndexEntry { key, kind, bytes: meta.len(), stamp: 0 });
+        }
+        ix
+    }
+
+    fn save(&self, dir: &Path) {
+        let mut text = String::with_capacity(64 + self.entries.len() * 48);
+        text.push_str(INDEX_HEADER);
+        text.push('\n');
+        text.push_str(&format!("clock {}\n", self.clock));
+        text.push_str(&format!(
+            "stats {} {} {} {}\n",
+            self.stats.hits, self.stats.misses, self.stats.stores, self.stats.evictions
+        ));
+        for e in &self.entries {
+            text.push_str(&format!(
+                "entry {:016x} {} {} {}\n",
+                e.key,
+                e.kind.ext(),
+                e.bytes,
+                e.stamp
+            ));
+        }
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            "index.tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let stored =
+            std::fs::write(&tmp, &text).and_then(|()| std::fs::rename(&tmp, dir.join("index.txt")));
+        if let Err(e) = stored {
+            eprintln!("warning: cannot write snapshot cache index in {} ({e})", dir.display());
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Runs `f` over the index with the inter-process lock held, persisting any
+/// mutation. `None` when the lock cannot be acquired (the caller proceeds
+/// uncached — the cache is never a correctness dependency).
+fn with_index<R>(dir: &Path, f: impl FnOnce(&mut Index) -> R) -> Option<R> {
+    std::fs::create_dir_all(dir).ok()?;
+    let _lock = FileLock::acquire(&dir.join("index.lock"), Duration::from_secs(10))?;
+    let mut ix = Index::load(dir);
+    let r = f(&mut ix);
+    ix.save(dir);
+    Some(r)
+}
+
+/// A lock file created with `O_EXCL`. Held for the few milliseconds an
+/// index read-modify-write takes; locks whose file is older than the
+/// staleness window are assumed abandoned (crashed process) and stolen.
+struct FileLock {
+    path: PathBuf,
+}
+
+impl FileLock {
+    fn acquire(path: &Path, stale_after: Duration) -> Option<FileLock> {
+        for _ in 0..2_000 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Some(FileLock { path: path.to_path_buf() });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > stale_after);
+                    if stale {
+                        let _ = std::fs::remove_file(path);
+                        continue;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Outcome of trying to become the computer of a missing entry.
+enum ComputeLock {
+    /// This process computes; the guard releases the per-key lock on drop.
+    Acquired(#[allow(dead_code)] FileLock),
+    /// Another process was computing and has finished (or its lock went
+    /// stale): re-check the cache before falling back to computing.
+    Waited,
+}
+
+impl ComputeLock {
+    fn acquire(dir: &Path, key: u64, kind: EntryKind) -> ComputeLock {
+        if std::fs::create_dir_all(dir).is_err() {
+            // No directory — nothing to coordinate through; just compute.
+            return ComputeLock::Waited;
+        }
+        let path = dir.join(format!("{key:016x}.{}.warming", kind.ext()));
+        // Warm-ups can take a while at production tree sizes; the staleness
+        // window is generous, and a genuinely crashed winner only delays
+        // (never blocks) the losers.
+        let stale_after = Duration::from_secs(120);
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                return ComputeLock::Acquired(FileLock { path });
+            }
+            Err(e) if e.kind() != std::io::ErrorKind::AlreadyExists => {
+                return ComputeLock::Waited;
+            }
+            Err(_) => {}
+        }
+        // Somebody else is warming this key: wait for their lock to clear.
+        let started = std::time::Instant::now();
+        while started.elapsed() < stale_after {
+            std::thread::sleep(Duration::from_millis(20));
+            match std::fs::metadata(&path) {
+                Err(_) => return ComputeLock::Waited,
+                Ok(m) => {
+                    let stale = m
+                        .modified()
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > stale_after);
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        return ComputeLock::Waited;
+                    }
+                }
+            }
+        }
+        ComputeLock::Waited
     }
 }
 
@@ -173,6 +742,17 @@ mod tests {
     }
 
     #[test]
+    fn driver_cache_key_folds_in_dram_config() {
+        let cfg = test_cfg(1);
+        let dram = DramConfig::default();
+        let base = driver_cache_key(&cfg, &dram, 100, 7);
+        assert_eq!(base, driver_cache_key(&cfg, &dram, 100, 7));
+        assert_ne!(base, cache_key(&cfg, 100, 7), "driver and engine keys are distinct spaces");
+        let other = DramConfig { channels: 2, ..dram };
+        assert_ne!(base, driver_cache_key(&cfg, &other, 100, 7), "DRAM config keyed");
+    }
+
+    #[test]
     fn cold_then_warm_produce_the_same_engine_as_fresh() {
         let dir = tempdir("roundtrip");
         let cfg = test_cfg(42);
@@ -190,11 +770,8 @@ mod tests {
                 "{pass} engine diverged from fresh warm-up"
             );
         }
-        assert_eq!(
-            std::fs::read_dir(&dir).expect("cache dir").count(),
-            1,
-            "exactly one cache entry, no leftover temp files"
-        );
+        let stats = persistent_stats(&dir);
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -202,12 +779,107 @@ mod tests {
     fn corrupt_entry_falls_back_to_fresh_warmup() {
         let dir = tempdir("corrupt");
         let cfg = test_cfg(7);
-        let path = dir.join(format!("{:016x}.snap", cache_key(&cfg, 200, 9)));
+        // Warm once (stores the entry), then corrupt the file in place.
+        let _ = warmed_engine_cached_at(&dir, &cfg, 200, 9).expect("populate");
+        let path = entry_path_of(&dir, cache_key(&cfg, 200, 9), EntryKind::Engine);
         std::fs::write(&path, b"definitely not a snapshot").expect("write corrupt entry");
         let oram = warmed_engine_cached_at(&dir, &cfg, 200, 9).expect("fallback warm-up");
         let fresh = warm_fresh(&cfg, 200, 9).expect("fresh");
         assert_eq!(oram.snapshot().expect("snap"), fresh.snapshot().expect("snap"));
-        assert!(path.exists(), "corrupt entry was rewritten with a good snapshot");
+        let bytes = std::fs::read(&path).expect("entry file");
+        assert!(
+            RingOram::restore(&cfg, &bytes).is_ok(),
+            "corrupt entry was rewritten with a good snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn driver_cache_roundtrips_bit_exactly() {
+        let dir = tempdir("driver");
+        let cfg = test_cfg(13);
+        let dram = DramConfig::default();
+        let fresh = TimingDriver::from_oram(warm_fresh(&cfg, 300, 5).expect("warm"), dram);
+        for pass in ["cold", "warm"] {
+            let driver = warmed_driver_cached_at(&dir, &cfg, dram, 300, 5).expect("cached driver");
+            assert_eq!(
+                driver.snapshot().expect("snapshot"),
+                fresh.snapshot().expect("snapshot"),
+                "{pass} driver diverged from fresh construction"
+            );
+        }
+        let stats = persistent_stats(&dir);
+        // Cold pass: driver miss + engine miss, two stores. Warm pass:
+        // driver hit only.
+        assert_eq!(stats.stores, 2, "engine and driver entries both stored");
+        assert_eq!(stats.hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_evicts_least_recently_used() {
+        let dir = tempdir("evict");
+        let mut ix = Index::default();
+        for (i, size) in [(1u64, 100u64), (2, 100), (3, 100)] {
+            std::fs::write(entry_path_of(&dir, i, EntryKind::Engine), vec![0u8; size as usize])
+                .expect("entry file");
+            ix.insert(i, EntryKind::Engine, size);
+        }
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(ix.touch(1, EntryKind::Engine));
+        ix.evict_over_cap(&dir, 250);
+        assert_eq!(ix.stats.evictions, 1);
+        let kept: Vec<u64> = ix.entries.iter().map(|e| e.key).collect();
+        assert!(kept.contains(&1) && kept.contains(&3), "kept {kept:?}");
+        assert!(!entry_path_of(&dir, 2, EntryKind::Engine).exists(), "LRU file removed");
+        ix.evict_over_cap(&dir, 0);
+        assert!(ix.entries.is_empty(), "zero cap clears everything");
+        assert_eq!(ix.stats.evictions, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_is_rebuilt_from_directory() {
+        let dir = tempdir("badindex");
+        let cfg = test_cfg(21);
+        let _ = warmed_engine_cached_at(&dir, &cfg, 150, 3).expect("populate");
+        std::fs::write(dir.join("index.txt"), "not an index at all\nentry garbage\n")
+            .expect("clobber index");
+        // The entry file still exists, so the rebuilt index finds it and the
+        // next lookup is a hit (usage totals reset — that is the trade).
+        let oram = warmed_engine_cached_at(&dir, &cfg, 150, 3).expect("recovered");
+        let fresh = warm_fresh(&cfg, 150, 3).expect("fresh");
+        assert_eq!(oram.snapshot().expect("snap"), fresh.snapshot().expect("snap"));
+        let stats = persistent_stats(&dir);
+        assert_eq!(stats.hits, 1, "rebuilt index serves the surviving entry");
+        assert_eq!(stats.stores, 0, "no re-warm was needed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_all_clears_entries_and_counts() {
+        let dir = tempdir("evictall");
+        let cfg = test_cfg(33);
+        let _ = warmed_engine_cached_at(&dir, &cfg, 120, 2).expect("populate");
+        assert_eq!(evict_all(&dir), 1);
+        assert_eq!(evict_all(&dir), 0, "idempotent");
+        let stats = persistent_stats(&dir);
+        assert_eq!(stats.evictions, 1);
+        // Next lookup recomputes and repopulates.
+        let _ = warmed_engine_cached_at(&dir, &cfg, 120, 2).expect("repopulate");
+        assert_eq!(persistent_stats(&dir).stores, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_index_lock_is_stolen() {
+        let dir = tempdir("stalelock");
+        let lock_path = dir.join("index.lock");
+        std::fs::write(&lock_path, "99999").expect("fake abandoned lock");
+        // A zero-staleness window treats any existing lock as abandoned.
+        let lock = FileLock::acquire(&lock_path, Duration::from_secs(0)).expect("steal");
+        drop(lock);
+        assert!(!lock_path.exists(), "lock released on drop");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,94 @@
+//! The shared warm-up plan of the `run_all` suite.
+//!
+//! Several binaries warm the same configurations: Fig. 8 and Fig. 15 warm
+//! the five evaluated schemes, the DRAM-priority ablation warms two of
+//! them again, and the design-exploration figures each add their own sweep
+//! variants. Before snapshot caching, every binary paid every warm-up;
+//! with the cache, whichever binary ran first paid it and the rest hit —
+//! but concurrent `run_all` workers could still *race* to the same missing
+//! entry and both simulate it.
+//!
+//! This module gives `run_all` the complete picture instead: each figure's
+//! warmed scheme list lives here (the binaries import them, so the lists
+//! cannot drift), and [`warm_plan`] is their deduplicated union — every
+//! distinct warm-up key the suite will ever ask for at the current
+//! experiment scale. `run_all` pre-warms that plan once, cost-sorted and
+//! fanned out, before launching any child process; the children then find
+//! every entry already present and the warm-up cost is paid exactly once
+//! per distinct configuration for the whole suite.
+
+use aboram_core::Scheme;
+
+/// Fig. 4's timed grid: plain Ring ORAM plus every `L-x` shrink.
+pub fn fig04_schemes() -> Vec<Scheme> {
+    std::iter::once(Scheme::PlainRing)
+        .chain((1..=7u8).map(|x| Scheme::RingShrink { bottom_levels: x }))
+        .collect()
+}
+
+/// Fig. 11's timed grid: Baseline plus DR with 6..1 bottom levels (table
+/// order).
+pub fn fig11_schemes() -> Vec<Scheme> {
+    std::iter::once(Scheme::Baseline)
+        .chain((1..=6u8).rev().map(|bottom| Scheme::Dr { bottom_levels: bottom }))
+        .collect()
+}
+
+/// Fig. 13's timed grid: Baseline plus the full `Ly-Sx` sweep in table
+/// order.
+pub fn fig13_schemes() -> Vec<Scheme> {
+    std::iter::once(Scheme::Baseline)
+        .chain(
+            (1..=3u8)
+                .flat_map(|y| (1..=3u8).map(move |x| Scheme::Ns { bottom_levels: y, shrink: x })),
+        )
+        .collect()
+}
+
+/// The DRAM-priority ablation's schemes (each timed with and without
+/// priority classes, sharing one warm-up).
+pub fn dram_priority_schemes() -> Vec<Scheme> {
+    vec![Scheme::Baseline, Scheme::Ab]
+}
+
+/// Every distinct scheme some `run_all` binary warms at the shared
+/// experiment scale, in first-appearance order. All of them share the same
+/// (levels, warm-up length, warm-up seed), so deduplicating by scheme
+/// deduplicates the snapshot-cache keys.
+pub fn warm_plan() -> Vec<Scheme> {
+    let mut plan: Vec<Scheme> = Vec::new();
+    for scheme in crate::evaluated_schemes()
+        .into_iter()
+        .chain(fig04_schemes())
+        .chain(fig11_schemes())
+        .chain(fig13_schemes())
+        .chain(dram_priority_schemes())
+    {
+        if !plan.contains(&scheme) {
+            plan.push(scheme);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_plan_is_deduplicated_and_covers_every_figure() {
+        let plan = warm_plan();
+        for (i, s) in plan.iter().enumerate() {
+            assert!(!plan[i + 1..].contains(s), "{s} appears twice in the warm plan");
+        }
+        for list in [crate::evaluated_schemes(), fig04_schemes(), fig11_schemes(), fig13_schemes()]
+        {
+            for s in list {
+                assert!(plan.contains(&s), "{s} missing from the warm plan");
+            }
+        }
+        // 5 evaluated + Ring + 7 shrinks + Dr{1..=5} (Dr{6} is DR) + 8 more
+        // Ns combos (L2-S2 is NS) = 26 distinct warm-ups for the suite.
+        assert_eq!(plan.len(), 26);
+    }
+}

@@ -1,0 +1,110 @@
+//! Two-process stress test for the shared snapshot cache: when two `run_all`
+//! style processes warm the same plan into one cache directory at the same
+//! time, every distinct warm-up must be *computed* exactly once (the
+//! per-key compute lock makes the loser wait for the winner's entry instead
+//! of duplicating the simulation), and both processes must end up with
+//! bit-identical engines.
+//!
+//! The child role is played by this same test binary: the parent re-invokes
+//! `std::env::current_exe()` filtered down to [`child_warms_the_shared_plan`]
+//! with `ABORAM_STRESS_CHILD` set. Without that variable the child test is a
+//! no-op, so a normal `cargo test` run doesn't recurse.
+
+use aboram_bench::{persistent_stats, warmed_engine_cached};
+use aboram_core::{OramConfig, Scheme};
+use std::path::PathBuf;
+use std::process::Command;
+
+const WARMUP: u64 = 500;
+const WARM_SEED: u64 = 0xCAFE;
+
+/// The shared warm plan: three distinct cache keys (two schemes plus a
+/// config-seed variant), enough work per key that two racing processes
+/// genuinely overlap.
+fn plan() -> Vec<OramConfig> {
+    vec![
+        OramConfig::builder(10, Scheme::Baseline).seed(21).build().expect("config"),
+        OramConfig::builder(10, Scheme::Ab).seed(21).build().expect("config"),
+        OramConfig::builder(10, Scheme::Ab).seed(22).build().expect("config"),
+    ]
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("aboram-snapcache-stress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+/// Child-process entry point (no-op unless spawned by the parent test).
+/// Warms the whole plan through the cache and writes an FNV digest of the
+/// resulting engine snapshots to `$ABORAM_STRESS_OUT/digest.<pid>.txt`.
+#[test]
+fn child_warms_the_shared_plan() {
+    if std::env::var("ABORAM_STRESS_CHILD").is_err() {
+        return;
+    }
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for cfg in plan() {
+        let oram = warmed_engine_cached(&cfg, WARMUP, WARM_SEED).expect("cached warm-up");
+        for byte in oram.snapshot().expect("snapshot") {
+            digest = (digest ^ u64::from(byte)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    let out = PathBuf::from(std::env::var("ABORAM_STRESS_OUT").expect("out dir"))
+        .join(format!("digest.{}.txt", std::process::id()));
+    std::fs::write(out, format!("{digest:016x}")).expect("write digest");
+}
+
+#[test]
+fn two_processes_pay_each_distinct_warmup_exactly_once() {
+    let cache = tempdir("cache");
+    let out = tempdir("out");
+    let exe = std::env::current_exe().expect("test binary path");
+    let spawn = || {
+        Command::new(&exe)
+            .args(["child_warms_the_shared_plan", "--exact", "--test-threads=1"])
+            .env("ABORAM_STRESS_CHILD", "1")
+            .env("ABORAM_SNAPCACHE", "on")
+            .env("ABORAM_SNAPCACHE_DIR", &cache)
+            .env("ABORAM_STRESS_OUT", &out)
+            .spawn()
+            .expect("spawn child")
+    };
+    let mut first = spawn();
+    let mut second = spawn();
+    assert!(first.wait().expect("first child").success(), "first child failed");
+    assert!(second.wait().expect("second child").success(), "second child failed");
+
+    // Exactly-once: both processes probed every key, but only one of them
+    // simulated (and stored) each warm-up — the other either hit the entry
+    // directly or waited on the compute lock and then hit it.
+    let keys = plan().len() as u64;
+    let stats = persistent_stats(&cache);
+    assert_eq!(stats.stores, keys, "each distinct warm-up stored exactly once ({stats})");
+    assert_eq!(stats.hits, keys, "the losing process hits every entry exactly once ({stats})");
+    // One counted miss per key from the winner, plus one more per key where
+    // the loser's first probe raced the winner's computation.
+    assert!(
+        (keys..=2 * keys).contains(&stats.misses),
+        "between one and two counted misses per key ({stats})"
+    );
+    assert_eq!(stats.evictions, 0, "nothing evicted under the default cap ({stats})");
+    let entries = std::fs::read_dir(&cache)
+        .expect("cache dir")
+        .filter(|e| e.as_ref().expect("dir entry").path().extension().is_some_and(|x| x == "snap"))
+        .count() as u64;
+    assert_eq!(entries, keys, "one entry file per distinct key");
+
+    // Both processes reconstructed bit-identical engines.
+    let digests: Vec<String> = std::fs::read_dir(&out)
+        .expect("out dir")
+        .map(|e| std::fs::read_to_string(e.expect("dir entry").path()).expect("digest file"))
+        .collect();
+    assert_eq!(digests.len(), 2, "both children reported a digest");
+    assert_eq!(digests[0], digests[1], "children disagree on the warmed engines");
+
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(&out);
+}

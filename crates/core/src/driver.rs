@@ -92,6 +92,15 @@ impl SimulationReport {
     }
 }
 
+/// Driver snapshot format version. Bump whenever the driver's simulated
+/// behavior changes (core model, crypto charging, controller serialization)
+/// so stale cached full-system state is never replayed. The embedded engine
+/// and memory-system streams carry their own versions.
+pub const DRIVER_SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic bytes opening every full-driver snapshot stream.
+const DRIVER_SNAPSHOT_MAGIC: [u8; 4] = *b"ABSD";
+
 /// Drives an LLC-miss trace through a [`RingOram`] engine over the
 /// cycle-level memory system.
 ///
@@ -192,6 +201,108 @@ impl TimingDriver {
     /// Access to the engine (stats inspection, warm-up by protocol access).
     pub fn oram_mut(&mut self) -> &mut RingOram {
         &mut self.oram
+    }
+
+    /// Serializes the *entire* driver — engine protocol state, the DRAM
+    /// twin's scheduler state, the core's execution cursors, the crypto
+    /// model and the controller-occupancy cursor — so that
+    /// [`restore`](Self::restore) followed by any trace is cycle-identical
+    /// to this instance running the same trace. This is the full-system
+    /// flavor of the engine snapshot: a warm restore skips not just the
+    /// protocol warm-up but the whole `TimingDriver` reconstruction.
+    ///
+    /// Snapshots are quiescent-only (every issued request drained — true
+    /// between [`run`](Self::run) calls) and refuse extension state that is
+    /// not serialized: an armed fault plan or the recursive position-map
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`OramError::SnapshotInvalid`] when the driver is not
+    /// quiescent or carries non-snapshottable extension state, and
+    /// propagates engine snapshot refusals (`store_data`).
+    pub fn snapshot(&self) -> Result<Vec<u8>, OramError> {
+        use crate::snapshot::{seal, Writer};
+        if self.posmap_model.is_some() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "recursive position-map state is not snapshottable".to_string(),
+            });
+        }
+        if self.sink.plan().is_some() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "fault-injection plan is armed; snapshots cover fault-free state only"
+                    .to_string(),
+            });
+        }
+        let sink = self.sink.inner();
+        if !sink.is_idle() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "driver has undrained requests; finish the run first".to_string(),
+            });
+        }
+        let engine = self.oram.snapshot()?;
+        let memory = sink.memory().snapshot().map_err(OramError::from)?;
+        let mut w = Writer::new();
+        w.bytes(&DRIVER_SNAPSHOT_MAGIC);
+        w.u32(DRIVER_SNAPSHOT_VERSION);
+        w.u64(self.crypto.pipeline_fill);
+        w.u64(self.crypto.per_block);
+        w.u64(self.oram_free_at);
+        w.u64(sink.now());
+        self.cpu.snapshot_into(&mut w);
+        w.u64(engine.len() as u64);
+        w.bytes(&engine);
+        w.u64(memory.len() as u64);
+        w.bytes(&memory);
+        Ok(seal(w))
+    }
+
+    /// Rebuilds a driver from [`snapshot`](Self::snapshot) bytes taken
+    /// under identical ORAM and DRAM configurations.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`OramError::SnapshotInvalid`] on truncation, corruption,
+    /// a version mismatch, or configuration digests that disagree with
+    /// `cfg`/`dram`.
+    pub fn restore(cfg: &OramConfig, dram: DramConfig, bytes: &[u8]) -> Result<Self, OramError> {
+        use crate::snapshot::{verify_sealed, Reader};
+        let body = verify_sealed(bytes)?;
+        let mut r = Reader::new(body);
+        if r.bytes(4)? != DRIVER_SNAPSHOT_MAGIC {
+            return Err(OramError::SnapshotInvalid { reason: "bad driver magic".to_string() });
+        }
+        let version = r.u32()?;
+        if version != DRIVER_SNAPSHOT_VERSION {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!(
+                    "driver snapshot version {version}, driver expects {DRIVER_SNAPSHOT_VERSION}"
+                ),
+            });
+        }
+        let crypto = CryptoLatency::new(r.u64()?, r.u64()?);
+        let oram_free_at = r.u64()?;
+        let now = r.u64()?;
+        let cpu = aboram_dram::RobCpu::restore_from(&mut r).map_err(OramError::from)?;
+        let engine_len = r.len_prefix(1)?;
+        let oram = RingOram::restore(cfg, r.bytes(engine_len)?)?;
+        let memory_len = r.len_prefix(1)?;
+        let memory = MemorySystem::restore(dram, r.bytes(memory_len)?).map_err(OramError::from)?;
+        if r.remaining() != 0 {
+            return Err(OramError::SnapshotInvalid {
+                reason: "trailing bytes after driver body".to_string(),
+            });
+        }
+        let mut sink = TimingSink::new(memory);
+        sink.set_now(now);
+        Ok(TimingDriver {
+            oram,
+            sink: FaultInjectingSink::new(sink),
+            cpu,
+            crypto,
+            oram_free_at,
+            posmap_model: None,
+        })
     }
 
     /// The underlying memory system's statistics (final after
@@ -388,6 +499,105 @@ mod tests {
         let rs = slow.run((0..200).map(|_| gen.next_record())).unwrap();
 
         assert!(rs.exec_cycles > rf.exec_cycles);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use crate::config::Scheme;
+    use aboram_trace::{profiles, TraceGenerator};
+
+    fn driver_with(scheme: Scheme) -> TimingDriver {
+        let cfg = OramConfig::builder(10, scheme).seed(11).build().unwrap();
+        TimingDriver::new(&cfg, DramConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn restore_then_run_is_cycle_identical_to_straight_line() {
+        for scheme in [Scheme::Baseline, Scheme::Ab] {
+            let cfg = OramConfig::builder(10, scheme).seed(11).build().unwrap();
+            let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+
+            // Straight line: warm-up + 120 records + 80 more records.
+            let mut straight = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+            straight.warm_up(300).unwrap();
+            let mut gen = TraceGenerator::new(&profile, 5);
+            let first_s = straight.run((0..120).map(|_| gen.next_record())).unwrap();
+            let second_s = straight.run((0..80).map(|_| gen.next_record())).unwrap();
+
+            // Snapshotted: identical prefix, snapshot, restore, identical tail.
+            let mut prefix = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+            prefix.warm_up(300).unwrap();
+            let mut gen = TraceGenerator::new(&profile, 5);
+            let first_p = prefix.run((0..120).map(|_| gen.next_record())).unwrap();
+            assert_eq!(first_s, first_p);
+            let bytes = prefix.snapshot().expect("quiescent driver snapshots");
+            let mut restored =
+                TimingDriver::restore(&cfg, DramConfig::default(), &bytes).expect("restores");
+            let second_r = restored.run((0..80).map(|_| gen.next_record())).unwrap();
+
+            assert_eq!(second_s, second_r, "{scheme:?}: restored tail must be cycle-identical");
+            assert_eq!(
+                straight.snapshot().unwrap(),
+                restored.snapshot().unwrap(),
+                "{scheme:?}: final driver state must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_covers_cpu_and_controller_cursors() {
+        let cfg = OramConfig::builder(10, Scheme::Baseline).seed(3).build().unwrap();
+        let profile = profiles::spec2017().into_iter().find(|p| p.name == "lbm").unwrap();
+        let mut driver = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        let mut gen = TraceGenerator::new(&profile, 9);
+        driver.run((0..60).map(|_| gen.next_record())).unwrap();
+        let restored =
+            TimingDriver::restore(&cfg, DramConfig::default(), &driver.snapshot().unwrap())
+                .unwrap();
+        assert_eq!(restored.oram_free_at, driver.oram_free_at);
+        assert_eq!(restored.cpu.now(), driver.cpu.now());
+        assert_eq!(restored.sink.inner().now(), driver.sink.inner().now());
+    }
+
+    #[test]
+    fn snapshot_refuses_extension_state() {
+        let mut with_posmap = driver_with(Scheme::Baseline);
+        with_posmap.enable_posmap_recursion(crate::recursion::PlbConfig {
+            plb_bytes: 1024,
+            onchip_posmap_bytes: 1024,
+            entry_bytes: 4,
+        });
+        assert!(with_posmap.snapshot().is_err(), "posmap model must refuse");
+
+        let mut with_faults = driver_with(Scheme::Baseline);
+        with_faults.enable_faults(crate::fault::FaultPlan::new(5));
+        assert!(with_faults.snapshot().is_err(), "armed fault plan must refuse");
+    }
+
+    #[test]
+    fn restore_rejects_corruption_and_mismatches() {
+        let driver = driver_with(Scheme::Baseline);
+        let bytes = driver.snapshot().unwrap();
+        let cfg = driver.oram.config().clone();
+
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x04;
+        assert!(TimingDriver::restore(&cfg, DramConfig::default(), &corrupt).is_err());
+        assert!(TimingDriver::restore(&cfg, DramConfig::default(), &bytes[..10]).is_err());
+
+        let other_cfg = OramConfig::builder(10, Scheme::Ab).seed(11).build().unwrap();
+        assert!(
+            TimingDriver::restore(&other_cfg, DramConfig::default(), &bytes).is_err(),
+            "engine config digest must match"
+        );
+        let other_dram = DramConfig { channels: 2, ..DramConfig::default() };
+        assert!(
+            TimingDriver::restore(&cfg, other_dram, &bytes).is_err(),
+            "DRAM config digest must match"
+        );
     }
 }
 

@@ -60,7 +60,7 @@ mod stats;
 
 pub use config::{OramConfig, OramConfigBuilder, Scheme};
 pub use deadq::{DeadQueues, DeadSlot};
-pub use driver::{BreakdownReport, SimulationReport, TimingDriver};
+pub use driver::{BreakdownReport, SimulationReport, TimingDriver, DRIVER_SNAPSHOT_VERSION};
 pub use error::OramError;
 pub use fault::{
     ChannelStall, FaultConfig, FaultInjectingSink, FaultKind, FaultPlan, FaultSite, InjectedFaults,

@@ -269,6 +269,17 @@ impl TimingSink {
         done
     }
 
+    /// The arrival timestamp set by the last [`set_now`](TimingSink::set_now).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether every issued request has been drained (no ids pending a
+    /// completion-time query). Snapshots require this.
+    pub fn is_idle(&self) -> bool {
+        self.online_reads.is_empty() && self.all_requests.is_empty()
+    }
+
     /// Access to the underlying memory system (stats, drain).
     pub fn memory(&self) -> &MemorySystem {
         &self.memory

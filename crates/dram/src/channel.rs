@@ -79,8 +79,25 @@ pub(crate) struct Channel {
     bus_free_at: u64,
     last_burst_was_write: bool,
     time: u64,
+    /// Queued reads in enqueue order. Arrivals are non-decreasing (the
+    /// usage contract) and ids increase monotonically, so each queue stays
+    /// sorted by `(arrival, id)` — exactly the FR-FCFS tie-break order.
+    /// The scheduler leans on this: arrived requests form a prefix, and a
+    /// forward scan can stop at the first row hit of the winning class.
     reads: Vec<Pending>,
+    /// Queued writes, same ordering invariant as [`reads`](Self::reads).
     writes: Vec<Pending>,
+    /// Latest arrival time ever enqueued. Once the channel clock reaches
+    /// this watermark every queued request has arrived and the eligibility
+    /// checks collapse to constant-time counter reads.
+    max_arrival: u64,
+    /// Queued online-class reads. Maintained on enqueue/dequeue so the
+    /// fast path answers "is an online read waiting?" without a scan.
+    online_reads_pending: usize,
+    /// Queued online-class writes (evictions issued while the processor
+    /// still waits on the access), for the same constant-time class check
+    /// on the write queue.
+    online_writes_pending: usize,
     draining: bool,
     high_mark: usize,
     low_mark: usize,
@@ -115,6 +132,9 @@ impl Channel {
             time: 0,
             reads: Vec::new(),
             writes: Vec::new(),
+            max_arrival: 0,
+            online_reads_pending: 0,
+            online_writes_pending: 0,
             draining: false,
             high_mark: cfg.write_queue_high,
             low_mark: cfg.write_queue_low,
@@ -143,10 +163,25 @@ impl Channel {
         addr: DecodedAddr,
         arrival: u64,
     ) {
+        debug_assert!(
+            arrival >= self.max_arrival,
+            "arrival times must be non-decreasing (the MemorySystem contract)"
+        );
         let p = Pending { id, kind, priority, tag, addr, arrival };
+        self.max_arrival = self.max_arrival.max(arrival);
         match kind {
-            MemOpKind::Read => self.reads.push(p),
-            MemOpKind::Write => self.writes.push(p),
+            MemOpKind::Read => {
+                if priority == Priority::Online {
+                    self.online_reads_pending += 1;
+                }
+                self.reads.push(p);
+            }
+            MemOpKind::Write => {
+                if priority == Priority::Online {
+                    self.online_writes_pending += 1;
+                }
+                self.writes.push(p);
+            }
         }
     }
 
@@ -158,6 +193,43 @@ impl Channel {
         self.reads.len() + self.writes.len()
     }
 
+    /// Index one past the last arrived request in a queue: queues are
+    /// sorted by arrival, so the arrived set is always a prefix. Once the
+    /// channel clock has passed [`max_arrival`](Channel::max_arrival) the
+    /// whole queue has arrived and the binary search is skipped.
+    fn arrived_prefix(&self, queue: &[Pending]) -> usize {
+        if self.time >= self.max_arrival {
+            queue.len()
+        } else {
+            queue.partition_point(|p| p.arrival <= self.time)
+        }
+    }
+
+    /// FR-FCFS pick over the arrived prefix `queue[..end]`: online class
+    /// first, then row hits, then oldest `(arrival, id)`. Because the queue
+    /// is already in `(arrival, id)` order, the scan walks forward and
+    /// stops at the *first row hit* of the winning class — any later hit
+    /// has a larger arrival key, and any earlier non-hit loses to a hit —
+    /// falling back to the first entry of the class when nothing hits.
+    /// With the row locality of batched per-bucket ORAM traffic this makes
+    /// the pick near-constant instead of a full-queue key scan.
+    fn pick_index(&self, queue: &[Pending], end: usize, restrict_online: bool) -> Option<usize> {
+        let mut first_of_class = None;
+        for (i, p) in queue[..end].iter().enumerate() {
+            if restrict_online && p.priority == Priority::Offline {
+                continue;
+            }
+            if first_of_class.is_none() {
+                first_of_class = Some(i);
+            }
+            let bank = &self.banks[p.addr.bank as usize];
+            if bank.open_row == Some(p.addr.row) {
+                return Some(i);
+            }
+        }
+        first_of_class
+    }
+
     /// Schedules the next request, returning `(id, completion_cycle)`.
     /// Returns `None` when both queues are empty.
     pub(crate) fn schedule_one(&mut self, stats: &mut MemoryStats) -> Option<(RequestId, u64)> {
@@ -165,17 +237,29 @@ impl Channel {
             return None;
         }
         loop {
-            // If nothing has arrived yet at the channel clock, idle forward.
-            let earliest = self
-                .reads
-                .iter()
-                .chain(self.writes.iter())
-                .map(|p| p.arrival)
-                .min()
-                .expect("non-empty queues");
-            if self.time < earliest {
-                self.time = earliest;
+            // If nothing has arrived yet at the channel clock, idle forward
+            // to the earliest arrival (the front of one of the queues).
+            if self.time < self.max_arrival {
+                let earliest = match (self.reads.first(), self.writes.first()) {
+                    (Some(r), Some(w)) => r.arrival.min(w.arrival),
+                    (Some(r), None) => r.arrival,
+                    (None, Some(w)) => w.arrival,
+                    (None, None) => unreachable!("has_pending checked"),
+                };
+                if self.time < earliest {
+                    self.time = earliest;
+                }
             }
+            let reads_end = self.arrived_prefix(&self.reads);
+            let writes_end = self.arrived_prefix(&self.writes);
+            let eligible_reads = reads_end > 0;
+            let eligible_writes = writes_end > 0;
+            let online_waiting = !self.ignore_priority
+                && if reads_end == self.reads.len() {
+                    self.online_reads_pending > 0
+                } else {
+                    self.reads[..reads_end].iter().any(|p| p.priority == Priority::Online)
+                };
 
             // Watermark-driven write drain with online-read preemption.
             if self.writes.len() >= self.high_mark {
@@ -184,13 +268,6 @@ impl Channel {
             if self.writes.len() <= self.low_mark {
                 self.draining = false;
             }
-            let eligible_reads = self.reads.iter().any(|p| p.arrival <= self.time);
-            let eligible_writes = self.writes.iter().any(|p| p.arrival <= self.time);
-            let online_waiting = !self.ignore_priority
-                && self
-                    .reads
-                    .iter()
-                    .any(|p| p.arrival <= self.time && p.priority == Priority::Online);
             let use_writes = if self.reads.is_empty() {
                 true
             } else if self.writes.is_empty() {
@@ -204,32 +281,36 @@ impl Channel {
                 self.draining && !online_waiting && eligible_writes
             };
 
-            let queue = if use_writes { &self.writes } else { &self.reads };
-            // FR-FCFS among arrived requests: online class first, then row
-            // hits, then oldest arrival.
-            let pick = queue
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.arrival <= self.time)
-                .min_by_key(|(_, p)| {
-                    let bank = &self.banks[p.addr.bank as usize];
-                    let hit = bank.open_row == Some(p.addr.row);
-                    let class = if self.ignore_priority { Priority::Online } else { p.priority };
-                    (class, !hit, p.arrival, p.id)
-                })
-                .map(|(i, _)| i);
+            // Class restriction: when any arrived request in the chosen
+            // queue is online, the online class dominates the pick key and
+            // offline entries cannot win.
+            let pick = if use_writes {
+                let online_write_waiting = !self.ignore_priority
+                    && if writes_end == self.writes.len() {
+                        self.online_writes_pending > 0
+                    } else {
+                        self.writes[..writes_end].iter().any(|p| p.priority == Priority::Online)
+                    };
+                self.pick_index(&self.writes, writes_end, online_write_waiting)
+            } else {
+                self.pick_index(&self.reads, reads_end, online_waiting)
+            };
             let Some(index) = pick else {
                 // The chosen queue has nothing arrived yet; idle forward to
-                // its earliest arrival and re-decide.
-                let next = queue.iter().map(|p| p.arrival).min().expect("chosen queue non-empty");
+                // its earliest arrival (its front) and re-decide.
+                let queue = if use_writes { &self.writes } else { &self.reads };
+                let next = queue.first().expect("chosen queue non-empty").arrival;
                 self.time = self.time.max(next);
                 continue;
             };
-            let p = if use_writes {
-                self.writes.swap_remove(index)
-            } else {
-                self.reads.swap_remove(index)
-            };
+            // Order-preserving removal keeps the (arrival, id) sort.
+            let p = if use_writes { self.writes.remove(index) } else { self.reads.remove(index) };
+            if p.priority == Priority::Online {
+                match p.kind {
+                    MemOpKind::Read => self.online_reads_pending -= 1,
+                    MemOpKind::Write => self.online_writes_pending -= 1,
+                }
+            }
             let completion = self.service(&p, stats);
             return Some((p.id, completion));
         }

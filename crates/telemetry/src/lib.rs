@@ -39,5 +39,5 @@ pub use collector::{
 };
 pub use phase::{Phase, PHASE_COUNT};
 pub use registry::Registry;
-pub use report::{parse_trace, render_report, CellCounts, RunTrace};
+pub use report::{fold_flamegraph, parse_trace, render_report, CellCounts, RunTrace};
 pub use ring_log::{Event, RingLog, DEFAULT_RING_CAPACITY};

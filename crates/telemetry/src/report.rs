@@ -322,6 +322,33 @@ pub fn render_report(runs: &[RunTrace]) -> String {
     out
 }
 
+/// Folds runs into the collapsed-stack format flamegraph tools consume
+/// (inferno, speedscope, flamegraph.pl): one line per
+/// `scheme;L<level>;<phase>` stack, weighted by that cell's attributed bus
+/// cycles. Runs with the same scheme label (e.g. one per benchmark) merge
+/// into one stack family, matching how sampling profilers aggregate
+/// identical stacks. Zero-cycle cells are dropped; lines are emitted in
+/// deterministic (scheme, level, phase-index) order so the folded file
+/// diffs cleanly between runs.
+pub fn fold_flamegraph(runs: &[RunTrace]) -> String {
+    let mut folded: BTreeMap<(String, u8, usize), u64> = BTreeMap::new();
+    for run in runs {
+        let scheme = if run.scheme.is_empty() { "?" } else { &run.scheme };
+        for (&(phase, level), counts) in &run.counts {
+            let cycles = counts.total() * run.burst_cycles;
+            if cycles > 0 {
+                *folded.entry((scheme.to_string(), level, phase)).or_default() += cycles;
+            }
+        }
+    }
+    let mut out = String::with_capacity(folded.len() * 40);
+    for ((scheme, level, phase), cycles) in folded {
+        let phase = Phase::ALL.get(phase).map_or("unknown", |p| p.name());
+        out.push_str(&format!("{scheme};L{level};{phase} {cycles}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +415,34 @@ mod tests {
         let runs = parse_trace("".as_bytes()).expect("io ok");
         assert!(runs.is_empty());
         assert!(render_report(&runs).contains("no runs"));
+    }
+
+    #[test]
+    fn flamegraph_folds_cells_into_collapsed_stacks() {
+        let runs = parse_trace(SAMPLE.as_bytes()).expect("io ok");
+        let folded = fold_flamegraph(&runs);
+        // burst 16: readPath 10 reads → 160 cycles, metadata 5+5 → 160,
+        // ab evictPath 2+2 → 64.
+        assert_eq!(folded, "ab;L3;evictPath 64\nring;L1;readPath 160\nring;L2;metadata 160\n");
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("weight separated by space");
+            assert_eq!(stack.split(';').count(), 3, "three frames per stack: {stack}");
+            assert!(weight.parse::<u64>().is_ok(), "numeric weight: {weight}");
+        }
+    }
+
+    #[test]
+    fn flamegraph_merges_runs_with_the_same_scheme() {
+        let trace = "\
+{\"t\":\"run\",\"scheme\":\"ab\",\"levels\":4,\"burst\":16}
+{\"t\":\"counts\",\"phase\":\"readPath\",\"level\":1,\"reads\":1,\"writes\":0}
+{\"t\":\"sum\",\"records\":1,\"exec\":10,\"bus\":16}
+{\"t\":\"run\",\"scheme\":\"ab\",\"levels\":4,\"burst\":16}
+{\"t\":\"counts\",\"phase\":\"readPath\",\"level\":1,\"reads\":2,\"writes\":0}
+{\"t\":\"sum\",\"records\":1,\"exec\":10,\"bus\":32}
+";
+        let runs = parse_trace(trace.as_bytes()).expect("io ok");
+        assert_eq!(fold_flamegraph(&runs), "ab;L1;readPath 48\n");
+        assert_eq!(fold_flamegraph(&[]), "", "no runs fold to an empty file");
     }
 }
