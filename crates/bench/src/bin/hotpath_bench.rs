@@ -22,7 +22,9 @@
 //! `--evict-cache` (composable with any mode) force-evicts every snapshot
 //! cache entry first, so `--evict-cache --check-golden` replays the golden
 //! cases on the guaranteed-cold path even when earlier runs populated the
-//! cache — CI's third replay flavor.
+//! cache — CI's third replay flavor. `--check-golden --integrity` replays
+//! with the integrity verifier armed (per-fetch MAC checks, per-level digest
+//! chain): fault-free verification must not move a single bit.
 //!
 //! ```text
 //! cargo run --release -p aboram-bench --bin hotpath_bench
@@ -54,7 +56,7 @@ fn main() {
         eprintln!("[evicted {evicted} snapshot cache entr(ies) — cold path guaranteed]");
     }
     if args.iter().any(|a| a == "--check-golden") {
-        check_golden();
+        check_golden(args.iter().any(|a| a == "--integrity"));
         return;
     }
     let iters: usize = flag_value(&args, "--iters").unwrap_or(3);
@@ -208,8 +210,12 @@ fn scaling(iters: usize) {
 
 /// Replays every golden case and compares against the committed fixtures.
 /// Warm-ups go through the snapshot cache, so consecutive runs check the
-/// cold and warm paths respectively.
-fn check_golden() {
+/// cold and warm paths respectively. With `integrity` set, the timed window
+/// replays with the integrity verifier armed — MAC checks on every fetch —
+/// which a fault-free run must reproduce bit-identically (verification is
+/// pure shadow computation; its cycle cost lives inside the existing
+/// crypto-pipeline charge).
+fn check_golden(integrity: bool) {
     let root = std::env::var("ABORAM_GOLDEN_DIR").unwrap_or_else(|_| {
         // Default: tests/golden relative to the workspace root (CI runs from
         // the checkout root; `cargo run -p` keeps the invocation cwd).
@@ -221,7 +227,11 @@ fn check_golden() {
         let warm_seed = aboram::golden::warm_up_seed(&cfg);
         let oram = warmed_engine_cached(&cfg, aboram::golden::GOLDEN_WARMUP, warm_seed)
             .expect("golden warm-up runs");
-        let report = aboram::golden::run_case_from(oram).expect("golden case runs");
+        let report = if integrity {
+            aboram::golden::run_case_from_verified(oram).expect("verified golden case runs")
+        } else {
+            aboram::golden::run_case_from(oram).expect("golden case runs")
+        };
         let got = aboram::golden::digest_json(name, scheme, &report);
         let path = std::path::Path::new(&root).join(format!("{name}.json"));
         match std::fs::read_to_string(&path) {
@@ -248,5 +258,8 @@ fn check_golden() {
         );
         std::process::exit(1);
     }
-    println!("all golden digests match");
+    println!(
+        "all golden digests match{}",
+        if integrity { " (integrity verification armed)" } else { "" }
+    );
 }

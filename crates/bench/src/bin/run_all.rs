@@ -48,6 +48,8 @@ const BINARIES: &[&str] = &[
     "ablation_dram_priority",
     "ext_posmap_recursion",
     "ext_energy",
+    // Robustness: full fault-injection campaign over every scheme.
+    "chaos_soak",
 ];
 
 fn job_count() -> usize {
@@ -128,8 +130,13 @@ fn main() {
 
     let failures = failures.into_inner().expect("failure list");
     let cache = aboram_bench::persistent_stats(&aboram_bench::cache_dir()).since(&cache_before);
+    // The chaos_soak child leaves its aggregate fault/recovery totals here;
+    // surface them next to the cache stats so one glance covers the run.
+    let recovery = std::fs::read_to_string("results/recovery_summary.txt")
+        .map(|s| s.trim_end().to_string())
+        .unwrap_or_else(|_| "chaos soak: no summary (chaos_soak did not run)".to_string());
     eprintln!(
-        "\nsuite finished in {:.1} min; {} failures{}\nsnapshot cache: {cache}",
+        "\nsuite finished in {:.1} min; {} failures{}\nsnapshot cache: {cache}\n{recovery}",
         started.elapsed().as_secs_f64() / 60.0,
         failures.len(),
         if failures.is_empty() { String::new() } else { format!(": {failures:?}") }

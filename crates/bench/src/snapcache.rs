@@ -255,17 +255,48 @@ fn try_restore_engine(
         return None;
     }
     let path = entry_path_of(dir, key, EntryKind::Engine);
-    let bytes = std::fs::read(&path).ok()?;
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "warning: snapshot cache entry {} unreadable ({e}); evicting",
+                path.display()
+            );
+            evict_rejected(dir, key, EntryKind::Engine, count_miss);
+            return None;
+        }
+    };
     match RingOram::restore(cfg, &bytes) {
         Ok(oram) => Some(oram),
         Err(e) => {
             eprintln!(
-                "warning: snapshot cache entry {} rejected ({e}); re-warming",
+                "warning: snapshot cache entry {} rejected ({e}); evicting and re-warming",
                 path.display()
             );
+            evict_rejected(dir, key, EntryKind::Engine, count_miss);
             None
         }
     }
+}
+
+/// Drops a cache entry whose file is unreadable or whose bytes failed
+/// restore — a torn write, a truncation caught by the FNV seal, or a
+/// format-version skew. The entry is removed from the index *and* from
+/// disk so later lookups are honest misses instead of repeatedly touching
+/// a dead record, and the premature hit this lookup recorded is converted
+/// back into the miss it actually was.
+fn evict_rejected(dir: &Path, key: u64, kind: EntryKind, count_miss: bool) {
+    let _ = with_index(dir, |ix| {
+        if let Some(pos) = ix.entries.iter().position(|e| e.key == key && e.kind == kind) {
+            ix.entries.swap_remove(pos);
+            ix.stats.evictions += 1;
+        }
+        ix.stats.hits = ix.stats.hits.saturating_sub(1);
+        if count_miss {
+            ix.stats.misses += 1;
+        }
+    });
+    let _ = std::fs::remove_file(entry_path_of(dir, key, kind));
 }
 
 pub(crate) fn warm_fresh(
@@ -361,11 +392,22 @@ fn try_restore_driver(
         return None;
     }
     let path = entry_path_of(dir, key, EntryKind::Driver);
-    let bytes = std::fs::read(&path).ok()?;
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("warning: driver cache entry {} unreadable ({e}); evicting", path.display());
+            evict_rejected(dir, key, EntryKind::Driver, count_miss);
+            return None;
+        }
+    };
     match TimingDriver::restore(cfg, dram, &bytes) {
         Ok(driver) => Some(driver),
         Err(e) => {
-            eprintln!("warning: driver cache entry {} rejected ({e}); rebuilding", path.display());
+            eprintln!(
+                "warning: driver cache entry {} rejected ({e}); evicting and rebuilding",
+                path.display()
+            );
+            evict_rejected(dir, key, EntryKind::Driver, count_miss);
             None
         }
     }
@@ -791,6 +833,63 @@ mod tests {
             RingOram::restore(&cfg, &bytes).is_ok(),
             "corrupt entry was rewritten with a good snapshot"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_detected_evicted_and_rewarmed() {
+        // A crash mid-write leaves a prefix of the entry on disk. The FNV
+        // seal must reject it, the index must drop the record (so the stale
+        // entry never counts as a hit again), and the lookup must fall back
+        // to a fresh warm-up that repopulates the cache.
+        let dir = tempdir("torn");
+        let cfg = test_cfg(31);
+        let key = cache_key(&cfg, 180, 4);
+        let _ = warmed_engine_cached_at(&dir, &cfg, 180, 4).expect("populate");
+        let path = entry_path_of(&dir, key, EntryKind::Engine);
+        let full = std::fs::read(&path).expect("entry bytes");
+        std::fs::write(&path, &full[..full.len() / 2]).expect("truncate mid-file");
+        assert!(
+            RingOram::restore(&cfg, &full[..full.len() / 2]).is_err(),
+            "truncated stream must fail the seal"
+        );
+
+        let before = persistent_stats(&dir);
+        let oram = warmed_engine_cached_at(&dir, &cfg, 180, 4).expect("re-warm");
+        let fresh = warm_fresh(&cfg, 180, 4).expect("fresh");
+        assert_eq!(oram.snapshot().expect("snap"), fresh.snapshot().expect("snap"));
+
+        let after = persistent_stats(&dir).since(&before);
+        assert_eq!(after.evictions, 1, "torn entry evicted from the index");
+        assert_eq!(after.hits, 0, "a rejected entry is not a hit");
+        assert_eq!(after.misses, 1, "rejection re-counted as a miss");
+        assert_eq!(after.stores, 1, "fresh warm-up repopulated the entry");
+        let good = std::fs::read(&path).expect("rewritten entry");
+        assert!(RingOram::restore(&cfg, &good).is_ok(), "entry file re-warmed in place");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_driver_entry_is_detected_evicted_and_rebuilt() {
+        let dir = tempdir("torndrv");
+        let cfg = test_cfg(33);
+        let dram = DramConfig::default();
+        let key = driver_cache_key(&cfg, &dram, 160, 6);
+        let _ = warmed_driver_cached_at(&dir, &cfg, dram, 160, 6).expect("populate");
+        let path = entry_path_of(&dir, key, EntryKind::Driver);
+        let full = std::fs::read(&path).expect("entry bytes");
+        std::fs::write(&path, &full[..full.len() / 2]).expect("truncate mid-file");
+
+        let before = persistent_stats(&dir);
+        let driver = warmed_driver_cached_at(&dir, &cfg, dram, 160, 6).expect("rebuild");
+        let fresh = TimingDriver::from_oram(warm_fresh(&cfg, 160, 6).expect("warm"), dram);
+        assert_eq!(driver.snapshot().expect("snap"), fresh.snapshot().expect("snap"));
+
+        let after = persistent_stats(&dir).since(&before);
+        assert_eq!(after.evictions, 1, "torn driver entry evicted from the index");
+        assert_eq!(after.stores, 1, "driver entry re-stored after the rebuild");
+        let good = std::fs::read(&path).expect("rewritten driver entry");
+        assert!(TimingDriver::restore(&cfg, dram, &good).is_ok(), "entry rebuilt in place");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

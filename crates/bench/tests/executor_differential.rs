@@ -104,6 +104,64 @@ fn weighted_scheduling_is_byte_identical_at_jobs_1_3_8() {
     }
 }
 
+/// Runs a (scheme × stall-seed) grid of timing cells whose fault plans
+/// schedule channel stalls only (no data faults), so the per-bank ordered
+/// queues absorb bursts of delayed service, and returns the assembled
+/// report table plus the telemetry trace.
+fn stall_schedule_grid(jobs: usize) -> (String, String) {
+    use aboram_bench::derive_cell_seed;
+    use aboram_core::{FaultConfig, FaultPlan, OramConfig, TimingDriver};
+    use aboram_dram::DramConfig;
+    use aboram_trace::TraceGenerator;
+
+    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
+    let stalls = FaultConfig {
+        stall_events: 6,
+        stall_duration: 8_000,
+        stall_horizon: 400_000,
+        ..FaultConfig::default()
+    };
+    let grid: Vec<(Scheme, u64)> =
+        [Scheme::Baseline, Scheme::DR, Scheme::Ab].iter().flat_map(|&s| [(s, 0), (s, 1)]).collect();
+
+    let (collector, buf) = Collector::to_shared_buffer();
+    aboram_telemetry::install(collector);
+    let reports = CellExecutor::with_jobs(jobs).run(grid.clone(), |index, (scheme, _)| {
+        let cfg = OramConfig::builder(9, scheme).seed(0x57A1).build().expect("config builds");
+        let mut driver = TimingDriver::new(&cfg, DramConfig::default()).expect("driver builds");
+        driver
+            .enable_faults(FaultPlan::with_config(derive_cell_seed(0x57A1, index as u64), stalls));
+        let mut gen = TraceGenerator::new(&profile, 11);
+        driver.run((0..300).map(|_| gen.next_record())).expect("stalled run completes")
+    });
+    let mut c = aboram_telemetry::uninstall().expect("collector still installed");
+    c.flush().expect("flush");
+
+    let mut table = String::from("| scheme | seed | exec cycles | bytes | detected |\n");
+    for ((scheme, salt), report) in grid.iter().zip(&reports) {
+        table.push_str(&format!(
+            "| {scheme} | {salt} | {} | {} | {} |\n",
+            report.exec_cycles,
+            report.bytes_transferred,
+            report.recovery.faults_detected()
+        ));
+    }
+    (table, buf.take())
+}
+
+/// Channel-stall schedules only delay service inside the per-bank ordered
+/// queues — they must not open a scheduling race: cycle counts and the
+/// telemetry trace are byte-identical at jobs=1 and jobs=4.
+#[test]
+fn stall_schedules_are_byte_identical_across_jobs_counts() {
+    let (table_seq, trace_seq) = stall_schedule_grid(1);
+    assert!(table_seq.lines().count() > 1, "grid produced rows:\n{table_seq}");
+    assert!(trace_seq.contains("\"run\""), "telemetry captured runs:\n{trace_seq}");
+    let (table_par, trace_par) = stall_schedule_grid(4);
+    assert_eq!(table_seq, table_par, "stalled cycle counts depend on jobs count");
+    assert_eq!(trace_seq, trace_par, "stalled telemetry depends on jobs count");
+}
+
 #[test]
 fn golden_digests_identical_at_any_jobs_count() {
     let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");

@@ -14,7 +14,7 @@ use crate::ring::{AccessKind, RingOram};
 use crate::sink::{OramOp, TimingSink};
 use aboram_crypto::CryptoLatency;
 use aboram_dram::{DramConfig, MemorySystem, RobCpu};
-use aboram_stats::RecoveryStats;
+use aboram_stats::{HealthState, RecoveryStats};
 use aboram_trace::{MemOp, TraceRecord};
 
 /// Bus-cycle attribution per protocol operation (Fig. 8c's stacked bars).
@@ -69,6 +69,10 @@ pub struct SimulationReport {
     /// Fault-recovery counters accumulated during the timed window (all
     /// zero unless fault injection was enabled).
     pub recovery: RecoveryStats,
+    /// Engine health at the end of the run: `Degraded` when any fault
+    /// exhausted the recovery ladder and a subtree was poisoned (integrity
+    /// mode only; always `Healthy` otherwise).
+    pub health: HealthState,
 }
 
 impl SimulationReport {
@@ -96,7 +100,9 @@ impl SimulationReport {
 /// behavior changes (core model, crypto charging, controller serialization)
 /// so stale cached full-system state is never replayed. The embedded engine
 /// and memory-system streams carry their own versions.
-pub const DRIVER_SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: rides the engine-snapshot v2 bump (recovery ladder counters).
+pub const DRIVER_SNAPSHOT_VERSION: u32 = 2;
 
 /// Magic bytes opening every full-driver snapshot stream.
 const DRIVER_SNAPSHOT_MAGIC: [u8; 4] = *b"ABSD";
@@ -175,6 +181,23 @@ impl TimingDriver {
     /// [`enable_faults`](Self::enable_faults)).
     pub fn injected_faults(&self) -> InjectedFaults {
         self.sink.injected()
+    }
+
+    /// Arms integrity verification on the engine: per-bucket MAC tags are
+    /// checked on every readPath / evictPath / earlyReshuffle fetch and
+    /// folded into the stash-rooted per-level digest chain, and faulted
+    /// transfers go through the full recovery ladder (redundant refetch,
+    /// escalated eviction, graceful degradation) instead of aborting.
+    /// Idempotent; a fault-free verified run is bit-identical to an
+    /// unverified one.
+    pub fn enable_integrity(&mut self) {
+        self.oram.enable_integrity();
+    }
+
+    /// Engine health: `Degraded` once any fault exhausts the recovery
+    /// ladder under integrity verification, `Healthy` otherwise.
+    pub fn health(&self) -> HealthState {
+        self.oram.health()
     }
 
     /// Enables the recursive position-map extension: PLB misses charge
@@ -436,6 +459,7 @@ impl TimingDriver {
             early_reshuffles: s.reshuffles.total() - resh0,
             stash_peak: self.oram.stash_peak(),
             recovery: s.recovery.since(&recovery0),
+            health: self.oram.health(),
         })
     }
 }

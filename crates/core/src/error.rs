@@ -38,7 +38,10 @@ pub enum OramError {
     /// A data-path operation was requested but `store_data` is disabled.
     DataPathDisabled,
     /// Bounded fault recovery gave up: every re-issued transfer of `address`
-    /// faulted again.
+    /// faulted again. Only surfaced when integrity verification is off;
+    /// with the verifier armed, the recovery ladder continues past retries
+    /// (redundant refetch, escalated eviction) and exhaustion degrades the
+    /// engine's health instead of erroring.
     RetriesExhausted {
         /// The physical address whose transfers kept faulting.
         address: u64,

@@ -28,12 +28,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Maximum re-issues of a faulted transfer before an engine gives up with
-/// [`crate::OramError::RetriesExhausted`].
+/// [`crate::OramError::RetriesExhausted`] — or, with integrity verification
+/// armed, climbs to the next rung of the recovery ladder (redundant-slot
+/// refetch, then escalated eviction plus graceful degradation).
 pub const MAX_FAULT_RETRIES: u32 = 6;
 
 /// Backoff charged (to the recovery stats — the simulator never sleeps)
 /// before retry `i` is `BACKOFF_BASE_CYCLES << i`.
 pub const BACKOFF_BASE_CYCLES: u64 = 32;
+
+/// Redundant-slot refetches attempted after bounded retry is exhausted —
+/// the second rung of the integrity-verified recovery ladder. Only engines
+/// with the verifier armed climb past plain retries.
+pub const REDUNDANT_REFETCHES: u32 = 2;
 
 /// The kinds of fault the harness can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -47,6 +47,7 @@ mod deadq;
 mod driver;
 mod error;
 mod fault;
+mod integrity;
 mod metadata;
 mod path_oram;
 mod posmap;
@@ -64,8 +65,9 @@ pub use driver::{BreakdownReport, SimulationReport, TimingDriver, DRIVER_SNAPSHO
 pub use error::OramError;
 pub use fault::{
     ChannelStall, FaultConfig, FaultInjectingSink, FaultKind, FaultPlan, FaultSite, InjectedFaults,
-    BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES,
+    BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES, REDUNDANT_REFETCHES,
 };
+pub use integrity::IntegrityVerifier;
 pub use metadata::{BucketMeta, MetadataLayout, MetadataStore, SlotStatus};
 pub use path_oram::PathOram;
 pub use posmap::PositionMap;
@@ -77,9 +79,10 @@ pub use snapshot::{config_digest, SNAPSHOT_VERSION};
 pub use stash::{Stash, StashBlock};
 pub use stats::OramStats;
 
-// Re-exported so downstream code can name the recovery counters carried in
-// [`OramStats`] and [`SimulationReport`] without depending on aboram-stats.
-pub use aboram_stats::RecoveryStats;
+// Re-exported so downstream code can name the recovery counters and health
+// state carried in [`OramStats`] and [`SimulationReport`] without depending
+// on aboram-stats.
+pub use aboram_stats::{HealthState, RecoveryStats};
 
 /// Logical identifier of one protected user block.
 pub type BlockId = u64;

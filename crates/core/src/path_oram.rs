@@ -404,6 +404,8 @@ impl PathOram {
             self.recovery.escalated_evictions,
             self.recovery.degraded_accesses,
             self.recovery.backoff_cycles,
+            self.recovery.redundant_refetches,
+            self.recovery.unrecovered_faults,
         ] {
             w.u64(v);
         }
@@ -479,7 +481,7 @@ impl PathOram {
             buckets.push(PathBucket { blocks });
         }
 
-        let mut rec = [0u64; 12];
+        let mut rec = [0u64; 14];
         for v in &mut rec {
             *v = r.u64()?;
         }
@@ -496,6 +498,8 @@ impl PathOram {
             escalated_evictions: rec[9],
             degraded_accesses: rec[10],
             backoff_cycles: rec[11],
+            redundant_refetches: rec[12],
+            unrecovered_faults: rec[13],
         };
         if r.remaining() != 0 {
             return Err(OramError::SnapshotInvalid {

@@ -40,7 +40,8 @@
 use crate::config::OramConfig;
 use crate::deadq::DeadQueues;
 use crate::error::OramError;
-use crate::fault::{FaultSite, BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES};
+use crate::fault::{FaultSite, BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES, REDUNDANT_REFETCHES};
+use crate::integrity::IntegrityVerifier;
 use crate::metadata::{nth_set_bit, MetadataStore, RealEntry, SlotStatus};
 use crate::posmap::PositionMap;
 use crate::sink::{MemorySink, OramOp};
@@ -48,6 +49,7 @@ use crate::stash::{Stash, StashBlock};
 use crate::stats::OramStats;
 use crate::{BlockId, BLOCK_BYTES};
 use aboram_crypto::{BlockCipher, SealedBlock};
+use aboram_stats::HealthState;
 use aboram_telemetry::{self as telemetry, Phase};
 use aboram_tree::{
     reverse_lex_path, BucketId, Level, PathId, PhysicalLayout, SlotAddr, TreeGeometry,
@@ -62,6 +64,16 @@ pub enum AccessKind {
     Read,
     /// Overwrite a block's contents.
     Write,
+}
+
+/// How the recovery ladder resolved a faulted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecoveryOutcome {
+    /// A clean copy was confirmed (retry or redundant refetch succeeded).
+    Recovered,
+    /// The ladder's budget ran out: the subtree is poisoned and the engine
+    /// continues in a `Degraded` health state.
+    Degraded,
 }
 
 /// Optional encrypted backing store for block contents.
@@ -156,6 +168,12 @@ pub struct RingOram {
     stats: OramStats,
     remote_enabled: bool,
     scratch: Scratch,
+    /// Armed by [`enable_integrity`](Self::enable_integrity); `None` keeps
+    /// the engine bit-identical to the pre-integrity builds.
+    integrity: Option<IntegrityVerifier>,
+    /// Set when the recovery ladder requests an escalated path eviction; it
+    /// runs at the next safe protocol boundary (the end of the access).
+    pending_escalation: bool,
 }
 
 impl RingOram {
@@ -203,6 +221,8 @@ impl RingOram {
             stats: OramStats::new(cfg.levels, cfg.track_lifetimes),
             remote_enabled,
             scratch: Scratch::default(),
+            integrity: None,
+            pending_escalation: false,
         };
         engine.bulk_load()?;
         if cfg.store_data {
@@ -272,6 +292,33 @@ impl RingOram {
         &self.deadqs
     }
 
+    /// Arms integrity verification: every off-chip fetch from here on
+    /// re-derives its per-bucket MAC tag and folds it into the Merkle-style
+    /// per-level digest chain, and fault recovery climbs the full ladder
+    /// (retry → redundant refetch → escalated eviction → poison + degrade)
+    /// instead of aborting with [`OramError::RetriesExhausted`].
+    ///
+    /// Fault-free behavior is bit-identical with or without the verifier:
+    /// verification is pure computation over shadow state (no traffic, no
+    /// RNG draws), and its cycle cost is already covered by the crypto
+    /// pipeline the timing driver charges per fetched burst.
+    pub fn enable_integrity(&mut self) {
+        if self.integrity.is_none() {
+            self.integrity = Some(IntegrityVerifier::new(self.cfg.seed, self.cfg.levels));
+        }
+    }
+
+    /// The integrity verifier, when armed.
+    pub fn integrity(&self) -> Option<&IntegrityVerifier> {
+        self.integrity.as_ref()
+    }
+
+    /// Engine health: [`HealthState::Degraded`] once any fault exhausted
+    /// the recovery ladder; always `Healthy` without the verifier armed.
+    pub fn health(&self) -> HealthState {
+        self.integrity.as_ref().map(IntegrityVerifier::health).unwrap_or_default()
+    }
+
     /// Reads `block` through the full ORAM protocol, returning its data.
     ///
     /// # Errors
@@ -337,8 +384,20 @@ impl RingOram {
         self.stats.user_accesses += 1;
         let data = self.read_path(Some(block), new_data, OramOp::ReadPath, sink)?;
         self.background_evict(sink)?;
+        // Ladder rung 3: an escalated path eviction requested mid-operation
+        // runs here, at the access boundary, where a full evictPath is
+        // protocol-safe.
+        if self.pending_escalation {
+            self.pending_escalation = false;
+            self.escalate_evictions(sink)?;
+        }
         if self.stats.recovery != recovery_before {
             self.stats.recovery.degraded_accesses += 1;
+        }
+        // The stash roots the digest chain: every access folds the
+        // per-level digests into the root exactly once.
+        if let Some(v) = &mut self.integrity {
+            v.fold_root();
         }
         let occupancy = self.stash.len();
         self.stats.sample_stash(occupancy);
@@ -357,7 +416,15 @@ impl RingOram {
     pub fn dummy_access(&mut self, sink: &mut impl MemorySink) -> Result<(), OramError> {
         self.stats.user_accesses += 1;
         self.read_path(None, None, OramOp::ReadPath, sink)?;
-        self.background_evict(sink)
+        self.background_evict(sink)?;
+        if self.pending_escalation {
+            self.pending_escalation = false;
+            self.escalate_evictions(sink)?;
+        }
+        if let Some(v) = &mut self.integrity {
+            v.fold_root();
+        }
+        Ok(())
     }
 
     /// §VI-C's measurement hook: performs one access and reports the tree
@@ -539,7 +606,7 @@ impl RingOram {
         for &bucket in &buckets {
             if self.off_chip(bucket) {
                 let addr = self.metadata_addr(bucket)?;
-                self.post_write(addr, OramOp::Metadata, false, bucket.level().0, sink)?;
+                self.post_write(addr, OramOp::Metadata, false, bucket, sink)?;
             }
         }
         if self.stash.overflowed() {
@@ -785,7 +852,7 @@ impl RingOram {
             let phys = self.meta.resolve(bucket, logical);
             let addr = self.slot_addr(phys)?;
             if self.off_chip(bucket) {
-                self.post_write(addr, op, false, level.0, sink)?;
+                self.post_write(addr, op, false, bucket, sink)?;
             }
             if self.data.is_some() {
                 let plain = placed
@@ -800,7 +867,7 @@ impl RingOram {
         }
         if self.off_chip(bucket) {
             let addr = self.metadata_addr(bucket)?;
-            self.post_write(addr, OramOp::Metadata, false, level.0, sink)?;
+            self.post_write(addr, OramOp::Metadata, false, bucket, sink)?;
         }
         self.scratch.placed = placed;
         Ok(())
@@ -903,18 +970,31 @@ impl RingOram {
         Ok(self.layout.metadata_addr(bucket)?)
     }
 
-    /// Bounded recovery after `site` reported a faulted transfer at `addr`:
-    /// re-issues the transfer with exponential backoff until a clean copy is
-    /// confirmed, or gives up with [`OramError::RetriesExhausted`].
+    /// Typed recovery ladder after `site` reported a faulted transfer at
+    /// `addr` (owned by `bucket`):
+    ///
+    /// 1. **Bounded retry** — up to [`MAX_FAULT_RETRIES`] re-issues with
+    ///    exponential backoff. Without integrity verification armed this is
+    ///    the whole ladder; exhaustion surfaces as
+    ///    [`OramError::RetriesExhausted`], preserving pre-integrity
+    ///    behavior bit for bit.
+    /// 2. **Redundant-slot refetch** — up to [`REDUNDANT_REFETCHES`] extra
+    ///    transfers of the slot's redundant copy.
+    /// 3. **Escalated path eviction** — scheduled (it runs at the next
+    ///    access boundary) so the faulted region is rewritten wholesale.
+    /// 4. **Graceful degradation** — the subtree under `bucket` is
+    ///    poisoned, health drops to `Degraded`, and the run continues:
+    ///    never an abort.
     fn retry_transfer(
         &mut self,
         addr: SlotAddr,
         site: FaultSite,
         op: OramOp,
         online: bool,
-        level: u8,
+        bucket: BucketId,
         sink: &mut impl MemorySink,
-    ) -> Result<(), OramError> {
+    ) -> Result<RecoveryOutcome, OramError> {
+        let level = bucket.level().0;
         telemetry::span(Phase::RecoveryRetry);
         for attempt in 0..MAX_FAULT_RETRIES {
             self.stats.recovery.backoff_cycles += BACKOFF_BASE_CYCLES << attempt;
@@ -937,17 +1017,56 @@ impl RingOram {
                 }
             }
             if sink.poll_fault(addr, site).is_none() {
-                return Ok(());
+                return Ok(RecoveryOutcome::Recovered);
             }
         }
-        telemetry::dump_ring("retries_exhausted");
-        Err(OramError::RetriesExhausted { address: addr.byte(), attempts: MAX_FAULT_RETRIES })
+        if self.integrity.is_none() {
+            telemetry::dump_ring("retries_exhausted");
+            return Err(OramError::RetriesExhausted {
+                address: addr.byte(),
+                attempts: MAX_FAULT_RETRIES,
+            });
+        }
+        // Rung 2: fetch the redundant copy. The backoff keeps climbing past
+        // the retry rung, so ladder depth is visible in the cycle charge.
+        for extra in 0..REDUNDANT_REFETCHES {
+            self.stats.recovery.redundant_refetches += 1;
+            self.stats.recovery.backoff_cycles +=
+                BACKOFF_BASE_CYCLES << (MAX_FAULT_RETRIES + extra);
+            telemetry::event("redundant_refetch", Phase::RecoveryRetry, level, u64::from(extra));
+            match site {
+                FaultSite::Data | FaultSite::Metadata => {
+                    sink.read(addr, op, online);
+                    telemetry::mem_read(Phase::RecoveryRetry, level);
+                }
+                FaultSite::WriteAck => {
+                    sink.write(addr, op, online);
+                    telemetry::mem_write(Phase::RecoveryRetry, level);
+                }
+            }
+            if sink.poll_fault(addr, site).is_none() {
+                return Ok(RecoveryOutcome::Recovered);
+            }
+        }
+        // Rungs 3 + 4: rewrite the region via an escalated eviction at the
+        // next safe boundary, poison the subtree, degrade — don't abort.
+        self.pending_escalation = true;
+        self.stats.recovery.unrecovered_faults += 1;
+        if let Some(v) = &mut self.integrity {
+            v.poison(bucket.raw(), level);
+        }
+        telemetry::event("fault_poisoned", Phase::RecoveryRetry, level, bucket.raw());
+        telemetry::dump_ring("fault_poisoned");
+        Ok(RecoveryOutcome::Degraded)
     }
 
     /// MAC-verified fetch of the data slot at `phys` (zeroes when the data
     /// path is off). An off-chip fetch whose copy arrives corrupted — the
-    /// sink's fault poll stands in for the MAC check failing — is re-read
-    /// with bounded backoff before the plaintext is produced.
+    /// sink's fault poll stands in for the MAC check failing — goes through
+    /// the recovery ladder before the plaintext is produced. The fault poll
+    /// happens regardless of whether the data store is enabled: the slot's
+    /// burst crosses the bus either way, so a metadata-only engine sees (and
+    /// must recover from) the same Data-site faults.
     fn fetch_block(
         &mut self,
         phys: aboram_tree::SlotId,
@@ -955,16 +1074,23 @@ impl RingOram {
         online: bool,
         sink: &mut impl MemorySink,
     ) -> Result<[u8; BLOCK_BYTES], OramError> {
-        if self.data.is_none() {
-            return Ok([0; BLOCK_BYTES]);
-        }
         let addr = self.slot_addr(phys)?;
-        if self.off_chip(phys.bucket) && sink.poll_fault(addr, FaultSite::Data).is_some() {
-            self.stats.recovery.integrity_faults_detected += 1;
-            let level = phys.bucket.level().0;
-            telemetry::event("data_fault", Phase::RecoveryRetry, level, addr.byte());
-            self.retry_transfer(addr, FaultSite::Data, op, online, level, sink)?;
-            self.stats.recovery.integrity_faults_recovered += 1;
+        if self.off_chip(phys.bucket) {
+            let mut clean = true;
+            if sink.poll_fault(addr, FaultSite::Data).is_some() {
+                self.stats.recovery.integrity_faults_detected += 1;
+                let level = phys.bucket.level().0;
+                telemetry::event("data_fault", Phase::RecoveryRetry, level, addr.byte());
+                match self.retry_transfer(addr, FaultSite::Data, op, online, phys.bucket, sink)? {
+                    RecoveryOutcome::Recovered => {
+                        self.stats.recovery.integrity_faults_recovered += 1;
+                    }
+                    RecoveryOutcome::Degraded => clean = false,
+                }
+            }
+            if let Some(v) = &mut self.integrity {
+                v.verify_fetch(phys.bucket.level().0, addr.byte(), clean);
+            }
         }
         match &self.data {
             Some(ds) => ds.read(addr),
@@ -988,32 +1114,62 @@ impl RingOram {
         sink.read(addr, OramOp::Metadata, online);
         let level = bucket.level().0;
         telemetry::mem_read(Phase::Metadata, level);
+        let mut clean = true;
         if sink.poll_fault(addr, FaultSite::Metadata).is_some() {
             self.stats.recovery.metadata_faults_detected += 1;
             telemetry::event("metadata_fault", Phase::RecoveryRetry, level, addr.byte());
-            self.retry_transfer(addr, FaultSite::Metadata, OramOp::Metadata, online, level, sink)?;
-            self.stats.recovery.metadata_faults_recovered += 1;
+            match self.retry_transfer(
+                addr,
+                FaultSite::Metadata,
+                OramOp::Metadata,
+                online,
+                bucket,
+                sink,
+            )? {
+                RecoveryOutcome::Recovered => {
+                    self.stats.recovery.metadata_faults_recovered += 1;
+                }
+                RecoveryOutcome::Degraded => clean = false,
+            }
+        }
+        if let Some(v) = &mut self.integrity {
+            v.verify_fetch(level, addr.byte(), clean);
         }
         Ok(())
     }
 
-    /// One off-chip write, retransmitted with bounded backoff when the
-    /// write-CRC acknowledgment reports the burst was dropped.
+    /// One off-chip write, retransmitted through the recovery ladder when
+    /// the write-CRC acknowledgment reports the burst was dropped. An
+    /// acknowledged write advances the slot's shadow write epoch under the
+    /// integrity verifier; a dropped one taints the bucket's level chain.
     fn post_write(
         &mut self,
         addr: SlotAddr,
         op: OramOp,
         online: bool,
-        level: u8,
+        bucket: BucketId,
         sink: &mut impl MemorySink,
     ) -> Result<(), OramError> {
+        let level = bucket.level().0;
         sink.write(addr, op, online);
         telemetry::mem_write(op.phase(), level);
+        let mut acked = true;
         if sink.poll_fault(addr, FaultSite::WriteAck).is_some() {
             self.stats.recovery.dropped_writes_detected += 1;
             telemetry::event("write_dropped", Phase::RecoveryRetry, level, addr.byte());
-            self.retry_transfer(addr, FaultSite::WriteAck, op, online, level, sink)?;
-            self.stats.recovery.dropped_writes_recovered += 1;
+            match self.retry_transfer(addr, FaultSite::WriteAck, op, online, bucket, sink)? {
+                RecoveryOutcome::Recovered => {
+                    self.stats.recovery.dropped_writes_recovered += 1;
+                }
+                RecoveryOutcome::Degraded => acked = false,
+            }
+        }
+        if let Some(v) = &mut self.integrity {
+            if acked {
+                v.record_write(level, addr.byte());
+            } else {
+                v.record_dropped_write(level, addr.byte());
+            }
         }
         Ok(())
     }
@@ -1132,13 +1288,21 @@ impl RingOram {
     ///
     /// # Errors
     ///
-    /// Returns [`OramError::SnapshotInvalid`] when the data path is enabled:
-    /// the encrypted backing store is deliberately excluded from snapshots
-    /// (its ciphertexts and keys should not land on disk in a cache).
+    /// Returns [`OramError::SnapshotInvalid`] when the data path is enabled
+    /// (the encrypted backing store is deliberately excluded from snapshots:
+    /// its ciphertexts and keys should not land on disk in a cache), or when
+    /// the integrity verifier is armed (shadow tag state is not serialized;
+    /// snapshot warm-ups run integrity-off and the verifier is armed on the
+    /// restored engine).
     pub fn snapshot(&self) -> Result<Vec<u8>, OramError> {
         if self.data.is_some() {
             return Err(OramError::SnapshotInvalid {
                 reason: "data path enabled; snapshots cover metadata-only engines".to_string(),
+            });
+        }
+        if self.integrity.is_some() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "integrity verifier armed; snapshot before enabling integrity".to_string(),
             });
         }
         let mut w = crate::snapshot::Writer::new();
@@ -1338,6 +1502,8 @@ impl RingOram {
             stats,
             remote_enabled: cfg.scheme.uses_remote_allocation(),
             scratch: Scratch::default(),
+            integrity: None,
+            pending_escalation: false,
         })
     }
 }
@@ -1398,6 +1564,8 @@ pub(crate) fn write_stats(w: &mut crate::snapshot::Writer, stats: &OramStats) {
         rec.escalated_evictions,
         rec.degraded_accesses,
         rec.backoff_cycles,
+        rec.redundant_refetches,
+        rec.unrecovered_faults,
     ] {
         w.u64(v);
     }
@@ -1460,7 +1628,7 @@ pub(crate) fn read_stats(
         occupancy.push(r.u64()?);
     }
     stats.restore_stash_occupancy(occupancy);
-    let mut rec = [0u64; 12];
+    let mut rec = [0u64; 14];
     for v in &mut rec {
         *v = r.u64()?;
     }
@@ -1477,6 +1645,8 @@ pub(crate) fn read_stats(
         escalated_evictions: rec[9],
         degraded_accesses: rec[10],
         backoff_cycles: rec[11],
+        redundant_refetches: rec[12],
+        unrecovered_faults: rec[13],
     };
     Ok(stats)
 }

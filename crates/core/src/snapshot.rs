@@ -35,7 +35,10 @@ pub(crate) use aboram_stats::{ByteReader as Reader, ByteWriter as Writer};
 /// behavior changes (i.e. whenever the golden-trace fixtures are
 /// re-blessed): a stale cached warm-up must never be replayed against a
 /// changed engine.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: the serialized recovery block grew from 12 to 14 counters
+/// (`redundant_refetches`, `unrecovered_faults` — the recovery ladder).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Magic bytes opening every engine snapshot stream.
 pub(crate) const SNAPSHOT_MAGIC: [u8; 4] = *b"ABSN";

@@ -9,6 +9,15 @@
 /// charges a one-time `pipeline_fill` on the first block of a burst and
 /// `per_block` for each subsequent block.
 ///
+/// The charge covers both halves of the secure engine: decryption *and* MAC
+/// verification ([`bucket_tag`](crate::bucket_tag) checks plus the
+/// Merkle-style level-chain fold) run in the same hardware pipeline, so an
+/// integrity-verified run pays no extra cycles while its fetches verify
+/// clean. Only *recovery* actions — re-issued transfers after a failed
+/// check — add bus traffic, and those retried blocks re-enter this pipeline
+/// like any other burst, which is how verification cost surfaces in the
+/// DRAM/crypto timing under faults.
+///
 /// # Example
 ///
 /// ```

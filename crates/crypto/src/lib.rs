@@ -46,3 +46,4 @@ mod mac;
 
 pub use cipher::{AuthError, BlockCipher, SealedBlock, BLOCK_BYTES};
 pub use latency::CryptoLatency;
+pub use mac::{bucket_tag, chain_digest};

@@ -1,4 +1,5 @@
-//! Polynomial MAC over ciphertext blocks.
+//! Polynomial MAC over ciphertext blocks, plus the bucket-tag and
+//! digest-chain helpers the integrity-verified engine mode builds on.
 
 use crate::cipher::BLOCK_BYTES;
 
@@ -25,6 +26,38 @@ pub(crate) fn poly_mac(
     acc ^ (acc >> 32)
 }
 
+/// The per-bucket MAC tag the secure engine stores alongside a slot or
+/// metadata record: the polynomial MAC over a canonical block derived from
+/// the record's address and write counter.
+///
+/// Metadata-only simulations carry no ciphertext, so the tag binds the
+/// *identity* of the transfer — (address, epoch counter) under the engine
+/// key — which is exactly the shadow state an integrity verifier needs to
+/// re-derive the expected tag on every fetch. Data-path simulations verify
+/// the real ciphertext separately through [`BlockCipher::open`]; this tag is
+/// the additional per-bucket layer the Merkle-style level chain folds.
+///
+/// [`BlockCipher::open`]: crate::BlockCipher::open
+pub fn bucket_tag(key: u64, address: u64, counter: u64) -> u64 {
+    let mut block = [0u8; BLOCK_BYTES];
+    for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+        let lane = address.rotate_left((i as u32) * 8).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ counter.wrapping_add(i as u64);
+        chunk.copy_from_slice(&lane.to_le_bytes());
+    }
+    poly_mac(key, &block, address, counter)
+}
+
+/// One fold step of the Merkle-style digest chain: absorbs `tag` into the
+/// running digest `acc`. Non-commutative and order-sensitive, so replaying
+/// the same fetch sequence reproduces the same chain and any divergence —
+/// a tampered tag, a skipped level — lands in every later digest.
+pub fn chain_digest(acc: u64, tag: u64) -> u64 {
+    let mut h = (acc ^ tag).wrapping_mul(0x0000_0100_0000_01b3);
+    h ^= h >> 31;
+    h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ acc.rotate_left(17)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,6 +78,26 @@ mod tests {
         assert_ne!(base, poly_mac(12, &c, 1, 2));
         assert_ne!(base, poly_mac(11, &c, 2, 2));
         assert_ne!(base, poly_mac(11, &c, 1, 3));
+    }
+
+    #[test]
+    fn bucket_tag_is_deterministic_and_input_sensitive() {
+        let base = bucket_tag(7, 0x1000, 3);
+        assert_eq!(base, bucket_tag(7, 0x1000, 3));
+        assert_ne!(base, bucket_tag(8, 0x1000, 3));
+        assert_ne!(base, bucket_tag(7, 0x1040, 3));
+        assert_ne!(base, bucket_tag(7, 0x1000, 4));
+    }
+
+    #[test]
+    fn chain_digest_is_order_sensitive() {
+        let a = chain_digest(chain_digest(0, 1), 2);
+        let b = chain_digest(chain_digest(0, 2), 1);
+        assert_ne!(a, b);
+        // A diverged step never silently re-converges on the next fold.
+        let clean = chain_digest(chain_digest(0, 5), 9);
+        let tainted = chain_digest(chain_digest(0, 6), 9);
+        assert_ne!(clean, tainted);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Engine health classification for the integrity-verified recovery ladder.
+
+use std::fmt;
+
+/// Coarse health of an integrity-verified engine.
+///
+/// An engine starts `Healthy` and stays there as long as every detected
+/// fault is cleared by the recovery ladder (bounded retry, redundant-slot
+/// refetch, escalated eviction). When the ladder's budget is exhausted the
+/// engine *does not abort*: it poisons the affected subtree, keeps serving
+/// accesses, and transitions to `Degraded` so the caller — and the chaos
+/// harness — can see that at least one fault was reported rather than
+/// recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// No unrecovered fault: every detection was cleared bit-exactly.
+    #[default]
+    Healthy,
+    /// At least one fault exhausted the recovery ladder; the engine keeps
+    /// running with a poisoned-subtree map instead of aborting.
+    Degraded,
+}
+
+impl HealthState {
+    /// Whether the engine never exhausted its recovery budget.
+    pub fn is_healthy(self) -> bool {
+        self == HealthState::Healthy
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded => write!(f, "degraded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_healthy_and_displays() {
+        assert_eq!(HealthState::default(), HealthState::Healthy);
+        assert!(HealthState::Healthy.is_healthy());
+        assert!(!HealthState::Degraded.is_healthy());
+        assert_eq!(HealthState::Degraded.to_string(), "degraded");
+    }
+}

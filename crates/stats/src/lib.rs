@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod health;
 mod histogram;
 mod recovery;
 mod series;
@@ -30,6 +31,7 @@ mod summary;
 mod table;
 
 pub use codec::{fnv1a64, ByteReader, ByteWriter, CodecError};
+pub use health::HealthState;
 pub use histogram::LevelHistogram;
 pub use recovery::RecoveryStats;
 pub use series::TimeSeries;

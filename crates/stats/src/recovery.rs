@@ -38,6 +38,12 @@ pub struct RecoveryStats {
     pub degraded_accesses: u64,
     /// Model cycles spent in exponential backoff between retries.
     pub backoff_cycles: u64,
+    /// Redundant-slot refetches issued after bounded retry was exhausted
+    /// (the second rung of the integrity-verified recovery ladder).
+    pub redundant_refetches: u64,
+    /// Faults that exhausted the whole recovery ladder: the engine poisoned
+    /// the affected subtree and degraded instead of aborting.
+    pub unrecovered_faults: u64,
 }
 
 impl RecoveryStats {
@@ -84,6 +90,8 @@ impl RecoveryStats {
         self.escalated_evictions += other.escalated_evictions;
         self.degraded_accesses += other.degraded_accesses;
         self.backoff_cycles += other.backoff_cycles;
+        self.redundant_refetches += other.redundant_refetches;
+        self.unrecovered_faults += other.unrecovered_faults;
     }
 
     /// The counters accumulated since `baseline` was captured (saturating, so
@@ -116,6 +124,10 @@ impl RecoveryStats {
                 .saturating_sub(baseline.escalated_evictions),
             degraded_accesses: self.degraded_accesses.saturating_sub(baseline.degraded_accesses),
             backoff_cycles: self.backoff_cycles.saturating_sub(baseline.backoff_cycles),
+            redundant_refetches: self
+                .redundant_refetches
+                .saturating_sub(baseline.redundant_refetches),
+            unrecovered_faults: self.unrecovered_faults.saturating_sub(baseline.unrecovered_faults),
         }
     }
 }
@@ -128,13 +140,16 @@ impl fmt::Display for RecoveryStats {
         write!(
             f,
             "recovery: {} faults detected / {} recovered ({} retries, \
-             {} backoff cycles), {} escalated evictions, {} degraded accesses",
+             {} redundant refetches, {} backoff cycles), {} escalated evictions, \
+             {} degraded accesses, {} unrecovered",
             self.faults_detected(),
             self.faults_recovered(),
             self.retries(),
+            self.redundant_refetches,
             self.backoff_cycles,
             self.escalated_evictions,
             self.degraded_accesses,
+            self.unrecovered_faults,
         )
     }
 }
@@ -190,5 +205,22 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("1 faults detected"));
         assert!(s.contains("2 retries"));
+    }
+
+    #[test]
+    fn ladder_counters_round_trip_merge_and_since() {
+        let a =
+            RecoveryStats { redundant_refetches: 3, unrecovered_faults: 1, ..Default::default() };
+        assert!(!a.is_clean());
+        let mut b = RecoveryStats::new();
+        b.merge(&a);
+        assert_eq!(b.redundant_refetches, 3);
+        assert_eq!(b.unrecovered_faults, 1);
+        let delta = b.since(&a);
+        assert_eq!(delta.redundant_refetches, 0);
+        assert_eq!(delta.unrecovered_faults, 0);
+        let s = a.to_string();
+        assert!(s.contains("3 redundant refetches"));
+        assert!(s.contains("1 unrecovered"));
     }
 }

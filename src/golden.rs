@@ -93,6 +93,36 @@ pub fn run_case_from(oram: RingOram) -> Result<SimulationReport, OramError> {
     replay_trace(TimingDriver::from_oram(oram, DramConfig::default()))
 }
 
+/// [`run_case`] with integrity verification armed for the timed window: MAC
+/// tags are checked on every fetch and folded into the per-level digest
+/// chain. Fault-free, this must reproduce the unverified golden fixtures
+/// bit-identically — verification is pure shadow computation whose cycle
+/// cost is already inside the crypto pipeline charge.
+///
+/// # Errors
+///
+/// Propagates configuration and protocol errors.
+pub fn run_case_verified(scheme: Scheme) -> Result<SimulationReport, OramError> {
+    let cfg = case_config(scheme)?;
+    let mut driver = TimingDriver::new(&cfg, DramConfig::default())?;
+    driver.warm_up(GOLDEN_WARMUP)?;
+    driver.enable_integrity();
+    replay_trace(driver)
+}
+
+/// [`run_case_from`] with integrity verification armed before the replay
+/// (e.g. on an engine restored from the snapshot cache, which is always
+/// serialized integrity-off).
+///
+/// # Errors
+///
+/// Propagates protocol errors.
+pub fn run_case_from_verified(oram: RingOram) -> Result<SimulationReport, OramError> {
+    let mut driver = TimingDriver::from_oram(oram, DramConfig::default());
+    driver.enable_integrity();
+    replay_trace(driver)
+}
+
 fn replay_trace(mut driver: TimingDriver) -> Result<SimulationReport, OramError> {
     let profile =
         profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf profile present");
@@ -183,6 +213,7 @@ mod tests {
             early_reshuffles: 8,
             stash_peak: 9,
             recovery: crate::stats::RecoveryStats::new(),
+            health: crate::stats::HealthState::Healthy,
         };
         let a = digest_json("x", Scheme::Baseline, &r);
         r.exec_cycles += 1;

@@ -205,6 +205,115 @@ fn path_oram_survives_the_same_chaos() {
     assert!(rec.degraded_accesses > 0);
 }
 
+/// Per-site fault detection under the integrity verifier: with exactly one
+/// site faulting at a moderate rate, every fault is detected, recovered on
+/// the retry rung, and the stash-rooted digest chain still matches a
+/// fault-free run bit-for-bit (recovered faults leave no trace).
+#[test]
+fn integrity_recovers_each_fault_site_bit_exactly() {
+    let site_configs = [
+        ("data", FaultConfig { data_bit_flip: 0.02, ..FaultConfig::default() }),
+        ("metadata", FaultConfig { metadata_corruption: 0.02, ..FaultConfig::default() }),
+        ("write-ack", FaultConfig { dropped_write: 0.02, ..FaultConfig::default() }),
+    ];
+    let cfg = OramConfig::builder(9, Scheme::Ab).store_data(true).seed(17).build().unwrap();
+    let blocks = cfg.real_block_count();
+
+    let run = |plan: Option<FaultPlan>| {
+        let mut oram = RingOram::new(&cfg).unwrap();
+        oram.enable_integrity();
+        let mut sink = FaultInjectingSink::new(CountingSink::new());
+        sink.set_plan(plan);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for step in 0..1_200u32 {
+            let b = rng.gen_range(0..blocks);
+            if step % 3 == 0 {
+                oram.write(b, pattern(b, step), &mut sink).unwrap();
+            } else {
+                oram.read(b, &mut sink).unwrap();
+            }
+        }
+        let root = oram.integrity().unwrap().root_digest();
+        (root, oram.stats().recovery, oram.health(), sink.injected().total())
+    };
+
+    let (clean_root, clean_rec, clean_health, clean_injected) = run(None);
+    assert!(clean_rec.is_clean());
+    assert!(clean_health.is_healthy());
+    assert_eq!(clean_injected, 0);
+
+    for (site, fc) in site_configs {
+        let (root, rec, health, injected) = run(Some(FaultPlan::with_config(404, fc)));
+        assert!(injected > 0, "{site}: schedule injected nothing");
+        assert!(rec.faults_detected() > 0, "{site}: no faults detected");
+        assert_eq!(rec.faults_detected(), rec.faults_recovered(), "{site}: unrecovered faults");
+        assert_eq!(rec.unrecovered_faults, 0, "{site}: ladder should not exhaust at 2%");
+        assert!(health.is_healthy(), "{site}: recovered faults must not degrade health");
+        assert_eq!(root, clean_root, "{site}: recovered faults must leave no digest trace");
+    }
+}
+
+/// A fault storm (90% of polls faulting) exhausts the bounded ladder on some
+/// fetches. With the verifier armed the engine must keep running — degraded
+/// health, poisoned subtrees, a tainted root — instead of erroring out.
+#[test]
+fn storm_degrades_gracefully_instead_of_aborting() {
+    let storm = FaultConfig {
+        data_bit_flip: 0.9,
+        metadata_corruption: 0.9,
+        dropped_write: 0.9,
+        ..FaultConfig::default()
+    };
+    let cfg = OramConfig::builder(9, Scheme::Baseline).store_data(true).seed(29).build().unwrap();
+    let blocks = cfg.real_block_count();
+
+    let mut oram = RingOram::new(&cfg).unwrap();
+    oram.enable_integrity();
+    let mut sink =
+        FaultInjectingSink::with_plan(CountingSink::new(), FaultPlan::with_config(505, storm));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    for step in 0..600u32 {
+        let b = rng.gen_range(0..blocks);
+        // Every access must complete: the ladder absorbs exhaustion.
+        if step % 3 == 0 {
+            oram.write(b, pattern(b, step), &mut sink).unwrap();
+        } else {
+            oram.read(b, &mut sink).unwrap();
+        }
+    }
+
+    let rec = oram.stats().recovery;
+    assert!(rec.unrecovered_faults > 0, "storm never exhausted the ladder");
+    assert!(rec.redundant_refetches > 0, "ladder skipped the redundant-refetch rung");
+    assert!(rec.escalated_evictions > 0, "ladder skipped the escalated-eviction rung");
+    assert!(!oram.health().is_healthy(), "unrecovered faults must degrade health");
+    let verifier = oram.integrity().unwrap();
+    assert!(!verifier.poisoned_subtrees().is_empty(), "degradation must map poisoned subtrees");
+    assert!(verifier.first_tainted_level().is_some(), "taint must record the level it hit");
+}
+
+/// Without the verifier, ladder behaviour is unchanged from before: a storm
+/// that defeats every retry surfaces `RetriesExhausted` instead of degrading.
+#[test]
+fn storm_without_integrity_still_errors() {
+    let storm = FaultConfig { data_bit_flip: 1.0, ..FaultConfig::default() };
+    let cfg = OramConfig::builder(9, Scheme::Baseline).store_data(true).seed(29).build().unwrap();
+    let blocks = cfg.real_block_count();
+
+    let mut oram = RingOram::new(&cfg).unwrap();
+    let mut sink =
+        FaultInjectingSink::with_plan(CountingSink::new(), FaultPlan::with_config(505, storm));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let err = (0..600u32)
+        .find_map(|_| oram.read(rng.gen_range(0..blocks), &mut sink).err())
+        .expect("a certain-fault storm must exhaust retries without the verifier");
+    assert!(
+        matches!(err, aboram::core::OramError::RetriesExhausted { .. }),
+        "expected RetriesExhausted, got {err:?}"
+    );
+    assert!(oram.health().is_healthy(), "health stays untracked without the verifier");
+}
+
 #[test]
 fn timing_driver_reports_recovery_and_tolerates_stalls() {
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();

@@ -46,6 +46,31 @@ fn golden_digests_match_fixtures() {
     assert!(failures.is_empty(), "{}", failures.join("\n\n"));
 }
 
+/// Integrity verification is pure shadow computation: replaying every golden
+/// case with the verifier armed — per-fetch MAC checks folded into the
+/// per-level digest chain — must reproduce the unverified fixtures
+/// bit-identically, and a fault-free run must end healthy.
+#[test]
+fn integrity_armed_replay_matches_fixtures() {
+    let mut failures = Vec::new();
+    for (name, scheme) in golden::cases() {
+        let report = golden::run_case_verified(scheme).expect("verified golden case runs");
+        assert!(report.health.is_healthy(), "{name}: fault-free verified run degraded");
+        let got = golden::digest_json(name, scheme, &report);
+        let path = fixture_path(name);
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run BLESS=1", path.display()));
+        if got != want {
+            failures.push(format!(
+                "scheme {name}: verified replay diverged from {}\n--- fixture\n{want}\n--- \
+                 current\n{got}",
+                path.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
 /// The golden runner itself is deterministic: two back-to-back runs of the
 /// same case serialize identically (guards against hidden global state —
 /// thread-local RNGs, leftover telemetry — leaking into the digest).

@@ -275,4 +275,116 @@ proptest! {
         prop_assert_eq!(inj_a, inj_b);
         prop_assert_eq!(traffic_a, traffic_b);
     }
+
+    /// No false positives: with zero faults injected, arming the integrity
+    /// verifier changes nothing observable — traffic, recovery stats and
+    /// stash state are bit-identical to an unverified run, and the run ends
+    /// healthy with an untainted digest chain.
+    #[test]
+    fn integrity_has_no_false_positives(
+        oram_seed in 0u64..1_000,
+        accesses in 100usize..400,
+    ) {
+        let cfg = OramConfig::builder(8, Scheme::Ab)
+            .store_data(true)
+            .seed(oram_seed)
+            .build()
+            .unwrap();
+        let blocks = cfg.real_block_count();
+        let run = |verify: bool| {
+            let mut oram = RingOram::new(&cfg).unwrap();
+            if verify {
+                oram.enable_integrity();
+            }
+            let mut sink = CountingSink::new();
+            let mut state = oram_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut digest = 0u64;
+            for step in 0..accesses {
+                state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+                let b = (state >> 16) % blocks;
+                if step % 4 == 0 {
+                    oram.write(b, [state as u8; 64], &mut sink).unwrap();
+                } else {
+                    let data = oram.read(b, &mut sink).unwrap();
+                    digest = digest.rotate_left(1) ^ u64::from(data[0]);
+                }
+            }
+            (sink, oram.stats().recovery, oram.stash_len(), oram.health(), digest)
+        };
+        let (sink_off, rec_off, stash_off, _, digest_off) = run(false);
+        let (sink_on, rec_on, stash_on, health_on, digest_on) = run(true);
+        prop_assert_eq!(sink_off, sink_on, "verification must not touch traffic");
+        prop_assert_eq!(rec_off, rec_on);
+        prop_assert_eq!(stash_off, stash_on);
+        prop_assert_eq!(digest_off, digest_on, "verification must not change data");
+        prop_assert!(health_on.is_healthy(), "fault-free run must stay healthy");
+        prop_assert!(rec_on.is_clean());
+    }
+
+    /// No false negatives, and every fault accounted: under an arbitrary
+    /// nonzero fault schedule with the verifier armed, the run never aborts,
+    /// every detection resolves as either a recovery or a reported
+    /// unrecovered fault, and health is degraded exactly when recovery was
+    /// incomplete (with the poisoned-subtree map agreeing).
+    #[test]
+    fn integrity_accounts_for_every_injected_fault(
+        fault_seed in any::<u64>(),
+        oram_seed in 0u64..1_000,
+        accesses in 100usize..300,
+        flip_rate in 1u32..800,
+        drop_rate in 1u32..800,
+    ) {
+        use aboram::core::{FaultConfig, FaultInjectingSink, FaultPlan};
+
+        let fc = FaultConfig {
+            data_bit_flip: f64::from(flip_rate) / 1_000.0,
+            metadata_corruption: f64::from(flip_rate) / 2_000.0,
+            dropped_write: f64::from(drop_rate) / 1_000.0,
+            ..FaultConfig::default()
+        };
+        let cfg = OramConfig::builder(8, Scheme::Ab)
+            .store_data(true)
+            .seed(oram_seed)
+            .build()
+            .unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        oram.enable_integrity();
+        let mut sink = FaultInjectingSink::with_plan(
+            CountingSink::new(),
+            FaultPlan::with_config(fault_seed, fc),
+        );
+        let blocks = cfg.real_block_count();
+        let mut state = oram_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for step in 0..accesses {
+            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            let b = (state >> 16) % blocks;
+            // The ladder must absorb everything: no access may error.
+            if step % 4 == 0 {
+                oram.write(b, [state as u8; 64], &mut sink).unwrap();
+            } else {
+                oram.read(b, &mut sink).unwrap();
+            }
+        }
+        let rec = oram.stats().recovery;
+        let injected = sink.injected().total();
+        prop_assert!(injected > 0, "nonzero rates injected nothing — weak case");
+        prop_assert!(rec.faults_detected() > 0, "injected faults went undetected");
+        prop_assert!(injected >= rec.faults_detected(), "detected more than injected");
+        prop_assert_eq!(
+            rec.faults_detected(),
+            rec.faults_recovered() + rec.unrecovered_faults,
+            "every detection must resolve as recovered or reported"
+        );
+        let poisoned = oram.integrity().unwrap().poisoned_subtrees().len();
+        prop_assert_eq!(
+            oram.health().is_healthy(),
+            rec.unrecovered_faults == 0,
+            "health must flag exactly the incomplete recoveries"
+        );
+        prop_assert_eq!(
+            poisoned > 0,
+            rec.unrecovered_faults > 0,
+            "poisoned subtrees must track unrecovered faults"
+        );
+    }
 }
