@@ -67,24 +67,45 @@ impl CostModel {
         CostModel { overrides }
     }
 
+    /// The distilled-calibration file `run_all` writes at the end of a
+    /// suite (see its `write_calibration`) and [`CostModel::from_env`]
+    /// falls back to: the feedback loop that makes each suite schedule from
+    /// the previous suite's measured weights.
+    pub const FEEDBACK_PATH: &'static str = "results/cost_calib.jsonl";
+
     /// Builds the model from the environment: `ABORAM_COST_CALIB` naming a
-    /// telemetry JSONL trace recalibrates the weights from it; otherwise
-    /// (or when the trace is unreadable) the defaults apply.
+    /// telemetry JSONL trace recalibrates the weights from it, and the
+    /// special value `off` forces the built-in defaults. When the variable
+    /// is unset, the model quietly falls back to the distilled weights of
+    /// the previous `run_all` suite ([`CostModel::FEEDBACK_PATH`]) if that
+    /// file exists; otherwise (or when a trace is unreadable) the defaults
+    /// apply.
     #[must_use]
     pub fn from_env() -> Self {
-        let Ok(path) = std::env::var("ABORAM_COST_CALIB") else {
-            return CostModel::calibrated();
-        };
-        let traces = std::fs::File::open(&path)
-            .map(std::io::BufReader::new)
-            .and_then(aboram_telemetry::parse_trace);
-        match traces {
-            Ok(runs) if !runs.is_empty() => CostModel::calibrate_from(&runs),
-            Ok(_) => CostModel::calibrated(),
-            Err(e) => {
-                eprintln!("warning: ABORAM_COST_CALIB={path}: {e}; using default weights");
-                CostModel::calibrated()
+        match std::env::var("ABORAM_COST_CALIB") {
+            Ok(v) if v == "off" => CostModel::calibrated(),
+            Ok(path) => {
+                let traces = std::fs::File::open(&path)
+                    .map(std::io::BufReader::new)
+                    .and_then(aboram_telemetry::parse_trace);
+                match traces {
+                    Ok(runs) if !runs.is_empty() => CostModel::calibrate_from(&runs),
+                    Ok(_) => CostModel::calibrated(),
+                    Err(e) => {
+                        eprintln!("warning: ABORAM_COST_CALIB={path}: {e}; using default weights");
+                        CostModel::calibrated()
+                    }
+                }
             }
+            // No explicit trace: pick up the previous suite's distilled
+            // weights when present. Silent on any failure — the feedback
+            // file is an optimization, never a requirement.
+            Err(_) => std::fs::File::open(Self::FEEDBACK_PATH)
+                .map(std::io::BufReader::new)
+                .and_then(aboram_telemetry::parse_trace)
+                .ok()
+                .filter(|runs| !runs.is_empty())
+                .map_or_else(CostModel::calibrated, |runs| CostModel::calibrate_from(&runs)),
         }
     }
 
@@ -173,6 +194,24 @@ mod tests {
         t.complete = false;
         let m = CostModel::calibrate_from(std::slice::from_ref(&t));
         assert_eq!(m.weight(Scheme::Ab), CostModel::calibrated().weight(Scheme::Ab));
+    }
+
+    #[test]
+    fn distilled_feedback_lines_round_trip_through_the_parser() {
+        // The exact line shape run_all's write_calibration emits into
+        // FEEDBACK_PATH: a run header plus a summary per measured run.
+        let distilled = "\
+{\"t\":\"run\",\"scheme\":\"AB\",\"levels\":10,\"burst\":16}
+{\"t\":\"sum\",\"records\":600,\"exec\":600000,\"bus\":0}
+{\"t\":\"run\",\"scheme\":\"Baseline\",\"levels\":10,\"burst\":16}
+{\"t\":\"sum\",\"records\":600,\"exec\":1200000,\"bus\":0}
+";
+        let runs = aboram_telemetry::parse_trace(distilled.as_bytes()).expect("parses");
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.complete));
+        let m = CostModel::calibrate_from(&runs);
+        assert_eq!(m.weight(Scheme::Ab), 1_000, "600k cycles / (10 × 600) → 100.0, in tenths");
+        assert_eq!(m.weight(Scheme::Baseline), 2_000);
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Storage backends: the engines behind the oblivious service layer.
+//!
+//! The service layer (`aboram-service`) drives block-level ORAM accesses
+//! without caring whether time is simulated cycle-accurately or just
+//! accounted. [`StorageBackend`] is that seam: the engine plus a clock.
+//!
+//! * [`TimedBackend`] is the cycle-accurate twin — the same
+//!   `TimingSink`/DRAM/crypto plumbing as [`crate::TimingDriver`], minus the
+//!   trace-driven CPU: the caller supplies request arrival times and reads
+//!   back completion times, so a load generator measures real queueing
+//!   latency on the simulated memory system.
+//! * [`UntimedBackend`] runs the identical protocol over a
+//!   [`CountingSink`] and charges a fixed cost per 64 B transfer — orders
+//!   of magnitude faster, with the same access *pattern* and the same
+//!   returned data, for functional tests and high-volume load studies.
+//!
+//! Both backends serialize accesses the way the ORAM controller does: an
+//! access begins no earlier than the previous access's maintenance traffic
+//! finished draining (`free_at`), and its user-visible completion (`done`)
+//! covers the online reads plus the crypto pipeline.
+
+use crate::config::OramConfig;
+use crate::error::OramError;
+use crate::ring::{AccessKind, PayloadMutator, RingOram};
+use crate::sink::{CountingSink, TimingSink};
+use crate::{BlockId, BLOCK_BYTES};
+use aboram_crypto::CryptoLatency;
+use aboram_dram::{DramConfig, MemorySystem};
+use aboram_tree::PathId;
+
+/// Timing outcome of one backend access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendReply {
+    /// The fetched payload (pre-`mutate` for managed accesses; `None` for
+    /// dummy accesses).
+    pub data: Option<[u8; BLOCK_BYTES]>,
+    /// User-visible completion time: online reads plus crypto pipeline.
+    pub done: u64,
+    /// When the backend can start the next access (maintenance drained).
+    pub free_at: u64,
+}
+
+/// A block store serving ORAM accesses on a simulated or accounted clock.
+///
+/// `start` is the request's arrival time in the backend's clock domain; the
+/// access actually begins at `max(start, free_at)` — the controller
+/// serializes. Implementations must be deterministic: identical call
+/// sequences produce identical replies and identical engine state.
+pub trait StorageBackend {
+    /// One user access (read, or write with `new_data`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine protocol errors.
+    fn access(
+        &mut self,
+        start: u64,
+        kind: AccessKind,
+        block: BlockId,
+        new_data: Option<[u8; BLOCK_BYTES]>,
+    ) -> Result<BackendReply, OramError>;
+
+    /// One managed access: caller-chosen remap target plus an in-stash
+    /// read-modify-write of the payload (see [`RingOram::access_managed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine protocol errors.
+    fn access_managed(
+        &mut self,
+        start: u64,
+        block: BlockId,
+        new_position: Option<PathId>,
+        mutate: &mut PayloadMutator<'_>,
+    ) -> Result<BackendReply, OramError>;
+
+    /// One dummy access — bus-indistinguishable from a real one; used to
+    /// pad batches and to hide misses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine protocol errors.
+    fn dummy_access(&mut self, start: u64) -> Result<BackendReply, OramError>;
+
+    /// The engine behind this backend.
+    fn engine(&self) -> &RingOram;
+
+    /// Mutable engine access (warm-up, stats inspection).
+    fn engine_mut(&mut self) -> &mut RingOram;
+
+    /// The controller-occupancy cursor: when the next access could begin.
+    fn free_at(&self) -> u64;
+}
+
+/// Cycle-accurate backend: the engine over the DRAM twin (see module docs).
+#[derive(Debug)]
+pub struct TimedBackend {
+    oram: RingOram,
+    sink: TimingSink,
+    crypto: CryptoLatency,
+    free_at: u64,
+}
+
+impl TimedBackend {
+    /// Builds a backend with a fresh engine for `cfg` over `dram`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ORAM construction errors.
+    pub fn new(cfg: &OramConfig, dram: DramConfig) -> Result<Self, OramError> {
+        Ok(Self::from_oram(RingOram::new(cfg)?, dram))
+    }
+
+    /// Wraps an existing (e.g. pre-warmed) engine.
+    pub fn from_oram(oram: RingOram, dram: DramConfig) -> Self {
+        TimedBackend {
+            oram,
+            sink: TimingSink::new(MemorySystem::new(dram)),
+            crypto: CryptoLatency::default(),
+            free_at: 0,
+        }
+    }
+
+    fn finish(&mut self, start: u64, data: Option<[u8; BLOCK_BYTES]>) -> BackendReply {
+        let (mut done, online_count) = self.sink.drain_online_reads(start);
+        done += self.crypto.burst_cycles(online_count);
+        self.free_at = self.sink.drain_all_requests(done);
+        BackendReply { data, done, free_at: self.free_at }
+    }
+
+    fn begin(&mut self, start: u64) -> u64 {
+        let at = start.max(self.free_at);
+        self.sink.set_now(at);
+        at
+    }
+}
+
+impl StorageBackend for TimedBackend {
+    fn access(
+        &mut self,
+        start: u64,
+        kind: AccessKind,
+        block: BlockId,
+        new_data: Option<[u8; BLOCK_BYTES]>,
+    ) -> Result<BackendReply, OramError> {
+        let at = self.begin(start);
+        let data = self.oram.access(kind, block, new_data, &mut self.sink)?;
+        Ok(self.finish(at, data))
+    }
+
+    fn access_managed(
+        &mut self,
+        start: u64,
+        block: BlockId,
+        new_position: Option<PathId>,
+        mutate: &mut PayloadMutator<'_>,
+    ) -> Result<BackendReply, OramError> {
+        let at = self.begin(start);
+        let data = self.oram.access_managed(block, new_position, mutate, &mut self.sink)?;
+        Ok(self.finish(at, Some(data)))
+    }
+
+    fn dummy_access(&mut self, start: u64) -> Result<BackendReply, OramError> {
+        let at = self.begin(start);
+        self.oram.dummy_access(&mut self.sink)?;
+        Ok(self.finish(at, None))
+    }
+
+    fn engine(&self) -> &RingOram {
+        &self.oram
+    }
+
+    fn engine_mut(&mut self) -> &mut RingOram {
+        &mut self.oram
+    }
+
+    fn free_at(&self) -> u64 {
+        self.free_at
+    }
+}
+
+/// Cost charged per 64 B transfer by the untimed backend's accounting
+/// clock. The value is arbitrary but fixed: latencies are meaningful
+/// relative to each other, not to the DRAM twin's cycles.
+pub const UNTIMED_CYCLES_PER_TRANSFER: u64 = 4;
+
+/// Fast accounted backend: the same protocol over a [`CountingSink`], with
+/// a constant [`UNTIMED_CYCLES_PER_TRANSFER`] charged per 64 B transfer.
+#[derive(Debug)]
+pub struct UntimedBackend {
+    oram: RingOram,
+    sink: CountingSink,
+    free_at: u64,
+}
+
+impl UntimedBackend {
+    /// Builds a backend with a fresh engine for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ORAM construction errors.
+    pub fn new(cfg: &OramConfig) -> Result<Self, OramError> {
+        Ok(Self::from_oram(RingOram::new(cfg)?))
+    }
+
+    /// Wraps an existing (e.g. pre-warmed) engine.
+    pub fn from_oram(oram: RingOram) -> Self {
+        UntimedBackend { oram, sink: CountingSink::new(), free_at: 0 }
+    }
+
+    fn finish(
+        &mut self,
+        at: u64,
+        online0: u64,
+        total0: u64,
+        data: Option<[u8; BLOCK_BYTES]>,
+    ) -> BackendReply {
+        let online = self.sink.online_total() - online0;
+        let total = self.sink.grand_total() - total0;
+        let done = at + online * UNTIMED_CYCLES_PER_TRANSFER;
+        self.free_at = at + total * UNTIMED_CYCLES_PER_TRANSFER;
+        BackendReply { data, done, free_at: self.free_at }
+    }
+}
+
+impl StorageBackend for UntimedBackend {
+    fn access(
+        &mut self,
+        start: u64,
+        kind: AccessKind,
+        block: BlockId,
+        new_data: Option<[u8; BLOCK_BYTES]>,
+    ) -> Result<BackendReply, OramError> {
+        let at = start.max(self.free_at);
+        let (online0, total0) = (self.sink.online_total(), self.sink.grand_total());
+        let data = self.oram.access(kind, block, new_data, &mut self.sink)?;
+        Ok(self.finish(at, online0, total0, data))
+    }
+
+    fn access_managed(
+        &mut self,
+        start: u64,
+        block: BlockId,
+        new_position: Option<PathId>,
+        mutate: &mut PayloadMutator<'_>,
+    ) -> Result<BackendReply, OramError> {
+        let at = start.max(self.free_at);
+        let (online0, total0) = (self.sink.online_total(), self.sink.grand_total());
+        let data = self.oram.access_managed(block, new_position, mutate, &mut self.sink)?;
+        Ok(self.finish(at, online0, total0, Some(data)))
+    }
+
+    fn dummy_access(&mut self, start: u64) -> Result<BackendReply, OramError> {
+        let at = start.max(self.free_at);
+        let (online0, total0) = (self.sink.online_total(), self.sink.grand_total());
+        self.oram.dummy_access(&mut self.sink)?;
+        Ok(self.finish(at, online0, total0, None))
+    }
+
+    fn engine(&self) -> &RingOram {
+        &self.oram
+    }
+
+    fn engine_mut(&mut self) -> &mut RingOram {
+        &mut self.oram
+    }
+
+    fn free_at(&self) -> u64 {
+        self.free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    fn cfg() -> OramConfig {
+        OramConfig::builder(8, Scheme::Ab).store_data(true).seed(5).build().unwrap()
+    }
+
+    #[test]
+    fn both_backends_round_trip_data() {
+        let mut timed = TimedBackend::new(&cfg(), DramConfig::default()).unwrap();
+        let mut untimed = UntimedBackend::new(&cfg()).unwrap();
+        let payload = [0x5A; BLOCK_BYTES];
+        for backend in [&mut timed as &mut dyn StorageBackend, &mut untimed] {
+            let w = backend.access(0, AccessKind::Write, 3, Some(payload)).unwrap();
+            assert!(w.done > 0 && w.free_at >= w.done);
+            let r = backend.access(w.free_at, AccessKind::Read, 3, None).unwrap();
+            assert_eq!(r.data, Some(payload));
+            assert!(r.done > w.free_at, "second access starts after the first drained");
+        }
+    }
+
+    #[test]
+    fn managed_access_mutates_in_one_access() {
+        let mut backend = UntimedBackend::new(&cfg()).unwrap();
+        backend.access(0, AccessKind::Write, 7, Some([1; BLOCK_BYTES])).unwrap();
+        let accesses0 = backend.engine().stats().user_accesses;
+        let reply = backend.access_managed(0, 7, Some(PathId::new(0)), &mut |d| d[0] = 99).unwrap();
+        assert_eq!(reply.data.unwrap()[0], 1, "managed access returns the pre-mutate payload");
+        assert_eq!(backend.engine().stats().user_accesses, accesses0 + 1, "one access total");
+        assert_eq!(backend.engine().position_of(7).unwrap(), PathId::new(0), "forced remap");
+        let read = backend.access(reply.free_at, AccessKind::Read, 7, None).unwrap();
+        assert_eq!(read.data.unwrap()[0], 99, "mutation persisted");
+    }
+
+    #[test]
+    fn controller_serializes_early_arrivals() {
+        let mut backend = UntimedBackend::new(&cfg()).unwrap();
+        let a = backend.access(0, AccessKind::Read, 1, None).unwrap();
+        // Arrives while the controller is busy: starts at free_at, not 0.
+        let b = backend.access(1, AccessKind::Read, 2, None).unwrap();
+        assert!(b.done > a.free_at);
+    }
+}

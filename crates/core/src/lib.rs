@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod config;
 mod deadq;
 mod driver;
@@ -59,6 +60,9 @@ mod snapshot;
 mod stash;
 mod stats;
 
+pub use backend::{
+    BackendReply, StorageBackend, TimedBackend, UntimedBackend, UNTIMED_CYCLES_PER_TRANSFER,
+};
 pub use config::{OramConfig, OramConfigBuilder, Scheme};
 pub use deadq::{DeadQueues, DeadSlot};
 pub use driver::{BreakdownReport, SimulationReport, TimingDriver, DRIVER_SNAPSHOT_VERSION};
@@ -72,7 +76,7 @@ pub use metadata::{BucketMeta, MetadataLayout, MetadataStore, SlotStatus};
 pub use path_oram::PathOram;
 pub use posmap::PositionMap;
 pub use recursion::{PlbConfig, PosMapHierarchy};
-pub use ring::{AccessKind, RingOram};
+pub use ring::{AccessKind, PayloadMutator, RingOram};
 pub use security::{attack_success_rate, SecurityReport};
 pub use sink::{CountingSink, MemorySink, OramOp, TimingSink};
 pub use snapshot::{config_digest, SNAPSHOT_VERSION};

@@ -53,6 +53,19 @@ impl PositionMap {
         PathId::new(new)
     }
 
+    /// Remaps `block` to a caller-chosen path (the *managed remap* used by
+    /// an external recursive position map, which draws new positions from
+    /// its own RNG so it can record them before the access happens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of the leaf range (validated at the engine
+    /// boundary).
+    pub(crate) fn set_path(&mut self, block: BlockId, path: PathId) {
+        assert!(path.leaf() < self.leaves, "path label out of range");
+        self.paths[block as usize] = path.leaf();
+    }
+
     /// Number of leaves paths may point at.
     pub fn leaves(&self) -> u64 {
         self.leaves

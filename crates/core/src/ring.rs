@@ -57,6 +57,11 @@ use aboram_tree::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// In-stash payload rewrite hook for managed accesses: runs on the target
+/// block's plaintext between the fetch and any later eviction, making the
+/// whole read-modify-write a single indistinguishable access.
+pub type PayloadMutator<'a> = dyn FnMut(&mut [u8; BLOCK_BYTES]) + 'a;
+
 /// Direction of a user access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
@@ -427,6 +432,88 @@ impl RingOram {
         Ok(())
     }
 
+    /// Current path assignment of `block` — the ground truth an external
+    /// position map (e.g. the service layer's recursive posmap) verifies
+    /// its stored entries against. Read-only; generates no traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BlockOutOfRange`] for invalid ids.
+    pub fn position_of(&self, block: BlockId) -> Result<PathId, OramError> {
+        if block >= self.posmap.len() {
+            return Err(OramError::BlockOutOfRange { block, count: self.posmap.len() });
+        }
+        Ok(self.posmap.path_of(block))
+    }
+
+    /// One full ORAM access with the two managed-access extensions an
+    /// external recursive position map needs:
+    ///
+    /// * the block remaps to the caller-chosen `new_position` (drawn from
+    ///   the *caller's* RNG, so the caller can record the new position in a
+    ///   parent position-map tree before this access runs) instead of a
+    ///   label drawn from the engine RNG, and
+    /// * `mutate` rewrites the block's payload in the stash right after the
+    ///   fetch — a single-access read-modify-write, which is how a posmap
+    ///   block updates one packed entry without a second (pattern-revealing
+    ///   and twice-remapping) write access.
+    ///
+    /// Returns the payload as fetched, i.e. *before* `mutate` ran. Passing
+    /// `new_position: None` falls back to the engine's internal remap
+    /// draw.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the data path is disabled or the block id is out of
+    /// range, and propagates protocol errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_position` is outside the tree's leaf range.
+    pub fn access_managed(
+        &mut self,
+        block: BlockId,
+        new_position: Option<PathId>,
+        mutate: &mut PayloadMutator<'_>,
+        sink: &mut impl MemorySink,
+    ) -> Result<[u8; BLOCK_BYTES], OramError> {
+        if self.data.is_none() {
+            return Err(OramError::DataPathDisabled);
+        }
+        if block >= self.posmap.len() {
+            return Err(OramError::BlockOutOfRange { block, count: self.posmap.len() });
+        }
+        if let Some(p) = new_position {
+            assert!(p.leaf() < self.geo.leaf_count(), "managed remap label out of range");
+        }
+        let recovery_before = self.stats.recovery;
+        self.background_evict(sink)?;
+        self.stats.user_accesses += 1;
+        let data = self.read_path_ext(
+            Some(block),
+            None,
+            new_position,
+            Some(mutate),
+            OramOp::ReadPath,
+            sink,
+        )?;
+        self.background_evict(sink)?;
+        if self.pending_escalation {
+            self.pending_escalation = false;
+            self.escalate_evictions(sink)?;
+        }
+        if self.stats.recovery != recovery_before {
+            self.stats.recovery.degraded_accesses += 1;
+        }
+        if let Some(v) = &mut self.integrity {
+            v.fold_root();
+        }
+        let occupancy = self.stash.len();
+        self.stats.sample_stash(occupancy);
+        telemetry::gauge("stash.occupancy", occupancy as f64);
+        data.ok_or(OramError::Internal { context: "managed access returned no block" })
+    }
+
     /// §VI-C's measurement hook: performs one access and reports the tree
     /// level that returned the real block (`None` for stash hits), so an
     /// attacker's random guess can be scored.
@@ -472,12 +559,36 @@ impl RingOram {
         op: OramOp,
         sink: &mut impl MemorySink,
     ) -> Result<Option<[u8; BLOCK_BYTES]>, OramError> {
+        self.read_path_ext(target, new_data, None, None, op, sink)
+    }
+
+    /// The full readPath with the managed-access extensions: `forced_label`
+    /// remaps the target to a caller-chosen path instead of drawing from
+    /// the engine RNG, and `mutate` rewrites the target's payload in the
+    /// stash after the fetch (a single-access read-modify-write). Both
+    /// default to `None` via [`read_path`](Self::read_path), and the `None`
+    /// paths are bit-identical to the pre-extension engine.
+    fn read_path_ext(
+        &mut self,
+        target: Option<BlockId>,
+        new_data: Option<[u8; BLOCK_BYTES]>,
+        forced_label: Option<PathId>,
+        mut mutate: Option<&mut PayloadMutator<'_>>,
+        op: OramOp,
+        sink: &mut impl MemorySink,
+    ) -> Result<Option<[u8; BLOCK_BYTES]>, OramError> {
         telemetry::span(op.phase());
         let now = self.stats.online_accesses();
         let (label, new_label) = match target {
             Some(b) => {
                 let old = self.posmap.path_of(b);
-                let new = self.posmap.remap(b, &mut self.rng);
+                let new = match forced_label {
+                    Some(p) => {
+                        self.posmap.set_path(b, p);
+                        p
+                    }
+                    None => self.posmap.remap(b, &mut self.rng),
+                };
                 (old, new)
             }
             None => {
@@ -573,10 +684,14 @@ impl RingOram {
                 let plain = self.fetch_block(phys, op, true, sink)?;
                 if is_target {
                     fetched = Some(plain);
+                    let mut stored = new_data.unwrap_or(plain);
+                    if let Some(f) = &mut mutate {
+                        f(&mut stored);
+                    }
                     self.stash.insert(StashBlock {
                         block: entry.addr,
                         label: new_label,
-                        data: new_data.unwrap_or(plain),
+                        data: stored,
                     });
                 } else {
                     self.stash.insert(StashBlock {
@@ -593,7 +708,16 @@ impl RingOram {
             if stash_hit {
                 self.stash.relabel(b, new_label);
                 fetched = self.stash.get(b).map(|e| e.data);
-                if let Some(d) = new_data {
+                let stored = match (&mut mutate, new_data) {
+                    // Managed read-modify-write acts on the current contents
+                    // (managed accesses never carry new_data).
+                    (Some(f), _) => fetched.map(|mut d| {
+                        f(&mut d);
+                        d
+                    }),
+                    (None, d) => d,
+                };
+                if let Some(d) = stored {
                     let label = new_label;
                     self.stash.insert(StashBlock { block: b, label, data: d });
                 }

@@ -1,0 +1,159 @@
+//! Key-draw distributions for the service-layer load generators.
+//!
+//! A key-value serving workload is characterized by *which* keys the
+//! clients touch: uniform draws stress capacity evenly, while the Zipfian
+//! skew of real caches and stores concentrates traffic on a hot head (the
+//! YCSB convention: rank-`i` popularity ∝ `1 / i^s`). The ORAM access
+//! pattern is oblivious either way — what skew changes is the *coalescing*
+//! opportunity of the batching front-end and the stash/DeadQ pressure of
+//! the trees underneath.
+//!
+//! [`KeySampler`] precomputes the cumulative distribution once and draws by
+//! binary search: exact, O(log n) per draw, and bit-deterministic for a
+//! given `(distribution, population, rng)` triple on every platform (the
+//! table is pure `f64` arithmetic with a fixed evaluation order).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How the load generator picks keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian: rank-`i` key drawn with probability ∝ `1 / (i+1)^s`.
+    /// `s = 0.99` is the YCSB default; `s = 0` degenerates to uniform.
+    Zipf {
+        /// The skew exponent.
+        s: f64,
+    },
+}
+
+impl std::fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyDist::Uniform => write!(f, "uniform"),
+            KeyDist::Zipf { s } => write!(f, "zipf({s})"),
+        }
+    }
+}
+
+/// Draws key ranks in `0..population` according to a [`KeyDist`].
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    population: u64,
+    /// Cumulative probabilities for Zipf (empty for uniform: no table
+    /// needed and O(1) draws).
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Builds a sampler over `population` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population or a negative skew exponent.
+    pub fn new(dist: KeyDist, population: u64) -> Self {
+        assert!(population > 0, "key population must be nonzero");
+        let cdf = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipf { s } => {
+                assert!(s >= 0.0, "Zipf exponent must be nonnegative");
+                let n = usize::try_from(population).expect("population fits in memory");
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = 0.0f64;
+                for i in 0..n {
+                    acc += 1.0 / ((i + 1) as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                cdf
+            }
+        };
+        KeySampler { population, cdf }
+    }
+
+    /// Number of keys in the population.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Draws one key rank. Rank 0 is the most popular key under Zipf.
+    pub fn draw(&self, rng: &mut StdRng) -> u64 {
+        if self.cdf.is_empty() {
+            return rng.gen_range(0..self.population);
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // First index with cdf[i] >= u.
+        let mut lo = 0usize;
+        let mut hi = self.cdf.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn counts(dist: KeyDist, population: u64, draws: usize) -> Vec<u64> {
+        let sampler = KeySampler::new(dist, population);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; population as usize];
+        for _ in 0..draws {
+            counts[sampler.draw(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_covers_the_population_evenly() {
+        let c = counts(KeyDist::Uniform, 64, 64_000);
+        assert!(c.iter().all(|&n| n > 700 && n < 1_300), "{c:?}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_the_head() {
+        let c = counts(KeyDist::Zipf { s: 0.99 }, 1_000, 100_000);
+        assert!(c[0] > c[9] && c[9] > c[99], "head dominates: {} {} {}", c[0], c[9], c[99]);
+        // YCSB-style skew: the top 10 % of keys take well over half the traffic.
+        let head: u64 = c[..100].iter().sum();
+        assert!(head > 50_000, "top-decile share {head}");
+        // ...but the tail is still reachable.
+        assert!(c[900..].iter().any(|&n| n > 0));
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let c = counts(KeyDist::Zipf { s: 0.0 }, 64, 64_000);
+        assert!(c.iter().all(|&n| n > 700 && n < 1_300), "{c:?}");
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let sampler = KeySampler::new(KeyDist::Zipf { s: 1.2 }, 500);
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| sampler.draw(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(3), seq(3));
+        assert_ne!(seq(3), seq(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn empty_population_is_rejected() {
+        let _ = KeySampler::new(KeyDist::Uniform, 0);
+    }
+}

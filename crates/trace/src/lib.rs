@@ -33,12 +33,14 @@
 mod cache;
 mod generator;
 pub mod io;
+mod keydist;
 mod phases;
 pub mod profiles;
 mod record;
 
 pub use cache::{CacheConfig, CacheHierarchy, CacheLevelConfig};
 pub use generator::{MpkiMeter, TraceGenerator};
+pub use keydist::{KeyDist, KeySampler};
 pub use phases::{Phase, PhasedGenerator};
 pub use profiles::{AddressMix, BenchmarkProfile, Suite};
 pub use record::{MemOp, TraceRecord};

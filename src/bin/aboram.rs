@@ -14,6 +14,11 @@
 //!   synthetic Table IV workload in USIMM format.
 //! * `security --scheme S [--accesses N]` — run the §VI-C attacker
 //!   experiment.
+//! * `serve-demo [--scheme S] [--levels L] [--requests N] [--batch B]
+//!   [--period P] [--timed]` — run the oblivious key-value service layer
+//!   (`aboram-service`): a store with a real recursive position map behind
+//!   a fixed-schedule batching front-end, fed a Zipf workload; prints the
+//!   latency/throughput summary and the recursion-chain evidence.
 //!
 //! Examples:
 //!
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args[1..]),
         "gen-trace" => cmd_gen_trace(&args[1..]),
         "security" => cmd_security(&args[1..]),
+        "serve-demo" => cmd_serve_demo(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -65,6 +71,8 @@ const USAGE: &str = "usage:
                     [--telemetry OUT.jsonl]
   aboram gen-trace  --benchmark NAME --records N [--out FILE]
   aboram security   --scheme S [--levels L] [--accesses N]
+  aboram serve-demo [--scheme S] [--levels L] [--requests N] [--batch B]
+                    [--period P] [--timed]
 
 schemes: ring | baseline | ir | dr | ns | ab | dr+";
 
@@ -207,6 +215,107 @@ fn cmd_gen_trace(args: &[String]) -> Result<(), String> {
         }
         None => write_trace(std::io::stdout().lock(), &recs).map_err(|e| e.to_string())?,
     }
+    Ok(())
+}
+
+fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
+    use aboram::service::{
+        BackendKind, BatchConfig, BatchingFrontEnd, LatencyReport, ObliviousStore, Request,
+        StoreConfig,
+    };
+    use aboram::trace::{KeyDist, KeySampler};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let scheme = match flag(args, "--scheme") {
+        Some(s) => parse_scheme(&s)?,
+        None => Scheme::Ab,
+    };
+    let levels: u8 = parse_num(args, "--levels", 10)?;
+    let requests: u64 = parse_num(args, "--requests", 200)?;
+    let batch: usize = parse_num(args, "--batch", 8)?;
+    let period: u64 = parse_num(
+        args,
+        "--period",
+        if args.iter().any(|a| a == "--timed") { 150_000 } else { 25_000 },
+    )?;
+    let keys: u64 = 64;
+
+    let mut cfg = StoreConfig::new(levels, scheme);
+    if args.iter().any(|a| a == "--timed") {
+        cfg.backend = BackendKind::Timed(DramConfig::default());
+    }
+    let store = ObliviousStore::new(&cfg).map_err(|e| e.to_string())?;
+    let mut fe = BatchingFrontEnd::new(
+        store,
+        BatchConfig { batch_size: batch, period, queue_capacity: 256 },
+    );
+
+    eprintln!("[pre-loading {keys} keys]");
+    for k in 0..keys {
+        fe.store_mut().put(format!("key-{k:03}").as_bytes(), format!("value-{k}").as_bytes());
+    }
+    let live_at = fe.store().now();
+    fe.activate_at(live_at);
+    let start = fe.next_launch();
+
+    eprintln!("[serving {requests} Zipf(0.99) requests, batch {batch} every {period} cycles]");
+    let sampler = KeySampler::new(KeyDist::Zipf { s: 0.99 }, keys);
+    let mut rng = StdRng::seed_from_u64(2023);
+    let gap = period / batch as u64;
+    let mut latencies = Vec::new();
+    let mut last_done = start;
+    for i in 0..requests {
+        let now = start + i * gap;
+        let key = format!("key-{:03}", sampler.draw(&mut rng)).into_bytes();
+        let req = if rng.gen_range(0..10u32) == 0 {
+            Request::Put { key, value: format!("v{i}").into_bytes() }
+        } else {
+            Request::Get { key }
+        };
+        let _ = fe.submit(now, req);
+        for c in fe.advance_to(now).map_err(|e| e.to_string())? {
+            latencies.push(c.latency());
+            last_done = last_done.max(c.done);
+        }
+    }
+    for c in fe.drain().map_err(|e| e.to_string())? {
+        latencies.push(c.latency());
+        last_done = last_done.max(c.done);
+    }
+
+    let completed = latencies.len() as u64;
+    let elapsed = last_done.saturating_sub(start).max(1);
+    let lat = LatencyReport::from_latencies(latencies).ok_or("no completions")?;
+    let stats = fe.stats();
+    let posmap = fe.store().posmap();
+    println!(
+        "scheme            : {scheme} (L{levels}, {} backend)",
+        if matches!(cfg.backend, BackendKind::Timed(_)) {
+            "cycle-accurate DRAM"
+        } else {
+            "untimed"
+        }
+    );
+    println!("keys stored       : {}", fe.store().len());
+    println!("requests served   : {completed}");
+    println!("throughput        : {:.1} req/Mcycle", completed as f64 * 1e6 / elapsed as f64);
+    println!("latency p50/p95/p99 : {} / {} / {} cycles", lat.p50, lat.p95, lat.p99);
+    println!(
+        "batches           : {} ({} real slots, {} dummy, {} coalesced, {} rejected)",
+        stats.batches, stats.real_slots, stats.dummy_slots, stats.coalesced, stats.rejected
+    );
+    println!(
+        "posmap chain      : depth {}, ladder {:?}, root {} entries",
+        posmap.chain_depth(),
+        posmap.level_counts(),
+        posmap.root_entries()
+    );
+    println!(
+        "posmap traffic    : {} tree accesses, {} entries verified vs ground truth",
+        posmap.stats().tree_accesses,
+        posmap.stats().verified_entries
+    );
     Ok(())
 }
 

@@ -16,7 +16,9 @@
 //! * [`telemetry`] — phase-level tracing, metrics registry, perf reports;
 //! * [`trace`] — synthetic benchmark workload generation;
 //! * [`dram`] — cycle-level DDR3 memory-system model;
-//! * [`core`] — the ORAM engines and simulation drivers.
+//! * [`core`] — the ORAM engines and simulation drivers;
+//! * [`service`] — the oblivious key-value service layer (real recursive
+//!   position map, batching front-end, multi-tenant serving).
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub mod golden;
 pub use aboram_core as core;
 pub use aboram_crypto as crypto;
 pub use aboram_dram as dram;
+pub use aboram_service as service;
 pub use aboram_stats as stats;
 pub use aboram_telemetry as telemetry;
 pub use aboram_trace as trace;
