@@ -82,6 +82,19 @@ pub trait StorageBackend {
     /// Propagates engine protocol errors.
     fn dummy_access(&mut self, start: u64) -> Result<BackendReply, OramError>;
 
+    /// Appends a new zeroed block to the store, lazily growing the tree
+    /// when the configured utilization threshold would be crossed (see
+    /// [`RingOram::insert_block`]). Inserts are bookkeeping, not bus
+    /// traffic, so they cost no backend time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramError::CapacityExhausted`] /
+    /// [`OramError::StashOverflow`] from the engine.
+    fn insert_block(&mut self, position: Option<PathId>) -> Result<BlockId, OramError> {
+        self.engine_mut().insert_block(position)
+    }
+
     /// The engine behind this backend.
     fn engine(&self) -> &RingOram;
 

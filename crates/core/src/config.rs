@@ -101,6 +101,32 @@ impl fmt::Display for Scheme {
     }
 }
 
+/// Auto-scaling parameters. When set on an [`OramConfig`], the engine may
+/// add tree levels lazily as the protected block population grows, up to
+/// `max_levels`. Growth never blocks an access: the per-bucket metadata
+/// refresh is drained incrementally, `relocs_per_access` buckets per
+/// access (see the `growth` module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowthConfig {
+    /// Ceiling on tree levels; growth stops here and further inserts
+    /// beyond capacity return [`OramError::CapacityExhausted`].
+    pub max_levels: u8,
+    /// Utilization percentage (of [`OramConfig::real_block_count`]) at
+    /// which an insert triggers a grow. Paper-shaped default: 100 — grow
+    /// only when the tree is full.
+    pub util_pct: u8,
+    /// Stale buckets refreshed per access while a backlog is pending.
+    pub relocs_per_access: u8,
+}
+
+impl GrowthConfig {
+    /// Growth up to `max_levels` with the defaults: grow at 100%
+    /// utilization, refresh 4 buckets per access.
+    pub fn up_to(max_levels: u8) -> Self {
+        GrowthConfig { max_levels, util_pct: 100, relocs_per_access: 4 }
+    }
+}
+
 /// Full ORAM instance configuration. Build with [`OramConfig::builder`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct OramConfig {
@@ -129,6 +155,10 @@ pub struct OramConfig {
     pub track_lifetimes: bool,
     /// RNG seed for deterministic runs.
     pub seed: u64,
+    /// Lazy capacity growth; `None` (the default) fixes the tree at
+    /// `levels` forever and leaves every digest and snapshot byte
+    /// identical to pre-growth builds.
+    pub growth: Option<GrowthConfig>,
 }
 
 impl OramConfig {
@@ -148,6 +178,7 @@ impl OramConfig {
                 store_data: false,
                 track_lifetimes: false,
                 seed: 0xAB0A_2023,
+                growth: None,
             },
         }
     }
@@ -286,6 +317,12 @@ impl OramConfigBuilder {
         self
     }
 
+    /// Enables lazy capacity growth up to `growth.max_levels`.
+    pub fn growth(mut self, growth: GrowthConfig) -> Self {
+        self.cfg.growth = Some(growth);
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -323,6 +360,39 @@ impl OramConfigBuilder {
                     c.bg_evict_threshold, c.stash_capacity
                 ),
             });
+        }
+        if let Some(g) = c.growth {
+            if g.max_levels < c.levels {
+                return Err(OramError::BadParameter {
+                    name: "growth.max_levels",
+                    reason: format!(
+                        "ceiling ({}) below the starting level count ({})",
+                        g.max_levels, c.levels
+                    ),
+                });
+            }
+            if g.max_levels > TreeGeometry::MAX_LEVELS {
+                return Err(OramError::BadParameter {
+                    name: "growth.max_levels",
+                    reason: format!(
+                        "ceiling ({}) exceeds the supported maximum ({})",
+                        g.max_levels,
+                        TreeGeometry::MAX_LEVELS
+                    ),
+                });
+            }
+            if g.util_pct == 0 || g.util_pct > 100 {
+                return Err(OramError::BadParameter {
+                    name: "growth.util_pct",
+                    reason: format!("utilization trigger must be 1..=100, got {}", g.util_pct),
+                });
+            }
+            if g.relocs_per_access == 0 {
+                return Err(OramError::BadParameter {
+                    name: "growth.relocs_per_access",
+                    reason: "must refresh at least 1 bucket per access".to_string(),
+                });
+            }
         }
         // Force geometry construction so invalid schemes fail here.
         self.cfg.geometry()?;
@@ -402,6 +472,27 @@ mod tests {
         assert!(OramConfig::builder(12, Scheme::Baseline).evict_rate(0).build().is_err());
         assert!(OramConfig::builder(12, Scheme::Baseline).stash(100, 100).build().is_err());
         assert!(OramConfig::builder(12, Scheme::Baseline).stash(100, 75).build().is_ok());
+    }
+
+    #[test]
+    fn growth_validation() {
+        let ok = OramConfig::builder(8, Scheme::Ab).growth(GrowthConfig::up_to(12)).build();
+        assert_eq!(ok.unwrap().growth, Some(GrowthConfig::up_to(12)));
+        let below = OramConfig::builder(10, Scheme::Ab).growth(GrowthConfig::up_to(9)).build();
+        assert!(matches!(below, Err(OramError::BadParameter { name: "growth.max_levels", .. })));
+        let huge = OramConfig::builder(8, Scheme::Ab).growth(GrowthConfig::up_to(64)).build();
+        assert!(matches!(huge, Err(OramError::BadParameter { name: "growth.max_levels", .. })));
+        let util = OramConfig::builder(8, Scheme::Ab)
+            .growth(GrowthConfig { max_levels: 12, util_pct: 0, relocs_per_access: 4 })
+            .build();
+        assert!(matches!(util, Err(OramError::BadParameter { name: "growth.util_pct", .. })));
+        let relocs = OramConfig::builder(8, Scheme::Ab)
+            .growth(GrowthConfig { max_levels: 12, util_pct: 100, relocs_per_access: 0 })
+            .build();
+        assert!(matches!(
+            relocs,
+            Err(OramError::BadParameter { name: "growth.relocs_per_access", .. })
+        ));
     }
 
     #[test]

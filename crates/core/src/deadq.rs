@@ -132,6 +132,19 @@ impl DeadQueues {
         self.rejected_full
     }
 
+    /// Shifts the tracked window down one level for a tree grow
+    /// (`levels` → `levels + 1`): the topmost tracked level leaves the
+    /// window — its queued entries are dropped, which is public knowledge
+    /// exactly like a full-queue drop (§VI-A) — and a fresh empty queue is
+    /// appended for the new leaf level.
+    pub(crate) fn grow_level(&mut self) {
+        self.first_level += 1;
+        if !self.queues.is_empty() {
+            self.queues.remove(0);
+            self.queues.push(VecDeque::with_capacity(self.capacity.min(1024)));
+        }
+    }
+
     /// First tracked level (queue index 0) — snapshot serialization.
     pub(crate) fn first_level(&self) -> u8 {
         self.first_level
@@ -225,6 +238,20 @@ mod tests {
         assert_eq!(q.len(Level(5)), 0);
         assert!(q.dequeue(Level(5)).is_none());
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn grow_shifts_the_tracked_window() {
+        let mut q = DeadQueues::new(6, 3, 10);
+        q.enqueue(slot(3, 0, 0)); // first tracked level
+        q.enqueue(slot(5, 0, 0)); // leaf
+        q.grow_level();
+        assert!(!q.tracks(Level(3)), "topmost tracked level left the window");
+        assert!(q.tracks(Level(6)), "new leaf level is tracked");
+        assert_eq!(q.len(Level(3)), 0);
+        assert_eq!(q.len(Level(5)), 1, "surviving level keeps its entries");
+        assert_eq!(q.len(Level(6)), 0);
+        assert_eq!(q.total_enqueued(), 2, "lifetime counters untouched");
     }
 
     #[test]

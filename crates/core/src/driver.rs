@@ -102,7 +102,10 @@ impl SimulationReport {
 /// and memory-system streams carry their own versions.
 ///
 /// v2: rides the engine-snapshot v2 bump (recovery ladder counters).
-pub const DRIVER_SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3: rides the engine-snapshot v3 bump (auto-scaling trees — growth
+/// counters and `GrowthConfig`-covering config digests).
+pub const DRIVER_SNAPSHOT_VERSION: u32 = 3;
 
 /// Magic bytes opening every full-driver snapshot stream.
 const DRIVER_SNAPSHOT_MAGIC: [u8; 4] = *b"ABSD";
@@ -224,6 +227,26 @@ impl TimingDriver {
     /// Access to the engine (stats inspection, warm-up by protocol access).
     pub fn oram_mut(&mut self) -> &mut RingOram {
         &mut self.oram
+    }
+
+    /// Appends a new zeroed block, lazily growing the tree one level when
+    /// the configured utilization threshold would be crossed (see
+    /// [`RingOram::insert_block`]). The grown level's physical extents sit
+    /// past the old layout high-water mark; the DRAM twin's address decoder
+    /// is capacity-agnostic, so the new addresses route through the existing
+    /// channel/bank map with no driver-side remapping. Inserts generate no
+    /// timed memory traffic; the relocation backlog drains through
+    /// subsequent accesses' eviction work as usual.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramError::CapacityExhausted`] /
+    /// [`OramError::StashOverflow`] from the engine.
+    pub fn insert_block(
+        &mut self,
+        position: Option<aboram_tree::PathId>,
+    ) -> Result<crate::BlockId, OramError> {
+        self.oram.insert_block(position)
     }
 
     /// Serializes the *entire* driver — engine protocol state, the DRAM
@@ -352,7 +375,7 @@ impl TimingDriver {
     pub fn warm_up(&mut self, accesses: u64) -> Result<(), OramError> {
         use rand::{Rng, SeedableRng};
         let mut sink = crate::sink::CountingSink::new();
-        let blocks = self.oram.config().real_block_count();
+        let blocks = self.oram.block_count();
         let mut rng =
             rand::rngs::StdRng::seed_from_u64(self.oram.config().seed ^ Self::WARM_UP_SEED_XOR);
         for _ in 0..accesses {
@@ -373,7 +396,10 @@ impl TimingDriver {
     ) -> Result<SimulationReport, OramError> {
         let mut records = 0u64;
         let mut instructions = 0u64;
-        let block_count = self.oram.config().real_block_count();
+        // Populated blocks, not tree capacity: identical for fixed-capacity
+        // engines (fully materialized at construction), and the only valid
+        // address range for a partially filled auto-scaling tree.
+        let block_count = self.oram.block_count();
         // Telemetry run header: the constant per-request bus occupancy (in
         // CPU cycles) lets the perf-report pipeline turn request counts into
         // exact bus-cycle attributions.
@@ -598,6 +624,40 @@ mod snapshot_tests {
         let mut with_faults = driver_with(Scheme::Baseline);
         with_faults.enable_faults(crate::fault::FaultPlan::new(5));
         assert!(with_faults.snapshot().is_err(), "armed fault plan must refuse");
+    }
+
+    #[test]
+    fn grown_driver_snapshots_after_drain_and_restores_cycle_identically() {
+        let cfg = OramConfig::builder(8, Scheme::Ab)
+            .seed(11)
+            .growth(crate::config::GrowthConfig::up_to(10))
+            .build()
+            .unwrap();
+        let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+        let mut driver = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        let grown = driver.insert_block(None).unwrap();
+        assert_eq!(driver.oram.config().levels, 9, "insert at full capacity grew the tree");
+        assert!(driver.oram.growth_state().backlog() > 0, "relocation backlog pending");
+        let mut gen = TraceGenerator::new(&profile, 5);
+        driver.run((0..300).map(|_| gen.next_record())).unwrap();
+        assert_eq!(driver.oram.growth_state().backlog(), 0, "drained through eviction work");
+        assert!(driver.oram.check_block_reachable(grown));
+        let bytes = driver.snapshot().expect("post-drain driver snapshots");
+        // The digest covers the *grown* configuration — restore under it.
+        let grown_cfg = driver.oram.config().clone();
+        assert!(
+            TimingDriver::restore(&cfg, DramConfig::default(), &bytes).is_err(),
+            "pre-growth config no longer matches the snapshot digest"
+        );
+        let mut restored =
+            TimingDriver::restore(&grown_cfg, DramConfig::default(), &bytes).unwrap();
+        let tail_live = driver.run((0..80).map(|_| gen.next_record())).unwrap();
+        let mut gen = TraceGenerator::new(&profile, 5);
+        for _ in 0..300 {
+            gen.next_record();
+        }
+        let tail_restored = restored.run((0..80).map(|_| gen.next_record())).unwrap();
+        assert_eq!(tail_live, tail_restored, "restored grown driver is cycle-identical");
     }
 
     #[test]

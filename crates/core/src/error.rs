@@ -67,6 +67,23 @@ pub enum OramError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A snapshot was requested while a capacity grow is still being
+    /// drained: the persisted tree mixes old- and new-geometry buckets,
+    /// so serializing it would capture a torn state. Drain the relocation
+    /// backlog (run accesses) and retry.
+    GrowthInProgress {
+        /// Buckets still awaiting their post-grow refresh.
+        backlog: u64,
+    },
+    /// A grow or insert was requested beyond the configured capacity
+    /// ceiling (`GrowthConfig::max_levels`), or on an engine built without
+    /// growth enabled.
+    CapacityExhausted {
+        /// Current tree levels.
+        levels: u8,
+        /// Configured ceiling (equals `levels` when growth is disabled).
+        max_levels: u8,
+    },
 }
 
 impl fmt::Display for OramError {
@@ -99,6 +116,12 @@ impl fmt::Display for OramError {
             }
             OramError::SnapshotInvalid { reason } => {
                 write!(f, "snapshot rejected: {reason}")
+            }
+            OramError::GrowthInProgress { backlog } => {
+                write!(f, "capacity grow in progress: {backlog} buckets awaiting relocation")
+            }
+            OramError::CapacityExhausted { levels, max_levels } => {
+                write!(f, "capacity exhausted at {levels} levels (ceiling {max_levels})")
             }
         }
     }
@@ -149,5 +172,13 @@ mod tests {
         assert!(i.to_string().contains("invariant"));
         let s = OramError::SnapshotInvalid { reason: "bad magic".to_string() };
         assert!(s.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn growth_variants_display() {
+        let g = OramError::GrowthInProgress { backlog: 511 };
+        assert!(g.to_string().contains("511"));
+        let c = OramError::CapacityExhausted { levels: 10, max_levels: 10 };
+        assert!(c.to_string().contains("10"));
     }
 }

@@ -48,6 +48,7 @@ mod deadq;
 mod driver;
 mod error;
 mod fault;
+mod growth;
 mod integrity;
 mod metadata;
 mod path_oram;
@@ -55,6 +56,7 @@ mod posmap;
 mod recursion;
 mod ring;
 mod security;
+mod segvec;
 mod sink;
 mod snapshot;
 mod stash;
@@ -63,7 +65,7 @@ mod stats;
 pub use backend::{
     BackendReply, StorageBackend, TimedBackend, UntimedBackend, UNTIMED_CYCLES_PER_TRANSFER,
 };
-pub use config::{OramConfig, OramConfigBuilder, Scheme};
+pub use config::{GrowthConfig, OramConfig, OramConfigBuilder, Scheme};
 pub use deadq::{DeadQueues, DeadSlot};
 pub use driver::{BreakdownReport, SimulationReport, TimingDriver, DRIVER_SNAPSHOT_VERSION};
 pub use error::OramError;
@@ -71,6 +73,7 @@ pub use fault::{
     ChannelStall, FaultConfig, FaultInjectingSink, FaultKind, FaultPlan, FaultSite, InjectedFaults,
     BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES, REDUNDANT_REFETCHES,
 };
+pub use growth::{extend_label, growth_bit, DynamicTree};
 pub use integrity::IntegrityVerifier;
 pub use metadata::{BucketMeta, MetadataLayout, MetadataStore, SlotStatus};
 pub use path_oram::PathOram;
@@ -78,6 +81,7 @@ pub use posmap::PositionMap;
 pub use recursion::{PlbConfig, PosMapHierarchy};
 pub use ring::{AccessKind, PayloadMutator, RingOram};
 pub use security::{attack_success_rate, SecurityReport};
+pub use segvec::SegmentedVector;
 pub use sink::{CountingSink, MemorySink, OramOp, TimingSink};
 pub use snapshot::{config_digest, SNAPSHOT_VERSION};
 pub use stash::{Stash, StashBlock};

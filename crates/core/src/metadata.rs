@@ -8,6 +8,7 @@
 //! valid dummy, gather dead slots, census the not-refreshed slots — are
 //! branch-light word operations instead of `Vec` walks (see DESIGN.md §8).
 
+use crate::segvec::SegmentedVector;
 use crate::BlockId;
 use aboram_tree::{Level, PathId, SlotId, TreeGeometry};
 
@@ -276,6 +277,17 @@ impl BucketMeta {
         self.count >= budget
     }
 
+    /// Re-sizes the bucket's own physical slot count — the post-grow
+    /// refresh, when the level's configuration changed because the
+    /// bucket's offset from the leaves shifted. Callers rebuild the
+    /// bucket immediately afterwards, so the occupancy bitmaps are
+    /// reconstructed under the new width.
+    pub fn set_own_slots(&mut self, own: u8) {
+        debug_assert!(own <= 16, "slot bitmaps are u16");
+        self.own_slots = own;
+        self.logical_slots = own + self.borrowed.len() as u8;
+    }
+
     /// Decomposes the bucket into its raw fields — snapshot serialization.
     pub(crate) fn to_raw(&self) -> BucketMetaRaw {
         BucketMetaRaw {
@@ -333,21 +345,32 @@ pub(crate) struct BucketMetaRaw {
 }
 
 /// All bucket metadata plus resolution of logical slots to physical slots.
+///
+/// Backed by a [`SegmentedVector`] so an auto-scaling tree can append the
+/// new level's buckets without moving (or reallocating) any existing
+/// bucket's metadata — bucket addresses stay stable across growth.
 #[derive(Debug, Clone)]
 pub struct MetadataStore {
-    buckets: Vec<BucketMeta>,
+    buckets: SegmentedVector<BucketMeta>,
 }
 
 impl MetadataStore {
     /// Initializes metadata for every bucket of `geometry`.
     pub fn new(geometry: &TreeGeometry) -> Self {
-        let mut buckets = Vec::with_capacity(geometry.bucket_count() as usize);
+        let base = (geometry.bucket_count() as usize).next_power_of_two();
+        let mut buckets = SegmentedVector::new(base.max(1));
         for raw in 0..geometry.bucket_count() {
             let level = aboram_tree::BucketId::new(raw).level();
             let own = geometry.level_config(level).z_total();
             buckets.push(BucketMeta::new(own));
         }
         MetadataStore { buckets }
+    }
+
+    /// Appends metadata for one new bucket (a grown level). Existing
+    /// buckets never move.
+    pub(crate) fn push(&mut self, meta: BucketMeta) {
+        self.buckets.push(meta);
     }
 
     /// Borrow the metadata of `bucket`.
@@ -381,13 +404,16 @@ impl MetadataStore {
     }
 
     /// All bucket metadata in heap order — snapshot serialization.
-    pub(crate) fn buckets(&self) -> &[BucketMeta] {
-        &self.buckets
+    pub(crate) fn buckets(&self) -> impl Iterator<Item = &BucketMeta> {
+        self.buckets.iter()
     }
 
     /// Rebuilds a store from buckets in heap order — snapshot restore.
     pub(crate) fn from_buckets(buckets: Vec<BucketMeta>) -> Self {
-        MetadataStore { buckets }
+        let base = buckets.len().next_power_of_two().max(1);
+        let mut sv = SegmentedVector::new(base);
+        sv.extend(buckets);
+        MetadataStore { buckets: sv }
     }
 
     /// Total buckets tracked.

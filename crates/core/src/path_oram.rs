@@ -10,6 +10,7 @@
 use crate::config::OramConfig;
 use crate::error::OramError;
 use crate::fault::{FaultSite, BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES};
+use crate::growth::extend_label;
 use crate::posmap::PositionMap;
 use crate::sink::{MemorySink, OramOp};
 use crate::stash::{Stash, StashBlock};
@@ -18,7 +19,7 @@ use aboram_stats::RecoveryStats;
 use aboram_telemetry::{self as telemetry, Phase};
 use aboram_tree::{BucketId, Level, PathId, PhysicalLayout, SlotAddr, TreeGeometry};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Per-bucket state: which real blocks currently sit in the bucket, each
 /// with its path label and (when the data path is on) its contents.
@@ -339,6 +340,105 @@ impl PathOram {
     fn off_chip(&self, bucket: BucketId) -> bool {
         bucket.level().0 >= self.cfg.treetop_levels
     }
+
+    /// Number of mapped (protected) blocks right now.
+    pub fn block_count(&self) -> u64 {
+        self.posmap.len()
+    }
+
+    /// Whether the next insert would cross the configured utilization
+    /// threshold at the current level count (and a grow is still allowed).
+    fn needs_grow(&self) -> bool {
+        let Some(g) = self.cfg.growth else { return false };
+        if self.cfg.levels >= g.max_levels {
+            return false;
+        }
+        (self.posmap.len() + 1) * 100 > u64::from(g.util_pct) * self.cfg.real_block_count()
+    }
+
+    /// Appends a new zeroed block (id = current block count), lazily
+    /// growing the tree one level first when the insert would cross the
+    /// configured utilization threshold (the [`crate::RingOram`] analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::CapacityExhausted`] when the tree is full and
+    /// cannot grow, and [`OramError::StashOverflow`] if the stash cannot
+    /// absorb the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is outside the (post-grow) leaf range.
+    pub fn insert_block(&mut self, position: Option<PathId>) -> Result<BlockId, OramError> {
+        while self.needs_grow() {
+            self.grow_level()?;
+        }
+        if self.posmap.len() >= self.cfg.real_block_count() {
+            return Err(OramError::CapacityExhausted {
+                levels: self.cfg.levels,
+                max_levels: self.cfg.growth.map_or(self.cfg.levels, |g| g.max_levels),
+            });
+        }
+        let block = self.posmap.len();
+        let label = match position {
+            Some(p) => {
+                assert!(p.leaf() < self.geo.leaf_count(), "insert label out of range");
+                p
+            }
+            None => PathId::new(self.rng.gen_range(0..self.geo.leaf_count())),
+        };
+        self.posmap.push(label);
+        self.stash.insert(StashBlock { block, label, data: [0; BLOCK_BYTES] });
+        if self.stash.overflowed() {
+            return Err(OramError::StashOverflow { capacity: self.stash.capacity() });
+        }
+        Ok(block)
+    }
+
+    /// Adds one level to the tree in place. Path ORAM rewrites every bucket
+    /// it touches wholesale on each access, so unlike [`crate::RingOram`]
+    /// there is no relocation backlog: all labels (position map, stash and
+    /// resident bucket entries) are refreshed synchronously via the same
+    /// deterministic [`extend_label`] replay, and no block ever moves — the
+    /// doubled leaf space preserves every resident block's path prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::CapacityExhausted`] when growth is disabled or
+    /// the ceiling is reached.
+    pub fn grow_level(&mut self) -> Result<(), OramError> {
+        match self.cfg.growth {
+            Some(g) if self.cfg.levels < g.max_levels => {}
+            _ => {
+                return Err(OramError::CapacityExhausted {
+                    levels: self.cfg.levels,
+                    max_levels: self.cfg.growth.map_or(self.cfg.levels, |g| g.max_levels),
+                })
+            }
+        }
+        let old_levels = self.cfg.levels;
+        let mut cfg = self.cfg.clone();
+        cfg.levels = old_levels + 1;
+        let geo = cfg.geometry()?;
+        self.layout.grow(&geo)?;
+        let seed = self.cfg.seed;
+        self.posmap
+            .grow_one_level(|b, leaf| extend_label(leaf, old_levels, old_levels + 1, seed, b));
+        for pb in &mut self.buckets {
+            for (b, l, _) in &mut pb.blocks {
+                *l = PathId::new(extend_label(l.leaf(), old_levels, old_levels + 1, seed, *b));
+            }
+        }
+        let in_stash: Vec<BlockId> = self.stash.iter().map(|e| e.block).collect();
+        for b in in_stash {
+            let label = self.posmap.path_of(b);
+            self.stash.relabel(b, label);
+        }
+        self.buckets.resize(geo.bucket_count() as usize, PathBucket::default());
+        self.geo = geo;
+        self.cfg = cfg;
+        Ok(())
+    }
 }
 
 /// Snapshot serialization (see the `snapshot` module docs for the format).
@@ -589,5 +689,38 @@ mod tests {
             oram.access(b, &mut sink).unwrap();
         }
         assert_eq!(oram.accesses(), 7);
+    }
+
+    #[test]
+    fn insert_at_capacity_grows_and_keeps_blocks_reachable() {
+        let cfg = OramConfig::builder(8, Scheme::PlainRing)
+            .seed(5)
+            .growth(crate::config::GrowthConfig::up_to(10))
+            .build()
+            .unwrap();
+        let mut oram = PathOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        let first = oram.insert_block(None).unwrap();
+        assert_eq!(oram.cfg.levels, 9, "insert at full capacity grew the tree");
+        for b in 0..oram.block_count() {
+            assert!(oram.check_block_reachable(b), "block {b} lost across the grow");
+        }
+        for i in 0..500u64 {
+            oram.access(i % oram.block_count(), &mut sink).unwrap();
+        }
+        assert!(oram.check_block_reachable(first));
+        // Fill to the ceiling, draining the stash as we go so the only
+        // terminal error is capacity exhaustion, not stash overflow.
+        let err = loop {
+            match oram.insert_block(None) {
+                Ok(b) => {
+                    oram.access(b, &mut sink).unwrap();
+                    oram.access(b / 2, &mut sink).unwrap();
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, OramError::CapacityExhausted { levels: 10, max_levels: 10 }));
+        assert_eq!(oram.cfg.levels, 10, "grew to the ceiling on the way");
     }
 }

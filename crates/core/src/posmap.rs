@@ -71,6 +71,29 @@ impl PositionMap {
         self.leaves
     }
 
+    /// Doubles the leaf space for a one-level grow, relabeling every
+    /// block's path via `extend(block, old_leaf) -> new_leaf` (the
+    /// deterministic [`crate::extend_label`] replay).
+    pub(crate) fn grow_one_level<F: Fn(BlockId, u64) -> u64>(&mut self, extend: F) {
+        let new_leaves = self.leaves * 2;
+        for (b, p) in self.paths.iter_mut().enumerate() {
+            *p = extend(b as u64, *p);
+            debug_assert!(*p < new_leaves, "relabel escaped the new leaf space");
+        }
+        self.leaves = new_leaves;
+    }
+
+    /// Appends a new block (id = current length) mapped to `path` —
+    /// capacity-growth insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of the leaf range.
+    pub(crate) fn push(&mut self, path: PathId) {
+        assert!(path.leaf() < self.leaves, "path label out of range");
+        self.paths.push(path.leaf());
+    }
+
     /// Raw path assignments in block-id order — snapshot serialization.
     pub(crate) fn raw_paths(&self) -> &[u64] {
         &self.paths

@@ -41,6 +41,7 @@ use crate::config::OramConfig;
 use crate::deadq::DeadQueues;
 use crate::error::OramError;
 use crate::fault::{FaultSite, BACKOFF_BASE_CYCLES, MAX_FAULT_RETRIES, REDUNDANT_REFETCHES};
+use crate::growth::{extend_label, DynamicTree};
 use crate::integrity::IntegrityVerifier;
 use crate::metadata::{nth_set_bit, MetadataStore, RealEntry, SlotStatus};
 use crate::posmap::PositionMap;
@@ -124,6 +125,24 @@ impl DataStore {
             .open(&self.slots[i], i as u64 * BLOCK_BYTES as u64, self.counters[i])
             .map_err(|e| OramError::DataIntegrity { address: e.address })
     }
+
+    /// Extends the store to cover a grown layout. Growth extents live past
+    /// the old high-water mark, so the index space now spans the whole
+    /// byte range; the gap indexes (metadata bytes) stay zero-sealed and
+    /// unused.
+    fn grow_to(&mut self, layout: &PhysicalLayout) {
+        let n = (layout.total_bytes() / BLOCK_BYTES as u64) as usize;
+        if n <= self.slots.len() {
+            return;
+        }
+        let old = self.slots.len();
+        self.slots.resize(n, SealedBlock::default());
+        self.counters.resize(n, 0);
+        let zero = [0u8; BLOCK_BYTES];
+        for i in old..n {
+            self.write_index(i, &zero);
+        }
+    }
 }
 
 /// Per-access scratch buffers, held on the engine so the hot path reuses
@@ -166,6 +185,8 @@ pub struct RingOram {
     meta: MetadataStore,
     stash: Stash,
     deadqs: DeadQueues,
+    /// Auto-scaling controller: growth epochs plus the relocation backlog.
+    dynamic: DynamicTree,
     rng: StdRng,
     data: Option<DataStore>,
     reads_since_evict: u8,
@@ -219,6 +240,7 @@ impl RingOram {
             meta,
             stash,
             deadqs,
+            dynamic: DynamicTree::new(),
             data: None,
             rng,
             reads_since_evict: 0,
@@ -396,6 +418,7 @@ impl RingOram {
             self.pending_escalation = false;
             self.escalate_evictions(sink)?;
         }
+        self.drain_growth_backlog(sink)?;
         if self.stats.recovery != recovery_before {
             self.stats.recovery.degraded_accesses += 1;
         }
@@ -426,6 +449,7 @@ impl RingOram {
             self.pending_escalation = false;
             self.escalate_evictions(sink)?;
         }
+        self.drain_growth_backlog(sink)?;
         if let Some(v) = &mut self.integrity {
             v.fold_root();
         }
@@ -502,6 +526,7 @@ impl RingOram {
             self.pending_escalation = false;
             self.escalate_evictions(sink)?;
         }
+        self.drain_growth_backlog(sink)?;
         if self.stats.recovery != recovery_before {
             self.stats.recovery.degraded_accesses += 1;
         }
@@ -694,9 +719,14 @@ impl RingOram {
                         data: stored,
                     });
                 } else {
+                    // The label is read from the position map, not the
+                    // fetched metadata entry: the two agree whenever the
+                    // entry is valid (an entry exists exactly while its
+                    // block is out of the stash), and the posmap is the one
+                    // that is always current mid-growth.
                     self.stash.insert(StashBlock {
                         block: entry.addr,
-                        label: entry.label,
+                        label: self.posmap.path_of(entry.addr),
                         data: plain,
                     });
                 }
@@ -831,7 +861,10 @@ impl RingOram {
             for e in &to_stash {
                 let phys = self.meta.resolve(bucket, e.ptr);
                 let plain = self.fetch_block(phys, op, false, sink)?;
-                self.stash.insert(StashBlock { block: e.addr, label: e.label, data: plain });
+                // Label from the posmap (identical to the stored label for
+                // a valid entry; see the readPath green-block comment).
+                let label = self.posmap.path_of(e.addr);
+                self.stash.insert(StashBlock { block: e.addr, label, data: plain });
             }
         }
         self.scratch.read_slots = read_slots;
@@ -885,6 +918,15 @@ impl RingOram {
             self.stats.slot_revived(level, bucket.raw(), j, now);
         }
 
+        // Post-grow refresh: this rewrite re-encrypts the whole bucket
+        // under the current geometry, clearing it from the relocation
+        // backlog; a bucket whose slot provisioning predates the grow
+        // (per-level Z changed with the level count) adopts the new width.
+        self.dynamic.clear_if_stale(bucket.raw());
+        if self.meta.get(bucket).own_slots() != cfg_l.z_total() {
+            self.meta.get_mut(bucket).set_own_slots(cfg_l.z_total());
+        }
+
         // Borrow fresh dead slots on extension levels (DR / AB), validating
         // each DeadQ entry against its home's slot status: an entry whose
         // home has rebuilt since it was queued is stale and discarded.
@@ -899,6 +941,12 @@ impl RingOram {
                         continue; // Never borrow a slot we are about to rewrite.
                     }
                     let home = self.meta.get(slot.bucket);
+                    if slot.index >= home.own_slots() {
+                        // The home shrank at its post-grow refresh and the
+                        // slot was retired: the queued entry is stale.
+                        telemetry::counter_add("remote.stale_discarded", 1);
+                        continue;
+                    }
                     if home.status(slot.index) == SlotStatus::Allocated {
                         self.stats.slot_reused(level, slot.bucket.raw(), slot.index, now);
                         new_borrowed.push(slot);
@@ -1298,6 +1346,162 @@ impl RingOram {
         Ok(())
     }
 
+    /// The auto-scaling controller state (growth epochs, relocation
+    /// backlog, incremental relocations performed).
+    pub fn growth_state(&self) -> &DynamicTree {
+        &self.dynamic
+    }
+
+    /// Number of mapped (protected) blocks right now.
+    pub fn block_count(&self) -> u64 {
+        self.posmap.len()
+    }
+
+    /// Whether the next insert would cross the configured utilization
+    /// threshold at the current level count (and a grow is still allowed).
+    fn needs_grow(&self) -> bool {
+        let Some(g) = self.cfg.growth else { return false };
+        if self.cfg.levels >= g.max_levels {
+            return false;
+        }
+        (self.posmap.len() + 1) * 100 > u64::from(g.util_pct) * self.cfg.real_block_count()
+    }
+
+    /// Appends a new zeroed block (id = current block count), lazily
+    /// growing the tree one level first when the insert would cross the
+    /// configured utilization threshold. The insert itself is traffic-free:
+    /// the block is born in the stash with the given (or a fresh random)
+    /// path and reaches the tree through ordinary evictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::CapacityExhausted`] when the tree is full and
+    /// cannot grow (no growth configured, or the ceiling is reached), and
+    /// [`OramError::StashOverflow`] if the stash cannot absorb the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is outside the (post-grow) leaf range.
+    pub fn insert_block(&mut self, position: Option<PathId>) -> Result<BlockId, OramError> {
+        while self.needs_grow() {
+            self.grow_level()?;
+        }
+        if self.posmap.len() >= self.cfg.real_block_count() {
+            return Err(OramError::CapacityExhausted {
+                levels: self.cfg.levels,
+                max_levels: self.cfg.growth.map_or(self.cfg.levels, |g| g.max_levels),
+            });
+        }
+        let block = self.posmap.len();
+        let label = match position {
+            Some(p) => {
+                assert!(p.leaf() < self.geo.leaf_count(), "insert label out of range");
+                p
+            }
+            None => PathId::new(self.rng.gen_range(0..self.geo.leaf_count())),
+        };
+        self.posmap.push(label);
+        self.stash.insert(StashBlock { block, label, data: [0; BLOCK_BYTES] });
+        if self.stash.overflowed() {
+            return Err(OramError::StashOverflow { capacity: self.stash.capacity() });
+        }
+        telemetry::event("insert_block", Phase::ReadPath, 0, block);
+        Ok(block)
+    }
+
+    /// Adds one level to the tree in place: the leaf space doubles, every
+    /// path label extends by its deterministic [`growth_bit`] replay
+    /// ([`extend_label`]), the physical layout grows by *appending*
+    /// segments (no bucket address ever moves), and every pre-existing
+    /// bucket joins the relocation backlog that subsequent accesses drain
+    /// incrementally — no access ever blocks on the resize.
+    ///
+    /// [`growth_bit`]: crate::growth_bit
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::CapacityExhausted`] when growth is disabled or
+    /// the ceiling is reached, and [`OramError::BadParameter`] while the
+    /// integrity verifier is armed (its per-level digest chains are sized
+    /// at arm time; grow first, then arm).
+    pub fn grow_level(&mut self) -> Result<(), OramError> {
+        match self.cfg.growth {
+            Some(g) if self.cfg.levels < g.max_levels => {}
+            _ => {
+                return Err(OramError::CapacityExhausted {
+                    levels: self.cfg.levels,
+                    max_levels: self.cfg.growth.map_or(self.cfg.levels, |g| g.max_levels),
+                })
+            }
+        }
+        if self.integrity.is_some() {
+            return Err(OramError::BadParameter {
+                name: "growth",
+                reason: "cannot grow with the integrity verifier armed".to_string(),
+            });
+        }
+        let old_levels = self.cfg.levels;
+        let old_buckets = self.geo.bucket_count();
+        let mut cfg = self.cfg.clone();
+        cfg.levels = old_levels + 1;
+        let geo = cfg.geometry()?;
+        self.layout.grow(&geo)?;
+
+        // Client-side relabel: position map first, then the stash mirrors
+        // it (stash blocks are exactly the mapped blocks not resident in a
+        // bucket; resident blocks keep valid prefixes by construction).
+        let seed = self.cfg.seed;
+        self.posmap
+            .grow_one_level(|b, leaf| extend_label(leaf, old_levels, old_levels + 1, seed, b));
+        let in_stash: Vec<BlockId> = self.stash.iter().map(|e| e.block).collect();
+        for b in in_stash {
+            let label = self.posmap.path_of(b);
+            self.stash.relabel(b, label);
+        }
+
+        // The new leaf level starts freshly reshuffled: all slots valid
+        // reserved dummies, exactly like `new`'s bucket init.
+        let leaf_cfg = geo.level_config(Level(old_levels));
+        let own = leaf_cfg.z_total();
+        for _ in old_buckets..geo.bucket_count() {
+            let mut m = crate::metadata::BucketMeta::new(own);
+            for i in 0..own {
+                m.set_valid(i, true);
+            }
+            m.dynamic_s = own - own.min(leaf_cfg.z_real);
+            self.meta.push(m);
+        }
+
+        self.deadqs.grow_level();
+        self.stats.grow_level();
+        self.dynamic.begin_epoch(old_buckets);
+        if let Some(data) = &mut self.data {
+            data.grow_to(&self.layout);
+        }
+        self.geo = geo;
+        self.cfg = cfg;
+        telemetry::event("grow_level", Phase::EarlyReshuffle, old_levels, old_buckets);
+        Ok(())
+    }
+
+    /// Drains up to `relocs_per_access` buckets from the growth backlog:
+    /// each is rebuilt in place under the new geometry (an
+    /// earlyReshuffle-shaped rewrite). Folded into the tail of every
+    /// access so relocations are spread incrementally.
+    fn drain_growth_backlog(&mut self, sink: &mut impl MemorySink) -> Result<(), OramError> {
+        if self.dynamic.backlog() == 0 {
+            return Ok(());
+        }
+        let quota = self.cfg.growth.map_or(0, |g| g.relocs_per_access);
+        for _ in 0..quota {
+            let Some(raw) = self.dynamic.take_next() else { break };
+            let bucket = BucketId::new(raw);
+            telemetry::event("growth_relocate", Phase::EarlyReshuffle, bucket.level().0, raw);
+            self.rebuild_buckets(&[bucket], None, OramOp::EarlyReshuffle, sink)?;
+        }
+        Ok(())
+    }
+
     /// Verifies the core invariant: every mapped block is findable on its
     /// path, in the stash, or via remote metadata. Expensive; used by tests.
     pub fn check_block_reachable(&self, block: BlockId) -> bool {
@@ -1376,7 +1580,11 @@ impl RingOram {
                          same-level lending)"
                     ));
                 }
-                if slot.index >= self.meta.get(slot.bucket).own_slots() {
+                // Bound by the level's physical capacity, not the lender's
+                // current own_slots: a post-grow refresh may shrink the
+                // lender while a borrow is outstanding (the slot's physical
+                // space stays addressable; the dummy there is never read).
+                if slot.index >= self.layout.level_capacity(slot.bucket.level()) {
                     return Err(format!("{bucket}: borrowed slot {slot:?} out of lender range"));
                 }
             }
@@ -1394,7 +1602,9 @@ impl RingOram {
                 if slot.bucket.level() != level {
                     return Err(format!("DeadQ level {l}: entry {slot:?} on wrong level"));
                 }
-                if slot.index >= self.meta.get(slot.bucket).own_slots() {
+                // Physical capacity, not own_slots: entries queued before a
+                // post-grow shrink are discarded lazily at dequeue time.
+                if slot.index >= self.layout.level_capacity(slot.bucket.level()) {
                     return Err(format!("DeadQ level {l}: entry {slot:?} out of range"));
                 }
             }
@@ -1429,6 +1639,11 @@ impl RingOram {
                 reason: "integrity verifier armed; snapshot before enabling integrity".to_string(),
             });
         }
+        if self.dynamic.backlog() > 0 {
+            // A mid-growth tree is a torn state: some buckets' persisted
+            // images still reflect the old geometry. Drain first.
+            return Err(OramError::GrowthInProgress { backlog: self.dynamic.backlog() });
+        }
         let mut w = crate::snapshot::Writer::new();
         crate::snapshot::write_header(&mut w, crate::snapshot::KIND_RING, &self.cfg);
 
@@ -1454,9 +1669,8 @@ impl RingOram {
             w.u64(b.label.leaf());
         }
 
-        let buckets = self.meta.buckets();
-        w.u64(buckets.len() as u64);
-        for m in buckets {
+        w.u64(self.meta.len() as u64);
+        for m in self.meta.buckets() {
             let raw = m.to_raw();
             w.bytes(&[raw.count, raw.dynamic_s, raw.own_slots, raw.logical_slots]);
             w.u16(raw.valid);
@@ -1492,6 +1706,12 @@ impl RingOram {
         }
 
         write_stats(&mut w, &self.stats);
+        // Growth counters travel only for growth-enabled configurations so
+        // fixed-capacity snapshots stay byte-compatible within a version.
+        if self.cfg.growth.is_some() {
+            w.u64(self.dynamic.epochs());
+            w.u64(self.dynamic.relocations());
+        }
         Ok(crate::snapshot::seal(w))
     }
 
@@ -1514,7 +1734,6 @@ impl RingOram {
         crate::snapshot::check_header(&mut r, crate::snapshot::KIND_RING, cfg)?;
 
         let geo = cfg.geometry()?;
-        let layout = PhysicalLayout::new(&geo);
 
         let reads_since_evict = r.u8()?;
         let evict_counter = r.u64()?;
@@ -1605,11 +1824,42 @@ impl RingOram {
         deadqs.restore_counters(enq, deq, rej);
 
         let stats = read_stats(&mut r, cfg)?;
+        let dynamic = if cfg.growth.is_some() {
+            let epochs = r.u64()?;
+            let relocations = r.u64()?;
+            DynamicTree::from_snapshot(epochs, relocations)
+        } else {
+            DynamicTree::new()
+        };
         if r.remaining() != 0 {
             return Err(OramError::SnapshotInvalid {
                 reason: "trailing bytes after engine body".to_string(),
             });
         }
+
+        // A grown engine's layout is segmented (new space appended past the
+        // construction-time high-water mark), so physical addresses differ
+        // from a fresh layout at the grown level count. Replay the growth
+        // history — `epochs` grows from `cfg.levels - epochs` base levels —
+        // to reconstruct the exact byte-for-byte address map, keeping
+        // restore-then-run cycle-identical on the DRAM twin.
+        let epochs = dynamic.epochs();
+        let layout = if epochs > 0 {
+            let base =
+                cfg.levels.checked_sub(epochs as u8).ok_or_else(|| OramError::SnapshotInvalid {
+                    reason: format!("growth epochs {epochs} exceed level count {}", cfg.levels),
+                })?;
+            let mut replay_cfg = cfg.clone();
+            replay_cfg.levels = base;
+            let mut layout = PhysicalLayout::new(&replay_cfg.geometry()?);
+            for l in (base + 1)..=cfg.levels {
+                replay_cfg.levels = l;
+                layout.grow(&replay_cfg.geometry()?)?;
+            }
+            layout
+        } else {
+            PhysicalLayout::new(&geo)
+        };
 
         Ok(RingOram {
             cfg: cfg.clone(),
@@ -1619,6 +1869,7 @@ impl RingOram {
             meta,
             stash,
             deadqs,
+            dynamic,
             rng: StdRng::from_state(rng_state),
             data: None,
             reads_since_evict,
@@ -2050,5 +2301,156 @@ mod tests {
         // Every off-chip metadata read is paired with a write-back.
         assert!(sink.reads(OramOp::Metadata) > 0);
         assert!(sink.writes(OramOp::Metadata) >= sink.reads(OramOp::Metadata) / 2);
+    }
+}
+
+#[cfg(test)]
+mod growth_tests {
+    use super::*;
+    use crate::config::{GrowthConfig, Scheme};
+    use crate::sink::CountingSink;
+
+    fn growing(scheme: Scheme, levels: u8, max_levels: u8) -> RingOram {
+        let cfg = OramConfig::builder(levels, scheme)
+            .seed(3)
+            .growth(GrowthConfig::up_to(max_levels))
+            .build()
+            .unwrap();
+        RingOram::new(&cfg).unwrap()
+    }
+
+    fn drain(oram: &mut RingOram, sink: &mut CountingSink) {
+        let mut i = 0u64;
+        while oram.growth_state().backlog() > 0 {
+            oram.access(AccessKind::Read, i % oram.block_count(), None, sink).unwrap();
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn insert_at_capacity_grows_one_level() {
+        let mut oram = growing(Scheme::Ab, 8, 10);
+        let cap8 = oram.config().real_block_count();
+        assert_eq!(oram.block_count(), cap8);
+        let b = oram.insert_block(None).unwrap();
+        assert_eq!(b, cap8, "new block id is the old count");
+        assert_eq!(oram.config().levels, 9, "full tree grew on insert");
+        assert_eq!(oram.growth_state().epochs(), 1);
+        assert!(oram.growth_state().backlog() > 0, "old buckets await relocation");
+        oram.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn backlog_drains_incrementally_and_blocks_stay_reachable() {
+        let mut oram = growing(Scheme::Ab, 8, 10);
+        let mut sink = CountingSink::new();
+        oram.insert_block(None).unwrap();
+        let backlog0 = oram.growth_state().backlog();
+        oram.access(AccessKind::Read, 0, None, &mut sink).unwrap();
+        let per = u64::from(oram.config().growth.unwrap().relocs_per_access);
+        assert!(
+            oram.growth_state().backlog() + per <= backlog0 + oram.config().levels as u64,
+            "each access must retire roughly relocs_per_access buckets"
+        );
+        drain(&mut oram, &mut sink);
+        assert_eq!(oram.growth_state().backlog(), 0);
+        assert!(oram.growth_state().relocations() > 0, "incremental drain did work");
+        oram.validate_invariants().unwrap();
+        for b in 0..oram.block_count() {
+            assert!(oram.check_block_reachable(b), "block {b} lost across the grow");
+        }
+    }
+
+    #[test]
+    fn growth_fills_to_the_ceiling_then_exhausts() {
+        let mut oram = growing(Scheme::Baseline, 8, 9);
+        let mut sink = CountingSink::new();
+        let cap9 = ((1u64 << 9) - 1) * 5 / 2;
+        while oram.block_count() < cap9 {
+            oram.insert_block(None).unwrap();
+            // Interleave accesses so the stash never saturates with births.
+            for _ in 0..2 {
+                oram.access(AccessKind::Read, 0, None, &mut sink).unwrap();
+            }
+        }
+        assert_eq!(oram.config().levels, 9);
+        let err = oram.insert_block(None).unwrap_err();
+        assert!(matches!(err, OramError::CapacityExhausted { levels: 9, max_levels: 9 }));
+    }
+
+    #[test]
+    fn insert_without_growth_config_is_capacity_exhausted() {
+        let cfg = OramConfig::builder(8, Scheme::Baseline).seed(1).build().unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let err = oram.insert_block(None).unwrap_err();
+        assert!(matches!(err, OramError::CapacityExhausted { levels: 8, max_levels: 8 }));
+        assert!(matches!(oram.grow_level(), Err(OramError::CapacityExhausted { .. })));
+    }
+
+    #[test]
+    fn snapshot_refuses_mid_growth_and_succeeds_after_drain() {
+        let mut oram = growing(Scheme::Ab, 8, 10);
+        let mut sink = CountingSink::new();
+        oram.insert_block(None).unwrap();
+        let backlog = oram.growth_state().backlog();
+        assert!(backlog > 0);
+        match oram.snapshot() {
+            Err(OramError::GrowthInProgress { backlog: b }) => assert_eq!(b, backlog),
+            other => panic!("mid-growth snapshot must refuse, got {other:?}"),
+        }
+        drain(&mut oram, &mut sink);
+        let bytes = oram.snapshot().expect("post-drain snapshot succeeds");
+        let restored = RingOram::restore(oram.config(), &bytes).unwrap();
+        assert_eq!(restored.config().levels, 9);
+        assert_eq!(restored.growth_state().epochs(), 1);
+        assert_eq!(oram.snapshot().unwrap(), restored.snapshot().unwrap());
+    }
+
+    #[test]
+    fn restored_grown_engine_continues_bit_identically() {
+        let mut grown = growing(Scheme::Ab, 8, 10);
+        let mut sink = CountingSink::new();
+        grown.insert_block(None).unwrap();
+        while grown.growth_state().backlog() > 0 {
+            grown.access(AccessKind::Read, 1, None, &mut sink).unwrap();
+        }
+        let bytes = grown.snapshot().unwrap();
+        let mut restored = RingOram::restore(grown.config(), &bytes).unwrap();
+        let mut sa = CountingSink::new();
+        let mut sb = CountingSink::new();
+        for i in 0..300u64 {
+            grown.access(AccessKind::Read, i % grown.block_count(), None, &mut sa).unwrap();
+            restored.access(AccessKind::Read, i % restored.block_count(), None, &mut sb).unwrap();
+        }
+        assert_eq!(grown.snapshot().unwrap(), restored.snapshot().unwrap());
+        assert_eq!(sa.grand_total(), sb.grand_total());
+    }
+
+    #[test]
+    fn grow_refused_while_integrity_armed() {
+        let mut oram = growing(Scheme::Ab, 8, 10);
+        oram.enable_integrity();
+        assert!(matches!(oram.grow_level(), Err(OramError::BadParameter { .. })));
+    }
+
+    #[test]
+    fn data_path_survives_growth() {
+        let cfg = OramConfig::builder(8, Scheme::Ab)
+            .seed(5)
+            .store_data(true)
+            .growth(GrowthConfig::up_to(9))
+            .build()
+            .unwrap();
+        let mut oram = RingOram::new(&cfg).unwrap();
+        let mut sink = CountingSink::new();
+        oram.write(3, [0xAB; BLOCK_BYTES], &mut sink).unwrap();
+        let b = oram.insert_block(None).unwrap();
+        assert_eq!(oram.config().levels, 9);
+        oram.write(b, [0xCD; BLOCK_BYTES], &mut sink).unwrap();
+        for i in 0..600u64 {
+            oram.access(AccessKind::Read, i % oram.block_count(), None, &mut sink).unwrap();
+        }
+        assert_eq!(oram.read(3, &mut sink).unwrap(), [0xAB; BLOCK_BYTES]);
+        assert_eq!(oram.read(b, &mut sink).unwrap(), [0xCD; BLOCK_BYTES]);
     }
 }

@@ -1,0 +1,220 @@
+//! A segmented vector: O(1) indexing with address-stable growth.
+//!
+//! Auto-scaling trees append a whole level of buckets at a time. A plain
+//! `Vec` doubles by *reallocating*, which moves every existing element —
+//! the exact thing a growing ORAM must never do to its bucket store, both
+//! in the simulated address space (physical addresses are part of the
+//! observable access pattern) and in host memory (a grow must not imply a
+//! copy of gigabytes of sealed blocks). [`SegmentedVector`] grows by
+//! appending power-of-two *segments* instead: once an element is pushed,
+//! its storage never moves for the lifetime of the container.
+//!
+//! Layout: segment 0 holds `base` elements (`base` a power of two);
+//! segment `s ≥ 1` holds `base << (s - 1)` elements, so total capacity
+//! doubles with each appended segment. Index `i` resolves in O(1) with
+//! two shifts and a subtraction — no per-segment scan.
+
+/// A grow-by-appending vector whose elements never move (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentedVector<T> {
+    /// `segments[0]` holds `base` slots, `segments[s]` holds
+    /// `base << (s - 1)` slots for `s ≥ 1`. Each segment is allocated at
+    /// full capacity up front and only ever pushed into, so its buffer is
+    /// never reallocated.
+    segments: Vec<Vec<T>>,
+    base: usize,
+    len: usize,
+}
+
+impl<T> SegmentedVector<T> {
+    /// Creates an empty vector whose first segment will hold `base`
+    /// elements. `base` must be a nonzero power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or not a power of two.
+    pub fn new(base: usize) -> Self {
+        assert!(base.is_power_of_two(), "segment base must be a power of two, got {base}");
+        SegmentedVector { segments: Vec::new(), base, len: 0 }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots currently allocated across all segments.
+    pub fn capacity(&self) -> usize {
+        match self.segments.len() {
+            0 => 0,
+            n => self.base << (n - 1),
+        }
+    }
+
+    /// Number of backing segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Capacity of segment `s` under the doubling layout.
+    #[inline]
+    fn segment_capacity(&self, s: usize) -> usize {
+        if s == 0 {
+            self.base
+        } else {
+            self.base << (s - 1)
+        }
+    }
+
+    /// Maps a flat index to `(segment, offset)`. O(1): the segment is the
+    /// bit length of `index / base`.
+    #[inline]
+    fn locate(&self, index: usize) -> (usize, usize) {
+        let b = index / self.base;
+        if b == 0 {
+            (0, index)
+        } else {
+            let s = usize::BITS as usize - b.leading_zeros() as usize;
+            (s, index - (self.base << (s - 1)))
+        }
+    }
+
+    /// Appends an element, allocating a fresh segment when the current one
+    /// is full. Existing elements never move.
+    pub fn push(&mut self, value: T) {
+        let (s, off) = self.locate(self.len);
+        if s == self.segments.len() {
+            let cap = self.segment_capacity(s);
+            self.segments.push(Vec::with_capacity(cap));
+        }
+        debug_assert_eq!(off, self.segments[s].len());
+        self.segments[s].push(value);
+        self.len += 1;
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        let (s, off) = self.locate(index);
+        self.segments[s].get(off)
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if index >= self.len {
+            return None;
+        }
+        let (s, off) = self.locate(index);
+        self.segments[s].get_mut(off)
+    }
+
+    /// Iterates over all elements in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.segments.iter().flat_map(|seg| seg.iter())
+    }
+
+    /// Iterates mutably over all elements in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.segments.iter_mut().flat_map(|seg| seg.iter_mut())
+    }
+}
+
+impl<T> std::ops::Index<usize> for SegmentedVector<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("SegmentedVector index out of bounds")
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for SegmentedVector<T> {
+    #[inline]
+    fn index_mut(&mut self, index: usize) -> &mut T {
+        self.get_mut(index).expect("SegmentedVector index out of bounds")
+    }
+}
+
+impl<T> Extend<T> for SegmentedVector<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_round_trip() {
+        let mut v = SegmentedVector::new(4);
+        for i in 0..100usize {
+            v.push(i * 3);
+        }
+        assert_eq!(v.len(), 100);
+        for i in 0..100usize {
+            assert_eq!(v[i], i * 3);
+        }
+        assert_eq!(v.get(100), None);
+    }
+
+    #[test]
+    fn doubling_segment_layout() {
+        let mut v = SegmentedVector::new(2);
+        assert_eq!(v.capacity(), 0);
+        for i in 0..17usize {
+            v.push(i);
+        }
+        // Segments: 2, 2, 4, 8, 16 → capacity 16 then 32 after the 17th push.
+        assert_eq!(v.segment_count(), 5);
+        assert_eq!(v.capacity(), 32);
+    }
+
+    #[test]
+    fn elements_never_move_across_growth() {
+        let mut v = SegmentedVector::new(4);
+        for i in 0..8usize {
+            v.push(i);
+        }
+        let addrs: Vec<usize> = (0..8).map(|i| &v[i] as *const usize as usize).collect();
+        // Push far past several segment boundaries.
+        for i in 8..1000usize {
+            v.push(i);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(&v[i] as *const usize as usize, a, "element {i} moved");
+        }
+    }
+
+    #[test]
+    fn iter_matches_index_order() {
+        let mut v = SegmentedVector::new(8);
+        v.extend(0..50u32);
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, (0..50).collect::<Vec<_>>());
+        for x in v.iter_mut() {
+            *x += 1;
+        }
+        assert_eq!(v[0], 1);
+        assert_eq!(v[49], 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_base() {
+        let _ = SegmentedVector::<u8>::new(3);
+    }
+}

@@ -38,7 +38,12 @@ pub(crate) use aboram_stats::{ByteReader as Reader, ByteWriter as Writer};
 ///
 /// v2: the serialized recovery block grew from 12 to 14 counters
 /// (`redundant_refetches`, `unrecovered_faults` — the recovery ladder).
-pub const SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3: auto-scaling trees — growth-enabled configurations append their
+/// growth counters (epochs, relocations) after the stats block and fold
+/// the [`crate::GrowthConfig`] into the config digest; engine label reads
+/// route through the position map.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Magic bytes opening every engine snapshot stream.
 pub(crate) const SNAPSHOT_MAGIC: [u8; 4] = *b"ABSN";
@@ -65,6 +70,13 @@ pub fn config_digest(cfg: &OramConfig) -> u64 {
     w.u8(u8::from(cfg.store_data));
     w.u8(u8::from(cfg.track_lifetimes));
     w.u64(cfg.seed);
+    // Appended only when growth is on: fixed-capacity digests (and hence
+    // every pre-growth cache key) are unchanged by the feature's existence.
+    if let Some(g) = cfg.growth {
+        w.u8(g.max_levels);
+        w.u8(g.util_pct);
+        w.u8(g.relocs_per_access);
+    }
     fnv1a64(w.as_bytes())
 }
 
@@ -175,6 +187,18 @@ mod tests {
             OramConfig::builder(10, Scheme::Ab).deadq_capacity(64).build().unwrap(),
             OramConfig::builder(10, Scheme::Ab).deadq_levels(3).build().unwrap(),
             OramConfig::builder(10, Scheme::Ab).track_lifetimes(true).build().unwrap(),
+            OramConfig::builder(10, Scheme::Ab)
+                .growth(crate::config::GrowthConfig::up_to(12))
+                .build()
+                .unwrap(),
+            OramConfig::builder(10, Scheme::Ab)
+                .growth(crate::config::GrowthConfig {
+                    max_levels: 12,
+                    util_pct: 90,
+                    relocs_per_access: 4,
+                })
+                .build()
+                .unwrap(),
         ];
         for v in &variants {
             assert_ne!(d0, config_digest(v), "field change must move the digest: {v:?}");

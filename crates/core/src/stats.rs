@@ -157,6 +157,17 @@ impl OramStats {
         self.levels
     }
 
+    /// Extends every per-level tracker with one zeroed leaf-level slot —
+    /// an auto-scaling tree grew a level. Accumulated history for the
+    /// existing levels is preserved (level ids are depths from the root,
+    /// which a grow never changes).
+    pub(crate) fn grow_level(&mut self) {
+        self.levels += 1;
+        self.reshuffles.push_level();
+        self.dead_blocks.push_level();
+        self.lifetimes.push(MinAvgMax::new());
+    }
+
     /// The raw stash-occupancy histogram bins — snapshot serialization.
     pub(crate) fn stash_occupancy_bins(&self) -> &[u64] {
         &self.stash_occupancy

@@ -72,6 +72,11 @@ pub struct PosMapStats {
     /// Chain entries checked against engine ground truth — every fetched
     /// entry is verified, so this equals `requests × chain depth`.
     pub verified_entries: u64,
+    /// Data-tree level growths observed by the chain's owner. The ladder
+    /// is pre-sized for the data tree's capacity ceiling, so a growth
+    /// changes no chain shape — entries written before it are translated
+    /// by deterministic label replay instead.
+    pub level_grows: u64,
 }
 
 /// A chain of Ring ORAM trees resolving data-block positions.
@@ -115,12 +120,22 @@ impl RecursivePosMap {
     /// own via their engines). `make_backend` constructs each tree's
     /// backend, so the chain runs timed or untimed to match the store.
     ///
+    /// Finest-level entries are *opaque* to the chain: the store encodes
+    /// whatever it needs into the u64 (an auto-scaling store packs a tree
+    /// depth next to the leaf so entries survive data-tree growth); the
+    /// chain stores, swaps and returns them verbatim. For an auto-scaling
+    /// store, `data_blocks` is the capacity *ceiling*, so the ladder shape
+    /// — and hence the per-request access pattern — never changes when the
+    /// data tree grows; entries for not-yet-materialized blocks hold
+    /// whatever `data_position` returns for them and are overwritten on
+    /// first insert.
+    ///
     /// # Errors
     ///
     /// Propagates engine construction/protocol errors.
     pub fn new(
         data_blocks: u64,
-        data_position: &dyn Fn(BlockId) -> PathId,
+        data_position: &dyn Fn(BlockId) -> u64,
         cfg: &RecursionConfig,
         make_backend: &mut BackendFactory<'_>,
     ) -> Result<Self, OramError> {
@@ -141,7 +156,7 @@ impl RecursivePosMap {
         }
 
         let root = match trees.last() {
-            None => (0..data_blocks).map(|b| data_position(b).leaf()).collect(),
+            None => (0..data_blocks).map(data_position).collect(),
             Some(top) => {
                 let engine = top.engine();
                 (0..*counts.last().unwrap())
@@ -167,7 +182,7 @@ impl RecursivePosMap {
     /// regardless of load order.
     fn load_initial_entries(
         &mut self,
-        data_position: &dyn Fn(BlockId) -> PathId,
+        data_position: &dyn Fn(BlockId) -> u64,
     ) -> Result<(), OramError> {
         for k in 1..self.counts.len() {
             let tree = k - 1;
@@ -181,10 +196,10 @@ impl RecursivePosMap {
                     let pos = if k == 1 {
                         data_position(child)
                     } else {
-                        self.trees[k - 2].engine().position_of(child)?
+                        self.trees[k - 2].engine().position_of(child)?.leaf()
                     };
                     let off = slot as usize * ENTRY_BYTES;
-                    payload[off..off + ENTRY_BYTES].copy_from_slice(&pos.leaf().to_le_bytes());
+                    payload[off..off + ENTRY_BYTES].copy_from_slice(&pos.to_le_bytes());
                 }
                 let own = self.trees[tree].engine().position_of(b)?;
                 self.trees[tree].access_managed(0, b, Some(own), &mut |data| *data = payload)?;
@@ -193,9 +208,9 @@ impl RecursivePosMap {
         Ok(())
     }
 
-    /// Walks the chain for `data_block`: returns the position the chain
-    /// claims for it and records `new_data_position` in its finest-tree
-    /// entry (or the root, for a chainless map). Every intermediate entry
+    /// Walks the chain for `data_block`: returns the (opaque) entry the
+    /// chain holds for it and records `new_data_entry` in its finest-tree
+    /// slot (or the root, for a chainless map). Every intermediate entry
     /// is verified against its engine's ground truth and remapped to a
     /// position drawn from this map's RNG. `start` is the walk's arrival
     /// time; the returned clock is when the finest level's access
@@ -212,9 +227,9 @@ impl RecursivePosMap {
     pub fn resolve_and_remap(
         &mut self,
         data_block: BlockId,
-        new_data_position: PathId,
+        new_data_entry: u64,
         start: u64,
-    ) -> Result<(PathId, u64), OramError> {
+    ) -> Result<(u64, u64), OramError> {
         assert!(data_block < self.counts[0], "data block out of range");
         self.stats.requests += 1;
         let d = self.trees.len();
@@ -227,8 +242,8 @@ impl RecursivePosMap {
         }
 
         if d == 0 {
-            let claimed = PathId::new(self.root[data_block as usize]);
-            self.root[data_block as usize] = new_data_position.leaf();
+            let claimed = self.root[data_block as usize];
+            self.root[data_block as usize] = new_data_entry;
             return Ok((claimed, start));
         }
 
@@ -252,13 +267,13 @@ impl RecursivePosMap {
         self.stats.verified_entries += 1;
         self.root[top] = new_pos[d - 1];
 
-        let mut claimed = claimed_top;
+        let mut claimed = claimed_top.leaf();
         let mut at = start;
         for k in (1..=d).rev() {
             let tree = k - 1;
             let child_id = ids[k - 1];
             let slot = (child_id % ENTRIES_PER_BLOCK) as usize;
-            let child_new = if k == 1 { new_data_position.leaf() } else { new_pos[k - 2] };
+            let child_new = if k == 1 { new_data_entry } else { new_pos[k - 2] };
             let reply = self.trees[tree].access_managed(
                 at,
                 ids[k],
@@ -272,22 +287,27 @@ impl RecursivePosMap {
             at = reply.done;
             let payload = reply.data.expect("managed access always returns the payload");
             let off = slot * ENTRY_BYTES;
-            claimed = PathId::new(u64::from_le_bytes(
-                payload[off..off + ENTRY_BYTES].try_into().unwrap(),
-            ));
+            claimed = u64::from_le_bytes(payload[off..off + ENTRY_BYTES].try_into().unwrap());
             if k >= 2 {
                 assert_eq!(
-                    claimed,
+                    PathId::new(claimed),
                     self.trees[tree - 1].engine().position_of(child_id)?,
                     "posmap tree {k} entry diverged from tree {} engine",
                     k - 1
                 );
                 self.stats.verified_entries += 1;
             }
-            // k == 1: the claim is about the data block; the store verifies
-            // it against the data engine (this module cannot see it).
+            // k == 1: the claim is about the data block; the store decodes
+            // and verifies it against the data engine (this module cannot
+            // see it, and the entry encoding is the store's business).
         }
         Ok((claimed, at))
+    }
+
+    /// Records `n` data-tree level growths in the stats block. The ladder
+    /// itself is unaffected (it is pre-sized for the capacity ceiling).
+    pub fn note_level_grows(&mut self, n: u64) {
+        self.stats.level_grows += n;
     }
 
     /// One bus-indistinguishable dummy walk (a dummy access per chain
@@ -344,7 +364,7 @@ mod tests {
     #[test]
     fn ladder_shrinks_to_the_root() {
         // 637 data blocks → 80 entries-blocks → 10 → fits a 64-entry root.
-        let positions = |_b: BlockId| PathId::new(0);
+        let positions = |_b: BlockId| 0u64;
         let cfg = RecursionConfig::default();
         let pm = RecursivePosMap::new(637, &positions, &cfg, &mut untimed()).unwrap();
         assert_eq!(pm.level_counts(), &[637, 80, 10]);
@@ -354,37 +374,51 @@ mod tests {
 
     #[test]
     fn tiny_population_needs_no_trees() {
-        let positions = |b: BlockId| PathId::new(b % 4);
+        let positions = |b: BlockId| b % 4;
         let cfg = RecursionConfig::default();
         let mut pm = RecursivePosMap::new(8, &positions, &cfg, &mut untimed()).unwrap();
         assert_eq!(pm.chain_depth(), 0);
-        let (claimed, done) = pm.resolve_and_remap(5, PathId::new(3), 7).unwrap();
-        assert_eq!(claimed, PathId::new(1));
+        let (claimed, done) = pm.resolve_and_remap(5, 3, 7).unwrap();
+        assert_eq!(claimed, 1);
         assert_eq!(done, 7, "no trees, no time");
-        let (claimed2, _) = pm.resolve_and_remap(5, PathId::new(0), 7).unwrap();
-        assert_eq!(claimed2, PathId::new(3), "recorded position read back");
+        let (claimed2, _) = pm.resolve_and_remap(5, 0, 7).unwrap();
+        assert_eq!(claimed2, 3, "recorded entry read back");
     }
 
     #[test]
     fn chain_walk_verifies_and_advances_time() {
-        let positions = |_b: BlockId| PathId::new(2);
+        let positions = |_b: BlockId| 2u64;
         let cfg = RecursionConfig::default();
         let mut pm = RecursivePosMap::new(637, &positions, &cfg, &mut untimed()).unwrap();
-        let (claimed, done) = pm.resolve_and_remap(123, PathId::new(9), 0).unwrap();
-        assert_eq!(claimed, PathId::new(2), "initial entry came from data ground truth");
+        let (claimed, done) = pm.resolve_and_remap(123, 9, 0).unwrap();
+        assert_eq!(claimed, 2, "initial entry came from data ground truth");
         assert!(done > 0, "two tree accesses take time");
         let stats = pm.stats();
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.tree_accesses, 2);
         assert_eq!(stats.verified_entries, 2, "root + intermediate entry checked");
         // Read the entry back: the chain must return what we recorded.
-        let (claimed2, _) = pm.resolve_and_remap(123, PathId::new(1), done).unwrap();
-        assert_eq!(claimed2, PathId::new(9));
+        let (claimed2, _) = pm.resolve_and_remap(123, 1, done).unwrap();
+        assert_eq!(claimed2, 9);
+    }
+
+    #[test]
+    fn finest_entries_are_opaque_to_the_chain() {
+        // An auto-scaling store packs a depth tag into the high byte; the
+        // chain must round-trip arbitrary u64s verbatim.
+        let tagged = |b: BlockId| (9u64 << 56) | (b % 7);
+        let cfg = RecursionConfig::default();
+        let mut pm = RecursivePosMap::new(637, &tagged, &cfg, &mut untimed()).unwrap();
+        let next = (10u64 << 56) | 42;
+        let (claimed, done) = pm.resolve_and_remap(200, next, 0).unwrap();
+        assert_eq!(claimed, (9u64 << 56) | (200 % 7));
+        let (claimed2, _) = pm.resolve_and_remap(200, 0, done).unwrap();
+        assert_eq!(claimed2, next, "depth-tagged entry survived the round trip");
     }
 
     #[test]
     fn dummy_walk_touches_every_level() {
-        let positions = |_b: BlockId| PathId::new(0);
+        let positions = |_b: BlockId| 0u64;
         let cfg = RecursionConfig::default();
         let mut pm = RecursivePosMap::new(637, &positions, &cfg, &mut untimed()).unwrap();
         let done = pm.dummy_walk(0).unwrap();

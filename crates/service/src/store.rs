@@ -10,8 +10,8 @@
 
 use crate::posmap::{RecursionConfig, RecursivePosMap};
 use aboram_core::{
-    BlockId, OramConfig, OramError, RingOram, Scheme, StorageBackend, TimedBackend, UntimedBackend,
-    BLOCK_BYTES,
+    extend_label, BlockId, GrowthConfig, OramConfig, OramError, RingOram, Scheme, StorageBackend,
+    TimedBackend, UntimedBackend, BLOCK_BYTES,
 };
 use aboram_dram::DramConfig;
 use aboram_tree::PathId;
@@ -34,8 +34,17 @@ pub enum BackendKind {
 /// Configuration of one store (one tenant).
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
-    /// Data-tree levels.
+    /// Data-tree levels (the *starting* level count when auto-scaling).
     pub levels: u8,
+    /// Auto-scaling ceiling: `Some(max)` lets the data tree grow lazily up
+    /// to `max` levels as inserts cross the utilization threshold; `None`
+    /// fixes capacity at `levels` (the classic behavior, bit-identical to
+    /// pre-growth builds).
+    pub max_levels: Option<u8>,
+    /// Utilization percentage at which an insert triggers a level grow
+    /// (only meaningful with `max_levels`). 100 = grow when full, the
+    /// paper-shaped default; tests lower it to force growth events early.
+    pub growth_util_pct: u8,
     /// Data-tree scheme (any of the paper's six).
     pub scheme: Scheme,
     /// Posmap-tree scheme (see [`RecursionConfig::scheme`]).
@@ -54,12 +63,20 @@ impl StoreConfig {
     pub fn new(levels: u8, scheme: Scheme) -> Self {
         StoreConfig {
             levels,
+            max_levels: None,
+            growth_util_pct: 100,
             scheme,
             posmap_scheme: Scheme::Baseline,
             root_max_entries: 64,
             seed: 2023,
             backend: BackendKind::Untimed,
         }
+    }
+
+    /// An auto-scaling store: starts at `levels` and grows lazily to
+    /// `max_levels` as keys accumulate.
+    pub fn auto_scaling(levels: u8, max_levels: u8, scheme: Scheme) -> Self {
+        StoreConfig { max_levels: Some(max_levels), ..StoreConfig::new(levels, scheme) }
     }
 }
 
@@ -86,6 +103,12 @@ pub struct ObliviousStore {
     data_leaves: u64,
     cursor: u64,
     stats: StoreStats,
+    /// Data-engine seed — the chain-entry translation replays the engine's
+    /// growth relabeling, which is keyed on it.
+    data_seed: u64,
+    /// Key-capacity ceiling: the data tree's protected block count at
+    /// `max_levels` (== the current block count for fixed-capacity stores).
+    max_capacity: u64,
 }
 
 impl std::fmt::Debug for ObliviousStore {
@@ -110,6 +133,20 @@ fn make_backend(
     }
 }
 
+/// Packs a chain entry: the data tree's depth at write time in the high
+/// byte, the leaf label below. Entries written before a level growth keep
+/// their old depth tag; [`ObliviousStore::claimed_position`] replays the
+/// engine's deterministic relabeling to translate them, so growth never
+/// has to rewrite the chain.
+fn pack_entry(depth: u8, leaf: u64) -> u64 {
+    (u64::from(depth) << 56) | leaf
+}
+
+/// Splits a packed chain entry into `(depth, leaf)`.
+fn unpack_entry(entry: u64) -> (u8, u64) {
+    ((entry >> 56) as u8, entry & ((1u64 << 56) - 1))
+}
+
 fn decode(payload: &[u8; BLOCK_BYTES]) -> Vec<u8> {
     let len = usize::from(u16::from_le_bytes([payload[0], payload[1]])).min(MAX_VALUE_BYTES);
     payload[2..2 + len].to_vec()
@@ -132,11 +169,27 @@ impl ObliviousStore {
     /// Propagates engine construction/protocol errors.
     pub fn new(cfg: &StoreConfig) -> Result<Self, OramError> {
         let mut make = make_backend(cfg.backend);
-        let data_cfg =
-            OramConfig::builder(cfg.levels, cfg.scheme).store_data(true).seed(cfg.seed).build()?;
+        let mut builder =
+            OramConfig::builder(cfg.levels, cfg.scheme).store_data(true).seed(cfg.seed);
+        if let Some(max) = cfg.max_levels {
+            builder = builder
+                .growth(GrowthConfig { util_pct: cfg.growth_util_pct, ..GrowthConfig::up_to(max) });
+        }
+        let data_cfg = builder.build()?;
         let data = make(&data_cfg)?;
         let data_blocks = data_cfg.real_block_count();
         let data_leaves = data.engine().geometry().leaf_count();
+        // The ladder is sized for the capacity ceiling, so a data-tree
+        // growth changes neither the chain shape nor the per-request access
+        // pattern.
+        let max_capacity = match cfg.max_levels {
+            Some(max) => {
+                let mut ceiling = data_cfg.clone();
+                ceiling.levels = max;
+                ceiling.real_block_count()
+            }
+            None => data_blocks,
+        };
 
         let rec = RecursionConfig {
             root_max_entries: cfg.root_max_entries,
@@ -144,9 +197,17 @@ impl ObliviousStore {
             seed: cfg.seed ^ 0x00C0_FFEE_0B5C_0DE5,
         };
         let engine = data.engine();
-        let ground_truth =
-            |b: BlockId| engine.position_of(b).expect("init walks only valid blocks");
-        let posmap = RecursivePosMap::new(data_blocks, &ground_truth, &rec, &mut make)?;
+        let depth = cfg.levels;
+        let ground_truth = |b: BlockId| {
+            if b < data_blocks {
+                pack_entry(depth, engine.position_of(b).expect("init walks valid blocks").leaf())
+            } else {
+                // Not-yet-materialized ceiling headroom: placeholder entry,
+                // overwritten (never verified) on the block's first insert.
+                pack_entry(depth, 0)
+            }
+        };
+        let posmap = RecursivePosMap::new(max_capacity, &ground_truth, &rec, &mut make)?;
 
         Ok(ObliviousStore {
             data,
@@ -157,6 +218,8 @@ impl ObliviousStore {
             data_leaves,
             cursor: 0,
             stats: StoreStats::default(),
+            data_seed: cfg.seed,
+            max_capacity,
         })
     }
 
@@ -170,9 +233,28 @@ impl ObliviousStore {
         self.directory.is_empty()
     }
 
-    /// Total key capacity (the data tree's protected block count).
+    /// Total key capacity: the data tree's protected block count at its
+    /// level ceiling (current block count for fixed-capacity stores).
     pub fn capacity(&self) -> u64 {
-        (self.directory.len() + self.free.len()) as u64
+        self.max_capacity
+    }
+
+    /// Blocks materialized in the data tree so far (== [`capacity`] for
+    /// fixed-capacity stores; grows lazily with inserts when auto-scaling).
+    ///
+    /// [`capacity`]: Self::capacity
+    pub fn materialized(&self) -> u64 {
+        self.data.engine().block_count()
+    }
+
+    /// Decodes a chain entry into the engine's coordinate system: entries
+    /// written before a level growth carry their old depth tag and are
+    /// translated by replaying the engine's deterministic relabeling.
+    fn claimed_position(&self, entry: u64, block: BlockId) -> PathId {
+        let (depth, leaf) = unpack_entry(entry);
+        let current = self.data.engine().config().levels;
+        assert!(depth <= current, "chain entry tagged deeper than the data tree");
+        PathId::new(extend_label(leaf, depth, current, self.data_seed, block))
     }
 
     /// The store's internal clock: completion time of the last access.
@@ -203,8 +285,9 @@ impl ObliviousStore {
     ///
     /// # Errors
     ///
-    /// Propagates engine protocol errors; inserting into a full store
-    /// fails with `BadParameter`.
+    /// Propagates engine protocol errors; inserting into a full store that
+    /// cannot (or may no longer) grow fails with the engine's typed
+    /// `CapacityExhausted`.
     ///
     /// # Panics
     ///
@@ -217,10 +300,12 @@ impl ObliviousStore {
         f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
     ) -> Result<(Option<Vec<u8>>, u64), OramError> {
         if let Some(block) = self.directory.get(key).copied() {
+            let depth = self.data.engine().config().levels;
             let new_pos = PathId::new(self.rng.gen_range(0..self.data_leaves));
-            let (claimed, pm_done) = self.posmap.resolve_and_remap(block, new_pos, start)?;
+            let (claimed, pm_done) =
+                self.posmap.resolve_and_remap(block, pack_entry(depth, new_pos.leaf()), start)?;
             assert_eq!(
-                claimed,
+                self.claimed_position(claimed, block),
                 self.data.engine().position_of(block)?,
                 "finest posmap entry diverged from data engine ground truth"
             );
@@ -244,19 +329,43 @@ impl ObliviousStore {
         // walk, a pure miss pays the identical dummy pattern.
         match f(None) {
             Some(new) => {
-                let block = self.free.pop().ok_or_else(|| OramError::BadParameter {
-                    name: "capacity",
-                    reason: "store is full: every protected block is allocated".to_string(),
-                })?;
+                // Reuse a pre-materialized block if one is free; otherwise
+                // materialize a fresh one, growing the data tree lazily
+                // when the insert crosses the utilization threshold. A
+                // fixed-capacity store has no growth configured, so a full
+                // tree surfaces the engine's typed `CapacityExhausted`.
+                let (block, fresh) = match self.free.pop() {
+                    Some(b) => (b, false),
+                    None => {
+                        let levels_before = self.data.engine().config().levels;
+                        let b = self.data.insert_block(None)?;
+                        let levels_after = self.data.engine().config().levels;
+                        if levels_after != levels_before {
+                            self.data_leaves = self.data.engine().geometry().leaf_count();
+                            self.posmap.note_level_grows(u64::from(levels_after - levels_before));
+                        }
+                        (b, true)
+                    }
+                };
                 self.directory.insert(key.to_vec(), block);
                 self.stats.inserts += 1;
+                let depth = self.data.engine().config().levels;
                 let new_pos = PathId::new(self.rng.gen_range(0..self.data_leaves));
-                let (claimed, pm_done) = self.posmap.resolve_and_remap(block, new_pos, start)?;
-                assert_eq!(
-                    claimed,
-                    self.data.engine().position_of(block)?,
-                    "finest posmap entry diverged from data engine ground truth"
-                );
+                let (claimed, pm_done) = self.posmap.resolve_and_remap(
+                    block,
+                    pack_entry(depth, new_pos.leaf()),
+                    start,
+                )?;
+                // A freshly materialized block's chain slot still holds its
+                // construction placeholder — skip the ground-truth check on
+                // this first touch (the entry we just recorded takes over).
+                if !fresh {
+                    assert_eq!(
+                        self.claimed_position(claimed, block),
+                        self.data.engine().position_of(block)?,
+                        "finest posmap entry diverged from data engine ground truth"
+                    );
+                }
                 let reply =
                     self.data.access_managed(pm_done, block, Some(new_pos), &mut |payload| {
                         encode(payload, &new);
@@ -384,6 +493,41 @@ mod tests {
         s.put(b"k1", b"cycle-accurate");
         assert_eq!(s.get(b"k1").as_deref(), Some(b"cycle-accurate".as_slice()));
         assert!(s.now() > 0, "timed backend advances the clock");
+    }
+
+    #[test]
+    fn auto_scaling_store_grows_under_inserts() {
+        let mut s = ObliviousStore::new(&StoreConfig::auto_scaling(8, 9, Scheme::Ab)).unwrap();
+        let start_cap = s.materialized();
+        assert_eq!(s.capacity(), 1277, "capacity reports the 9-level ceiling");
+        assert!(start_cap < s.capacity());
+        // Fill past the starting tree's 637 blocks: the tree must grow and
+        // every key must stay readable through the growth.
+        let n = start_cap + 40;
+        for i in 0..n {
+            s.put(format!("key-{i}").as_bytes(), &i.to_le_bytes());
+        }
+        assert!(s.posmap().stats().level_grows >= 1, "at least one growth event");
+        assert_eq!(s.data_engine().config().levels, 9);
+        assert_eq!(s.len() as u64, n);
+        for i in (0..n).step_by(17) {
+            assert_eq!(
+                s.get(format!("key-{i}").as_bytes()).as_deref(),
+                Some(i.to_le_bytes().as_slice()),
+                "key {i} lost across growth"
+            );
+        }
+        s.data_engine().validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn fixed_capacity_store_still_reports_exhaustion() {
+        let mut s = ObliviousStore::new(&StoreConfig::new(8, Scheme::Baseline)).unwrap();
+        for i in 0..s.capacity() {
+            s.put(format!("key-{i}").as_bytes(), b"v");
+        }
+        let err = s.rmw_at(s.now(), b"one-too-many", &mut |_| Some(b"v".to_vec())).unwrap_err();
+        assert!(matches!(err, OramError::CapacityExhausted { levels: 8, max_levels: 8 }));
     }
 
     #[test]

@@ -75,6 +75,47 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Auto-scaling stores keep agreeing with the model through level
+    /// growth, under every paper scheme: preload enough distinct keys to
+    /// exhaust the starting tree and cross the (lowered) utilization
+    /// threshold twice, then replay a random interleaving.
+    #[test]
+    fn auto_scaling_store_matches_model_across_growth(
+        ops in proptest::collection::vec(arb_op(), 1..30),
+        seed in 1u64..1000,
+    ) {
+        for scheme in SCHEMES {
+            let mut cfg = StoreConfig::auto_scaling(8, 10, scheme);
+            cfg.growth_util_pct = 50;
+            cfg.seed = seed;
+            let mut store = ObliviousStore::new(&cfg).unwrap();
+
+            // Starting capacity plus a few: the first insert past the
+            // materialized tree grows 8 → 9, and at 50 % utilization the
+            // next insert immediately grows 9 → 10.
+            let fill = store.materialized() + 4;
+            for i in 0..fill {
+                store.put(format!("fill-{i}").as_bytes(), &i.to_le_bytes());
+            }
+            let grows = store.posmap().stats().level_grows;
+            prop_assert!(grows >= 2, "expected two growth events, saw {}", grows);
+
+            check_against_model(&mut store, &ops)?;
+            // Preloaded keys survive both growths.
+            for i in (0..fill).step_by(97) {
+                prop_assert_eq!(
+                    store.get(format!("fill-{i}").as_bytes()),
+                    Some(i.to_le_bytes().to_vec())
+                );
+            }
+            store.data_engine().validate_invariants().unwrap();
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// The cycle-accurate twin serves identical contents (spot-checked on

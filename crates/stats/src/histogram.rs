@@ -75,6 +75,11 @@ impl LevelHistogram {
         &self.bins
     }
 
+    /// Appends one zeroed bin — an auto-scaling tree grew a level.
+    pub fn push_level(&mut self) {
+        self.bins.push(0);
+    }
+
     /// Rebuilds a histogram from a name and its raw bins (the inverse of
     /// [`LevelHistogram::bins`]) — snapshot restore uses this.
     pub fn from_bins(name: impl Into<String>, bins: Vec<u64>) -> Self {

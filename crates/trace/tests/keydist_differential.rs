@@ -1,0 +1,97 @@
+//! Differential tests of the key-draw distributions: the Zipf sampler
+//! must match its *analytic* distribution (chi-square goodness of fit),
+//! and the sampled CDFs must separate Zipf from Uniform exactly when the
+//! skew says they should — far apart at the YCSB exponent, statistically
+//! indistinguishable at `s = 0`.
+
+use aboram_trace::{KeyDist, KeySampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draws `n` samples and returns per-rank counts.
+fn sample_counts(dist: KeyDist, population: u64, draws: u64, seed: u64) -> Vec<u64> {
+    let sampler = KeySampler::new(dist, population);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; population as usize];
+    for _ in 0..draws {
+        counts[sampler.draw(&mut rng) as usize] += 1;
+    }
+    counts
+}
+
+/// The analytic Zipf pmf: `p_i ∝ 1 / (i+1)^s`, normalized.
+fn zipf_pmf(population: usize, s: f64) -> Vec<f64> {
+    let mut p: Vec<f64> = (0..population).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = p.iter().sum();
+    for x in &mut p {
+        *x /= total;
+    }
+    p
+}
+
+/// Empirical CDF from per-rank counts.
+fn empirical_cdf(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    let mut acc = 0u64;
+    counts
+        .iter()
+        .map(|&c| {
+            acc += c;
+            acc as f64 / total as f64
+        })
+        .collect()
+}
+
+/// Kolmogorov–Smirnov statistic between two CDFs over the same support.
+fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Chi-square goodness of fit: the sampler's draws against the analytic
+/// Zipf pmf. With `population - 1` degrees of freedom the statistic
+/// concentrates around 199 ± ~20; the bound leaves many standard
+/// deviations of room while still catching any systematic bias (an
+/// off-by-one in the CDF search, a mis-normalized table) immediately.
+#[test]
+fn zipf_sampler_passes_chi_square_against_analytic_pmf() {
+    let population = 200u64;
+    let draws = 200_000u64;
+    let s = 0.99;
+    let counts = sample_counts(KeyDist::Zipf { s }, population, draws, 11);
+    let pmf = zipf_pmf(population as usize, s);
+
+    let mut chi2 = 0.0f64;
+    for (obs, p) in counts.iter().zip(&pmf) {
+        let expected = draws as f64 * p;
+        assert!(expected >= 5.0, "chi-square needs expected counts >= 5, got {expected}");
+        let d = *obs as f64 - expected;
+        chi2 += d * d / expected;
+    }
+    assert!(chi2 < 300.0, "chi-square {chi2:.1} too large for 199 degrees of freedom");
+    assert!(chi2 > 100.0, "chi-square {chi2:.1} implausibly small — counts look copied");
+}
+
+/// The sampled CDFs separate the distributions exactly when they should:
+/// at the YCSB exponent Zipf and Uniform are far apart in KS distance,
+/// while `Zipf { s: 0 }` collapses onto Uniform.
+#[test]
+fn zipf_and_uniform_sampled_cdfs_differ_exactly_when_skewed() {
+    let population = 500u64;
+    let draws = 100_000u64;
+
+    let uniform = empirical_cdf(&sample_counts(KeyDist::Uniform, population, draws, 23));
+    let zipf = empirical_cdf(&sample_counts(KeyDist::Zipf { s: 0.99 }, population, draws, 29));
+    let flat = empirical_cdf(&sample_counts(KeyDist::Zipf { s: 0.0 }, population, draws, 31));
+
+    let skewed_gap = ks_distance(&zipf, &uniform);
+    assert!(skewed_gap > 0.3, "YCSB Zipf should dominate uniform early: KS {skewed_gap:.3}");
+
+    let flat_gap = ks_distance(&flat, &uniform);
+    assert!(flat_gap < 0.02, "zero-skew Zipf must collapse onto uniform: KS {flat_gap:.3}");
+
+    // The skewed CDF dominates everywhere (head-heavy mass): a strict
+    // ordering differential, not just a distance bound.
+    for (i, (z, u)) in zipf.iter().zip(&uniform).enumerate().take(population as usize - 1) {
+        assert!(z + 1e-9 >= *u, "Zipf CDF dipped below uniform at rank {i}: {z:.4} < {u:.4}");
+    }
+}

@@ -59,11 +59,49 @@ pub struct PhysicalLayout {
     level_slot_base: Vec<u64>,
     /// Bucket stride (`Z * BLOCK_BYTES`) at each level, in bytes.
     level_stride: Vec<u64>,
-    /// Physical slots per bucket (`Z`) at each level.
+    /// Physical slots per bucket (`Z`) at each level *in the contiguous
+    /// region the level was first laid out with* — slot indices below this
+    /// resolve through the base table.
     level_z: Vec<u8>,
-    /// First byte of the metadata region.
+    /// Current per-level slot capacity including appended extents
+    /// (`== level_z` until the layout grows).
+    level_z_cap: Vec<u8>,
+    /// First byte of the (contiguous) metadata region.
     metadata_base: u64,
     bucket_count: u64,
+    /// Buckets whose metadata lives in the contiguous region at
+    /// `metadata_base` (the construction-time bucket count).
+    meta_contiguous: u64,
+    /// Appended slot extents from capacity growth (segmented-vector style:
+    /// existing addresses are never moved, new space is appended past the
+    /// high-water mark). Empty for fixed-capacity layouts.
+    ext_slots: Vec<SlotExtent>,
+    /// Appended metadata extents, one per growth epoch.
+    ext_meta: Vec<MetaExtent>,
+    /// First unassigned byte; `== total_bytes()`.
+    high_water: u64,
+}
+
+/// One appended range of slot indices for every bucket of one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotExtent {
+    level: u8,
+    /// First slot index this extent covers.
+    first_index: u8,
+    /// Number of slot indices covered per bucket.
+    count: u8,
+    /// First byte of the extent (slot `first_index` of the level's bucket 0).
+    base: u64,
+}
+
+/// One appended range of metadata blocks for newly added buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MetaExtent {
+    /// First raw bucket id this extent covers.
+    first_raw: u64,
+    /// Number of buckets covered.
+    count: u64,
+    base: u64,
 }
 
 impl PhysicalLayout {
@@ -88,14 +126,93 @@ impl PhysicalLayout {
             next_block += geometry.buckets_at_level(level) * u64::from(z);
         }
         let metadata_base = next_block * BLOCK_BYTES;
+        let bucket_count = geometry.bucket_count();
         PhysicalLayout {
             levels,
             level_slot_base,
             level_stride,
+            level_z_cap: level_z.clone(),
             level_z,
             metadata_base,
-            bucket_count: geometry.bucket_count(),
+            bucket_count,
+            meta_contiguous: bucket_count,
+            ext_slots: Vec::new(),
+            ext_meta: Vec::new(),
+            high_water: metadata_base + bucket_count * METADATA_BLOCK_BYTES,
         }
+    }
+
+    /// Grows the layout in place to cover `geometry`, which must have
+    /// exactly one more level. Every address handed out before the grow is
+    /// preserved byte-for-byte: new space — the new leaf level's slots and
+    /// metadata, plus extra slots for existing levels whose `Z` increased
+    /// under the new geometry — is appended past the high-water mark
+    /// (segmented growth, never a relayout). Levels whose `Z` *decreased*
+    /// keep their allocated capacity; the engine simply stops using the
+    /// surplus slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::BadLevelCount`] unless
+    /// `geometry.levels() == self.levels() + 1`.
+    pub fn grow(&mut self, geometry: &TreeGeometry) -> Result<(), GeometryError> {
+        if geometry.levels() != self.levels + 1 {
+            return Err(GeometryError::BadLevelCount { levels: geometry.levels() });
+        }
+        // Extend existing levels whose bucket capacity increased.
+        for l in 0..self.levels {
+            let z_new = geometry.level_config(Level(l)).z_total();
+            let cap = self.level_z_cap[l as usize];
+            if z_new > cap {
+                let count = z_new - cap;
+                self.ext_slots.push(SlotExtent {
+                    level: l,
+                    first_index: cap,
+                    count,
+                    base: self.high_water,
+                });
+                self.high_water += (1u64 << l) * u64::from(count) * BLOCK_BYTES;
+                self.level_z_cap[l as usize] = z_new;
+            }
+        }
+        // The new leaf level gets a contiguous region of its own, addressed
+        // through the base table like any construction-time level.
+        let leaf = geometry.levels() - 1;
+        let z = geometry.level_config(Level(leaf)).z_total();
+        let stride = u64::from(z) * BLOCK_BYTES;
+        let first_raw = (1u64 << leaf) - 1;
+        self.level_slot_base.push(self.high_water.wrapping_sub(first_raw.wrapping_mul(stride)));
+        self.level_stride.push(stride);
+        self.level_z.push(z);
+        self.level_z_cap.push(z);
+        self.high_water += (1u64 << leaf) * u64::from(z) * BLOCK_BYTES;
+        // Metadata blocks for the new buckets.
+        let old_count = self.bucket_count;
+        let new_count = geometry.bucket_count();
+        self.ext_meta.push(MetaExtent {
+            first_raw: old_count,
+            count: new_count - old_count,
+            base: self.high_water,
+        });
+        self.high_water += (new_count - old_count) * METADATA_BLOCK_BYTES;
+        self.bucket_count = new_count;
+        self.levels = geometry.levels();
+        Ok(())
+    }
+
+    /// Whether this layout has grown past its construction-time geometry.
+    pub fn is_grown(&self) -> bool {
+        !self.ext_meta.is_empty()
+    }
+
+    /// Current slot capacity of buckets at `level`, including appended
+    /// extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level_capacity(&self, level: Level) -> u8 {
+        self.level_z_cap[level.0 as usize]
     }
 
     /// Byte address of a data slot.
@@ -115,13 +232,27 @@ impl PhysicalLayout {
         }
         let l = slot.bucket.level().0 as usize;
         let z = self.level_z[l];
-        if slot.index >= z {
-            return Err(GeometryError::SlotOutOfRange { slot: slot.index, z_total: z });
+        if slot.index < z {
+            let byte = self.level_slot_base[l]
+                .wrapping_add(raw.wrapping_mul(self.level_stride[l]))
+                .wrapping_add(u64::from(slot.index) * BLOCK_BYTES);
+            return Ok(SlotAddr(byte));
         }
-        let byte = self.level_slot_base[l]
-            .wrapping_add(raw.wrapping_mul(self.level_stride[l]))
-            .wrapping_add(u64::from(slot.index) * BLOCK_BYTES);
-        Ok(SlotAddr(byte))
+        // Growth extents are rare (one per changed level per epoch), so a
+        // linear scan stays O(1) in practice.
+        for e in &self.ext_slots {
+            if usize::from(e.level) == l
+                && slot.index >= e.first_index
+                && slot.index < e.first_index + e.count
+            {
+                let index_in_level = raw - ((1u64 << e.level) - 1);
+                let byte = e.base
+                    + (index_in_level * u64::from(e.count) + u64::from(slot.index - e.first_index))
+                        * BLOCK_BYTES;
+                return Ok(SlotAddr(byte));
+            }
+        }
+        Err(GeometryError::SlotOutOfRange { slot: slot.index, z_total: self.level_z_cap[l] })
     }
 
     /// Byte address of a bucket's metadata block.
@@ -137,12 +268,22 @@ impl PhysicalLayout {
                 buckets: self.bucket_count,
             });
         }
-        Ok(SlotAddr(self.metadata_base + bucket.raw() * METADATA_BLOCK_BYTES))
+        let raw = bucket.raw();
+        if raw < self.meta_contiguous {
+            return Ok(SlotAddr(self.metadata_base + raw * METADATA_BLOCK_BYTES));
+        }
+        for e in &self.ext_meta {
+            if raw >= e.first_raw && raw < e.first_raw + e.count {
+                return Ok(SlotAddr(e.base + (raw - e.first_raw) * METADATA_BLOCK_BYTES));
+            }
+        }
+        unreachable!("bucket {raw} below bucket_count but outside every metadata extent")
     }
 
-    /// Total simulated memory footprint: data region plus metadata region.
+    /// Total simulated memory footprint: data region plus metadata region
+    /// plus any growth extents.
     pub fn total_bytes(&self) -> u64 {
-        self.metadata_base + self.bucket_count * METADATA_BLOCK_BYTES
+        self.high_water
     }
 
     /// Bytes occupied by the data region alone.
@@ -213,6 +354,81 @@ mod tests {
         let ok_bucket = BucketId::new(0);
         assert!(layout.slot_addr(SlotId::new(ok_bucket, 8)).is_err());
         assert!(layout.slot_addr(SlotId::new(ok_bucket, 7)).is_ok());
+    }
+
+    #[test]
+    fn growth_preserves_every_existing_address() {
+        let small = TreeGeometry::uniform(4, LevelConfig::new(5, 3))
+            .unwrap()
+            .override_bottom_levels(2, LevelConfig::new(5, 1))
+            .unwrap();
+        // Growing shifts the small-bucket band down: old level 2 returns to
+        // Z = 8, the new leaf level and old level 3 get Z = 6.
+        let big = TreeGeometry::uniform(5, LevelConfig::new(5, 3))
+            .unwrap()
+            .override_bottom_levels(2, LevelConfig::new(5, 1))
+            .unwrap();
+        let mut layout = PhysicalLayout::new(&small);
+        let meta_before: Vec<u64> = (0..small.bucket_count())
+            .map(|b| layout.metadata_addr(BucketId::new(b)).unwrap().byte())
+            .collect();
+        let slots_before: Vec<u64> = (0..small.bucket_count())
+            .flat_map(|b| {
+                let bucket = BucketId::new(b);
+                let z = small.level_config(bucket.level()).z_total();
+                (0..z).map(move |s| (bucket, s))
+            })
+            .map(|(bucket, s)| layout.slot_addr(SlotId::new(bucket, s)).unwrap().byte())
+            .collect();
+
+        layout.grow(&big).unwrap();
+        assert!(layout.is_grown());
+        assert_eq!(layout.levels(), 5);
+
+        // Pre-existing slot and metadata addresses are byte-identical.
+        let slots_after: Vec<u64> = (0..small.bucket_count())
+            .flat_map(|b| {
+                let bucket = BucketId::new(b);
+                let z = small.level_config(bucket.level()).z_total();
+                (0..z).map(move |s| (bucket, s))
+            })
+            .map(|(bucket, s)| layout.slot_addr(SlotId::new(bucket, s)).unwrap().byte())
+            .collect();
+        assert_eq!(slots_before, slots_after, "grow moved an existing slot");
+        let meta_after: Vec<u64> = (0..small.bucket_count())
+            .map(|b| layout.metadata_addr(BucketId::new(b)).unwrap().byte())
+            .collect();
+        assert_eq!(meta_before, meta_after, "grow moved existing metadata");
+
+        // Every address under the grown geometry is unique and aligned.
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..big.bucket_count() {
+            let bucket = BucketId::new(b);
+            let z = big.level_config(bucket.level()).z_total();
+            for s in 0..z.max(layout.level_capacity(bucket.level())) {
+                if s < layout.level_capacity(bucket.level()) {
+                    let a = layout.slot_addr(SlotId::new(bucket, s)).unwrap().byte();
+                    assert_eq!(a % BLOCK_BYTES, 0);
+                    assert!(seen.insert(a), "duplicate slot address {a}");
+                }
+            }
+            let m = layout.metadata_addr(bucket).unwrap().byte();
+            assert!(seen.insert(m), "metadata address {m} collides");
+        }
+        assert!(seen.len() as u64 * BLOCK_BYTES <= layout.total_bytes());
+        // Old level 2 (Z 6 → 8) resolves its two appended slots.
+        let l2 = BucketId::from_level_index(Level(2), 1);
+        assert_eq!(layout.level_capacity(Level(2)), 8);
+        assert!(layout.slot_addr(SlotId::new(l2, 7)).is_ok());
+        assert!(layout.slot_addr(SlotId::new(l2, 8)).is_err());
+    }
+
+    #[test]
+    fn grow_requires_exactly_one_more_level() {
+        let (geo, mut l) = layout(4);
+        assert!(l.grow(&geo).is_err(), "same level count rejected");
+        let too_big = TreeGeometry::uniform(6, LevelConfig::new(5, 3).with_overlap(4)).unwrap();
+        assert!(l.grow(&too_big).is_err());
     }
 
     #[test]
