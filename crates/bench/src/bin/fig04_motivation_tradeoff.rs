@@ -42,6 +42,16 @@ fn main() {
         let slowdown = report.exec_cycles as f64 / base_report.exec_cycles as f64;
         table.row(&[&format!("L-{x}")], &[space, slowdown]);
     }
+    // Channel-parallel AB reference point (last cell): where the paper's
+    // full design lands on the same space/slowdown axes.
+    let cp = reports.last().expect("AB-CP cell present");
+    table.row(
+        &["AB-CP (ref)"],
+        &[
+            env.normalized_space(Scheme::AbChannelPar, &base_space).expect("valid config"),
+            cp.exec_cycles as f64 / base_report.exec_cycles as f64,
+        ],
+    );
 
     let mut out = String::from("# Fig. 4 — motivational space/performance trade-off\n\n");
     out.push_str(&format!(

@@ -54,17 +54,21 @@ fn main() {
     // ---- Fig. 8c: timed runs. Warm each scheme once, reuse across
     // benchmarks (the protocol steady state is benchmark-independent).
     let suite: Vec<_> = profiles::spec2017().into_iter().take(bench_count).collect();
-    let mut time = Table::new(
-        "Fig. 8c — normalized execution time",
-        &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
-    );
+    // Per-benchmark tables are one column per evaluated scheme; the header
+    // follows the scheme list so new schemes (AB-CP) join automatically.
+    let schemes = evaluated_schemes();
+    let scheme_labels: Vec<String> = schemes.iter().map(ToString::to_string).collect();
+    let per_scheme_headers: Vec<&str> =
+        std::iter::once("benchmark").chain(scheme_labels.iter().map(String::as_str)).collect();
+    let mut time = Table::new("Fig. 8c — normalized execution time", &per_scheme_headers);
     let mut breakdown = Table::new(
         "Fig. 8c breakdown — bus-cycle share per operation (suite average)",
         &["scheme", "readPath %", "evictPath %", "earlyReshuffle %", "bgEvict %", "metadata %"],
     );
-    let mut bandwidth = Table::new(
-        "Fig. 9 — bandwidth relative to Baseline",
-        &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
+    let mut bandwidth = Table::new("Fig. 9 — bandwidth relative to Baseline", &per_scheme_headers);
+    let mut latency = Table::new(
+        "Fig. 8d (extension) — mean access latency in CPU cycles (online reads + crypto)",
+        &per_scheme_headers,
     );
 
     let executor = CellExecutor::from_env();
@@ -93,15 +97,17 @@ fn main() {
         },
     );
 
-    let mut norm_by_scheme: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    let mut frac_sums = [[0.0f64; 5]; 5];
+    let mut norm_by_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut frac_sums = vec![[0.0f64; 5]; schemes.len()];
     for (p, profile) in suite.iter().enumerate() {
-        let mut exec = [0f64; 5];
-        let mut bw = [0f64; 5];
+        let mut exec = vec![0f64; schemes.len()];
+        let mut bw = vec![0f64; schemes.len()];
+        let mut lat = vec![0f64; schemes.len()];
         for k in 0..warmed.len() {
             let report = &reports[p * warmed.len() + k];
             exec[k] = report.exec_cycles as f64;
             bw[k] = report.bandwidth();
+            lat[k] = report.mean_online_latency();
             for (j, op) in OramOp::ALL.into_iter().enumerate() {
                 frac_sums[k][j] += report.breakdown.fraction(op);
             }
@@ -114,6 +120,7 @@ fn main() {
         }
         time.row(&[profile.name], &normalized);
         bandwidth.row(&[profile.name], &bw.iter().map(|b| b / base_bw).collect::<Vec<_>>());
+        latency.row(&[profile.name], &lat);
     }
     let means: Vec<f64> = norm_by_scheme.iter().map(|v| geometric_mean(v)).collect();
     time.row(&["geomean"], &means);
@@ -141,7 +148,10 @@ fn main() {
     out.push_str(&time.to_markdown());
     out.push('\n');
     out.push_str(&breakdown.to_markdown());
+    out.push('\n');
+    out.push_str(&latency.to_markdown());
     out.push_str("\npaper: DR 0.75x space / +3 % time; NS 0.81x / ~0 %; AB 0.645x / +4 %; IR ~1.0x space / +4 % time.\n");
+    out.push_str("AB-CP is AB with channel-parallel issue + crypto/DRAM overlap: identical space, lower access latency.\n");
     out.push_str("\nCSV (Fig. 8c):\n");
     out.push_str(&time.to_csv());
     emit("fig08_main_results.md", &out);

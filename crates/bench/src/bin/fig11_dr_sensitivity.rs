@@ -48,6 +48,16 @@ fn main() {
             &[space, report.exec_cycles as f64 / base_report.exec_cycles as f64, *ext],
         );
     }
+    // Channel-parallel AB reference point (last cell).
+    let (cp_ext, cp) = cells.last().expect("AB-CP cell present");
+    table.row(
+        &["AB-CP (ref)"],
+        &[
+            env.normalized_space(Scheme::AbChannelPar, &base_space).expect("config"),
+            cp.exec_cycles as f64 / base_report.exec_cycles as f64,
+            *cp_ext,
+        ],
+    );
 
     let mut out = String::from("# Fig. 11 — DR sensitivity analysis\n\n");
     out.push_str(&format!("tree: {} levels (configs named for the L = 24 tree)\n\n", env.levels));

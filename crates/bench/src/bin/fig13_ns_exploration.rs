@@ -46,6 +46,15 @@ fn main() {
             );
         }
     }
+    // Channel-parallel AB reference point (last cell).
+    let cp = reports.last().expect("AB-CP cell present");
+    table.row(
+        &["AB-CP (ref)"],
+        &[
+            env.normalized_space(Scheme::AbChannelPar, &base_space).expect("config"),
+            cp.exec_cycles as f64 / base_report.exec_cycles as f64,
+        ],
+    );
 
     let mut out = String::from("# Fig. 13 — NS design exploration\n\n");
     out.push_str(&format!("tree: {} levels; timed on mcf\n\n", env.levels));

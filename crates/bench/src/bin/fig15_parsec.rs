@@ -41,13 +41,13 @@ fn main() {
         },
     );
 
-    let mut table = Table::new(
-        "Fig. 15 — PARSEC normalized execution time",
-        &["benchmark", "Baseline", "IR", "DR", "NS", "AB"],
-    );
-    let mut norms: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let scheme_labels: Vec<String> = warmed.iter().map(|(s, _)| s.to_string()).collect();
+    let headers: Vec<&str> =
+        std::iter::once("benchmark").chain(scheme_labels.iter().map(String::as_str)).collect();
+    let mut table = Table::new("Fig. 15 — PARSEC normalized execution time", &headers);
+    let mut norms: Vec<Vec<f64>> = vec![Vec::new(); warmed.len()];
     for (p, profile) in suite.iter().enumerate() {
-        let mut exec = [0f64; 5];
+        let mut exec = vec![0f64; warmed.len()];
         for k in 0..warmed.len() {
             exec[k] = reports[p * warmed.len() + k].exec_cycles as f64;
         }

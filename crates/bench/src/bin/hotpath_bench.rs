@@ -82,12 +82,12 @@ fn smoke_env() -> Experiment {
     }
 }
 
-const SMOKE_SCHEMES: [Scheme; 2] = [Scheme::Baseline, Scheme::Ab];
+const SMOKE_SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::Ab, Scheme::AbChannelPar];
 
 /// One measured smoke cell: a warmed driver (served whole from the
 /// full-driver snapshot cache when possible) plus the timed window, both
 /// wall-clocked.
-fn smoke_cell(env: &Experiment, scheme: Scheme) -> (f64, f64, u64) {
+fn smoke_cell(env: &Experiment, scheme: Scheme) -> (f64, f64, u64, u64) {
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
     let t0 = Instant::now();
     let driver = env.warmed_driver(scheme).expect("warm-up ok");
@@ -95,12 +95,13 @@ fn smoke_cell(env: &Experiment, scheme: Scheme) -> (f64, f64, u64) {
     let t1 = Instant::now();
     let report = env.timed_run_on(driver, &profile).expect("timed run ok");
     let timed_ms = t1.elapsed().as_secs_f64() * 1e3;
-    (warm_ms, timed_ms, report.exec_cycles)
+    (warm_ms, timed_ms, report.exec_cycles, report.online_latency_cycles)
 }
 
 /// Runs the full (scheme × iteration) smoke grid on `executor` and returns
-/// per-scheme (best warm ms, best timed ms, best total ms, exec cycles).
-fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f64, u64)> {
+/// per-scheme (best warm ms, best timed ms, best total ms, exec cycles,
+/// summed online latency cycles).
+fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f64, u64, u64)> {
     let env = smoke_env();
     let model = CostModel::from_env();
     let cells: Vec<Scheme> =
@@ -117,7 +118,7 @@ fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f6
             let mut best_timed = f64::MAX;
             let mut best_total = f64::MAX;
             let mut cycles = None;
-            for (_, (warm, timed, exec)) in measured.iter().filter(|(s, _)| *s == scheme) {
+            for (_, (warm, timed, exec, lat)) in measured.iter().filter(|(s, _)| *s == scheme) {
                 best_warm = best_warm.min(*warm);
                 best_timed = best_timed.min(*timed);
                 best_total = best_total.min(warm + timed);
@@ -125,13 +126,18 @@ fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f6
                 // regardless of jobs count or cache state — determinism is
                 // checked on every benchmark run, not only in CI.
                 match cycles {
-                    None => cycles = Some(*exec),
+                    None => cycles = Some((*exec, *lat)),
                     Some(c) => {
-                        assert_eq!(c, *exec, "{scheme}: exec cycles diverged across iterations");
+                        assert_eq!(
+                            c,
+                            (*exec, *lat),
+                            "{scheme}: simulated cycles diverged across iterations"
+                        );
                     }
                 }
             }
-            (scheme, best_warm, best_timed, best_total, cycles.expect("at least one iteration"))
+            let (exec, lat) = cycles.expect("at least one iteration");
+            (scheme, best_warm, best_timed, best_total, exec, lat)
         })
         .collect()
 }
@@ -143,14 +149,19 @@ fn smoke(iters: usize, executor: CellExecutor) {
     let cache_before = persistent_stats(&cache_dir());
     let mut lines = String::from(
         "# hotpath_bench — fig08 smoke workload\n\n\
-         | scheme | warm-up ms (best) | timed ms (best) | total ms (best) | exec cycles |\n\
-         |---|---|---|---|---|\n",
+         | scheme | warm-up ms (best) | timed ms (best) | total ms (best) | exec cycles | \
+         mean access latency (cycles) |\n\
+         |---|---|---|---|---|---|\n",
     );
     let mut grand_total_best = 0.0f64;
-    for (scheme, best_warm, best_timed, best_total, exec_cycles) in smoke_grid(iters, executor) {
+    for (scheme, best_warm, best_timed, best_total, exec_cycles, latency) in
+        smoke_grid(iters, executor)
+    {
         grand_total_best += best_total;
+        let mean_latency = latency as f64 / SMOKE_TIMED as f64;
         lines.push_str(&format!(
-            "| {scheme} | {best_warm:.1} | {best_timed:.1} | {best_total:.1} | {exec_cycles} |\n"
+            "| {scheme} | {best_warm:.1} | {best_timed:.1} | {best_total:.1} | {exec_cycles} | \
+             {mean_latency:.1} |\n"
         ));
         eprintln!(
             "[{scheme}: warm {best_warm:.1} ms, timed {best_timed:.1} ms over {iters} iters]"

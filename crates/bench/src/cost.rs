@@ -128,6 +128,9 @@ impl CostModel {
             Scheme::Dr { .. } => 599,
             Scheme::Ns { .. } => 543,
             Scheme::Ab => 517,
+            // Identical protocol work to AB (the fixtures measure the same
+            // cycle count); only issue order and crypto charging differ.
+            Scheme::AbChannelPar => 517,
             // Not covered by the fixtures: Fig. 4's shrunken Ring does
             // slightly less slot work than plain Ring, and DR+ keeps the
             // full Baseline allocation plus extension slots.

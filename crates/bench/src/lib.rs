@@ -305,7 +305,8 @@ pub fn emit(name: &str, content: &str) {
     }
 }
 
-/// The five evaluated schemes in paper order (Fig. 8's x-axis).
+/// The evaluated schemes in paper order (Fig. 8's x-axis): the paper's
+/// five plus the channel-parallel AB variant appended at the end.
 pub fn evaluated_schemes() -> Vec<Scheme> {
     Scheme::evaluated()
 }

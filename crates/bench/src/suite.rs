@@ -19,29 +19,34 @@
 
 use aboram_core::Scheme;
 
-/// Fig. 4's timed grid: plain Ring ORAM plus every `L-x` shrink.
+/// Fig. 4's timed grid: plain Ring ORAM plus every `L-x` shrink, plus the
+/// channel-parallel AB reference row appended at the end (the sweep rows
+/// index positionally, so the reference must stay last).
 pub fn fig04_schemes() -> Vec<Scheme> {
     std::iter::once(Scheme::PlainRing)
         .chain((1..=7u8).map(|x| Scheme::RingShrink { bottom_levels: x }))
+        .chain(std::iter::once(Scheme::AbChannelPar))
         .collect()
 }
 
 /// Fig. 11's timed grid: Baseline plus DR with 6..1 bottom levels (table
-/// order).
+/// order), plus the channel-parallel AB reference row appended at the end.
 pub fn fig11_schemes() -> Vec<Scheme> {
     std::iter::once(Scheme::Baseline)
         .chain((1..=6u8).rev().map(|bottom| Scheme::Dr { bottom_levels: bottom }))
+        .chain(std::iter::once(Scheme::AbChannelPar))
         .collect()
 }
 
 /// Fig. 13's timed grid: Baseline plus the full `Ly-Sx` sweep in table
-/// order.
+/// order, plus the channel-parallel AB reference row appended at the end.
 pub fn fig13_schemes() -> Vec<Scheme> {
     std::iter::once(Scheme::Baseline)
         .chain(
             (1..=3u8)
                 .flat_map(|y| (1..=3u8).map(move |x| Scheme::Ns { bottom_levels: y, shrink: x })),
         )
+        .chain(std::iter::once(Scheme::AbChannelPar))
         .collect()
 }
 
@@ -87,8 +92,9 @@ mod tests {
                 assert!(plan.contains(&s), "{s} missing from the warm plan");
             }
         }
-        // 5 evaluated + Ring + 7 shrinks + Dr{1..=5} (Dr{6} is DR) + 8 more
-        // Ns combos (L2-S2 is NS) = 26 distinct warm-ups for the suite.
-        assert_eq!(plan.len(), 26);
+        // 6 evaluated (AB-CP joined) + Ring + 7 shrinks + Dr{1..=5} (Dr{6}
+        // is DR) + 8 more Ns combos (L2-S2 is NS) = 27 distinct warm-ups
+        // for the suite.
+        assert_eq!(plan.len(), 27);
     }
 }

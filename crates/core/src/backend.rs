@@ -124,19 +124,28 @@ impl TimedBackend {
         Ok(Self::from_oram(RingOram::new(cfg)?, dram))
     }
 
-    /// Wraps an existing (e.g. pre-warmed) engine.
+    /// Wraps an existing (e.g. pre-warmed) engine. The sink's issue mode
+    /// follows the engine's scheme ([`crate::Scheme::issue_mode`]), so an
+    /// `AbChannelPar` tenant gets the channel-parallel drain end to end.
     pub fn from_oram(oram: RingOram, dram: DramConfig) -> Self {
-        TimedBackend {
-            oram,
-            sink: TimingSink::new(MemorySystem::new(dram)),
-            crypto: CryptoLatency::default(),
-            free_at: 0,
-        }
+        let mut sink = TimingSink::new(MemorySystem::new(dram));
+        sink.set_issue_mode(oram.config().scheme.issue_mode());
+        TimedBackend { oram, sink, crypto: CryptoLatency::default(), free_at: 0 }
     }
 
     fn finish(&mut self, start: u64, data: Option<[u8; BLOCK_BYTES]>) -> BackendReply {
-        let (mut done, online_count) = self.sink.drain_online_reads(start);
-        done += self.crypto.burst_cycles(online_count);
+        let done = match self.sink.issue_mode() {
+            crate::IssueMode::Serial => {
+                let (mut done, online_count) = self.sink.drain_online_reads(start);
+                done += self.crypto.burst_cycles(online_count);
+                done
+            }
+            crate::IssueMode::ChannelParallel => {
+                let mut completions = Vec::new();
+                self.sink.drain_online_read_times(&mut completions);
+                self.crypto.overlapped_exit(&mut completions).max(start)
+            }
+        };
         self.free_at = self.sink.drain_all_requests(done);
         BackendReply { data, done, free_at: self.free_at }
     }

@@ -64,6 +64,33 @@ pub enum Scheme {
         /// How many levels above the leaves extend.
         bottom_levels: u8,
     },
+    /// AB with the channel-parallel issue mode: identical tree geometry and
+    /// protocol behavior to [`Scheme::Ab`], but the timing path groups each
+    /// access's bucket requests by DRAM channel so the twin's channels drain
+    /// one access concurrently, and decryption of already-returned blocks
+    /// overlaps in-flight DRAM occupancy instead of serializing after the
+    /// last reply (DESIGN.md §14). The request *set* per access is
+    /// unchanged — only intra-access issue order — so the access pattern an
+    /// adversary observes is the same as AB's.
+    AbChannelPar,
+}
+
+/// How the timing path hands one access's bucket requests to the DRAM twin.
+///
+/// Functional behavior (block contents, stash, metadata, RNG draws) is
+/// identical in both modes; only the cycle accounting differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IssueMode {
+    /// Requests reach the memory system in protocol program order
+    /// (root-to-leaf, metadata before slots). The crypto burst is charged
+    /// serially after the last online reply.
+    #[default]
+    Serial,
+    /// Requests for one access are buffered and released grouped by DRAM
+    /// channel (stable within each channel), so all channels start draining
+    /// the access at once; decryption of each returned block overlaps the
+    /// remaining in-flight DRAM occupancy.
+    ChannelParallel,
 }
 
 impl Scheme {
@@ -72,14 +99,26 @@ impl Scheme {
     /// The paper's `NS` preset (`L2-S2`).
     pub const NS: Scheme = Scheme::Ns { bottom_levels: 2, shrink: 2 };
 
-    /// The five schemes of the main evaluation (Fig. 8), in paper order.
+    /// The schemes of the main evaluation (Fig. 8), in paper order, plus
+    /// the channel-parallel AB variant appended last.
     pub fn evaluated() -> Vec<Scheme> {
-        vec![Scheme::Baseline, Scheme::Ir, Scheme::DR, Scheme::NS, Scheme::Ab]
+        vec![Scheme::Baseline, Scheme::Ir, Scheme::DR, Scheme::NS, Scheme::Ab, Scheme::AbChannelPar]
     }
 
     /// Whether the scheme uses DR remote allocation anywhere.
     pub fn uses_remote_allocation(&self) -> bool {
-        matches!(self, Scheme::Dr { .. } | Scheme::Ab | Scheme::DrPlus { .. })
+        matches!(
+            self,
+            Scheme::Dr { .. } | Scheme::Ab | Scheme::DrPlus { .. } | Scheme::AbChannelPar
+        )
+    }
+
+    /// How the timing path issues this scheme's bucket requests to DRAM.
+    pub fn issue_mode(&self) -> IssueMode {
+        match self {
+            Scheme::AbChannelPar => IssueMode::ChannelParallel,
+            _ => IssueMode::Serial,
+        }
     }
 }
 
@@ -97,6 +136,7 @@ impl fmt::Display for Scheme {
             Scheme::RingShrink { bottom_levels } => write!(f, "L-{bottom_levels}"),
             Scheme::DrPlus { bottom_levels: 6 } => f.write_str("DR+"),
             Scheme::DrPlus { bottom_levels } => write!(f, "DR+B{bottom_levels}"),
+            Scheme::AbChannelPar => f.write_str("AB-CP"),
         }
     }
 }
@@ -224,8 +264,10 @@ impl OramConfig {
                 let small = LevelConfig::new(Z_REAL, CB_S - shrink).with_overlap(CB_Y);
                 TreeGeometry::uniform(l, cb)?.override_bottom_levels(bottom_levels, small)?
             }
-            Scheme::Ab => {
+            Scheme::Ab | Scheme::AbChannelPar => {
                 // [L18, L20] → offsets 3..=5: S = 1; [L21, L23] → 0..=2: S = 0.
+                // AB-CP shares AB's geometry exactly; it differs only in the
+                // timing path's issue mode.
                 let s1 = LevelConfig::new(Z_REAL, 1)
                     .with_overlap(CB_Y)
                     .with_dynamic_extension(DR_EXTENSION);
@@ -501,8 +543,20 @@ mod tests {
         assert_eq!(Scheme::DR.to_string(), "DR");
         assert_eq!(Scheme::NS.to_string(), "NS");
         assert_eq!(Scheme::Ab.to_string(), "AB");
+        assert_eq!(Scheme::AbChannelPar.to_string(), "AB-CP");
         assert_eq!(Scheme::Ns { bottom_levels: 3, shrink: 1 }.to_string(), "L3-S1");
         assert_eq!(Scheme::RingShrink { bottom_levels: 4 }.to_string(), "L-4");
+    }
+
+    #[test]
+    fn ab_channel_par_shares_ab_geometry_but_not_issue_mode() {
+        let ab = OramConfig::paper_scale(Scheme::Ab).build().unwrap();
+        let cp = OramConfig::paper_scale(Scheme::AbChannelPar).build().unwrap();
+        assert_eq!(ab.geometry().unwrap(), cp.geometry().unwrap());
+        assert_eq!(Scheme::Ab.issue_mode(), IssueMode::Serial);
+        assert_eq!(Scheme::AbChannelPar.issue_mode(), IssueMode::ChannelParallel);
+        assert!(Scheme::AbChannelPar.uses_remote_allocation());
+        assert_eq!(*Scheme::evaluated().last().unwrap(), Scheme::AbChannelPar);
     }
 
     #[test]

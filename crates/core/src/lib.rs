@@ -65,7 +65,7 @@ mod stats;
 pub use backend::{
     BackendReply, StorageBackend, TimedBackend, UntimedBackend, UNTIMED_CYCLES_PER_TRANSFER,
 };
-pub use config::{GrowthConfig, OramConfig, OramConfigBuilder, Scheme};
+pub use config::{GrowthConfig, IssueMode, OramConfig, OramConfigBuilder, Scheme};
 pub use deadq::{DeadQueues, DeadSlot};
 pub use driver::{BreakdownReport, SimulationReport, TimingDriver, DRIVER_SNAPSHOT_VERSION};
 pub use error::OramError;

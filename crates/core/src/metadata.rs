@@ -2,11 +2,15 @@
 //! AB-ORAM's remote-allocation extensions, and the bit-exact layout
 //! accounting behind the §VIII-H storage-overhead claim.
 //!
-//! The per-bucket state is held as fixed-width bitset words (`u16`, one bit
+//! The per-bucket state is held as fixed-width bitset words (`u64`, one bit
 //! per slot): slot validity, real-block occupancy and the slot-status
 //! lifecycle are all single-word masks, so the engine's hot scans — pick a
 //! valid dummy, gather dead slots, census the not-refreshed slots — are
 //! branch-light word operations instead of `Vec` walks (see DESIGN.md §8).
+//! The in-memory words are machine-width (`u64`) so mask combining and
+//! `nth_set_bit` selection compile to single register ops with headroom for
+//! wider buckets; the snapshot codec still stores the occupied low 16 bits
+//! (`own_slots + borrowed ≤ 16`), keeping every `ABSN` byte unchanged.
 
 use crate::segvec::SegmentedVector;
 use crate::BlockId;
@@ -35,11 +39,11 @@ pub struct RealEntry {
     pub ptr: u8,
 }
 
-/// A `u16` with the low `n` bits set — the all-slots mask for an `n`-slot
-/// bucket (`n ≤ 16`).
+/// A `u64` with the low `n` bits set — the all-slots mask for an `n`-slot
+/// bucket (`n < 64`).
 #[inline]
-pub const fn low_mask(n: u8) -> u16 {
-    ((1u32 << n) - 1) as u16
+pub const fn low_mask(n: u8) -> u64 {
+    (1u64 << n) - 1
 }
 
 /// Index of the `n`-th set bit of `mask` (0-based, counting from the least
@@ -52,7 +56,7 @@ pub const fn low_mask(n: u8) -> u16 {
 ///
 /// Debug-asserts that `mask` has more than `n` set bits.
 #[inline]
-pub fn nth_set_bit(mut mask: u16, n: usize) -> u8 {
+pub fn nth_set_bit(mut mask: u64, n: usize) -> u8 {
     debug_assert!((mask.count_ones() as usize) > n, "nth_set_bit({mask:#x}, {n}) out of range");
     for _ in 0..n {
         mask &= mask - 1; // Clear the lowest set bit.
@@ -77,13 +81,13 @@ pub struct BucketMeta {
     /// Real blocks currently mapped here (≤ `Z'`), with their slots.
     entries: Vec<RealEntry>,
     /// Validity bitmap over logical slots.
-    valid: u16,
+    valid: u64,
     /// Occupancy bitmap: bit `i` set iff some entry's `ptr == i`.
-    real: u16,
+    real: u64,
     /// Own slots whose content was consumed by a readPath.
-    dead: u16,
+    dead: u64,
     /// Own slots handed to the DeadQ / a remote bucket this epoch.
-    allocated: u16,
+    allocated: u64,
     /// Number of own physical slots.
     own_slots: u8,
     /// Number of logical slots at the last refresh.
@@ -99,7 +103,7 @@ impl BucketMeta {
     /// Creates metadata for a bucket with `own_slots` physical slots, all
     /// slots initially refreshed and invalid (empty tree).
     pub fn new(own_slots: u8) -> Self {
-        debug_assert!(own_slots <= 16, "slot bitmaps are u16");
+        debug_assert!(own_slots <= 16, "the snapshot codec stores 16-bit masks");
         BucketMeta {
             count: 0,
             dynamic_s: 0,
@@ -157,21 +161,21 @@ impl BucketMeta {
 
     /// Bitmap of valid logical slots.
     #[inline]
-    pub fn valid_mask(&self) -> u16 {
+    pub fn valid_mask(&self) -> u64 {
         self.valid & low_mask(self.logical_slots)
     }
 
     /// Bitmap of valid logical slots that hold no real block — the dummy
     /// candidates a readPath picks from.
     #[inline]
-    pub fn dummy_mask(&self) -> u16 {
+    pub fn dummy_mask(&self) -> u64 {
         self.valid_mask() & !self.real
     }
 
     /// Bitmap of logical slots with no real block mapped (free for a new
     /// entry), regardless of validity.
     #[inline]
-    pub fn unoccupied_mask(&self) -> u16 {
+    pub fn unoccupied_mask(&self) -> u64 {
         !self.real & low_mask(self.logical_slots)
     }
 
@@ -179,7 +183,7 @@ impl BucketMeta {
     #[inline]
     pub fn status(&self, j: u8) -> SlotStatus {
         debug_assert!(j < self.own_slots);
-        let bit = 1u16 << j;
+        let bit = 1u64 << j;
         if self.dead & bit != 0 {
             SlotStatus::Dead
         } else if self.allocated & bit != 0 {
@@ -193,7 +197,7 @@ impl BucketMeta {
     #[inline]
     pub fn set_status(&mut self, j: u8, st: SlotStatus) {
         debug_assert!(j < self.own_slots);
-        let bit = 1u16 << j;
+        let bit = 1u64 << j;
         self.dead &= !bit;
         self.allocated &= !bit;
         match st {
@@ -205,14 +209,14 @@ impl BucketMeta {
 
     /// Bitmap of own slots currently `Dead` — gatherDEADs' scan.
     #[inline]
-    pub fn dead_mask(&self) -> u16 {
+    pub fn dead_mask(&self) -> u64 {
         self.dead
     }
 
     /// Bitmap of own slots not `Refreshed` (dead or allocated) — the
     /// rebuild-time census scan.
     #[inline]
-    pub fn not_refreshed_mask(&self) -> u16 {
+    pub fn not_refreshed_mask(&self) -> u64 {
         self.dead | self.allocated
     }
 
@@ -283,7 +287,7 @@ impl BucketMeta {
     /// bucket immediately afterwards, so the occupancy bitmaps are
     /// reconstructed under the new width.
     pub fn set_own_slots(&mut self, own: u8) {
-        debug_assert!(own <= 16, "slot bitmaps are u16");
+        debug_assert!(own <= 16, "the snapshot codec stores 16-bit masks");
         self.own_slots = own;
         self.logical_slots = own + self.borrowed.len() as u8;
     }
@@ -294,10 +298,12 @@ impl BucketMeta {
             count: self.count,
             dynamic_s: self.dynamic_s,
             entries: self.entries.clone(),
-            valid: self.valid,
-            real: self.real,
-            dead: self.dead,
-            allocated: self.allocated,
+            // own_slots + borrowed ≤ 16, so the live bits fit the codec's
+            // 16-bit words exactly.
+            valid: self.valid as u16,
+            real: self.real as u16,
+            dead: self.dead as u16,
+            allocated: self.allocated as u16,
             own_slots: self.own_slots,
             logical_slots: self.logical_slots,
             borrowed: self.borrowed.clone(),
@@ -316,10 +322,10 @@ impl BucketMeta {
             count: raw.count,
             dynamic_s: raw.dynamic_s,
             entries: raw.entries,
-            valid: raw.valid,
-            real: raw.real,
-            dead: raw.dead,
-            allocated: raw.allocated,
+            valid: u64::from(raw.valid),
+            real: u64::from(raw.real),
+            dead: u64::from(raw.dead),
+            allocated: u64::from(raw.allocated),
             own_slots: raw.own_slots,
             logical_slots: raw.logical_slots,
             borrowed: raw.borrowed,
@@ -535,20 +541,22 @@ mod tests {
 
     #[test]
     fn nth_set_bit_matches_ascending_enumeration() {
-        let mask: u16 = 0b1011_0100_1010_0010;
+        let mask: u64 = 0b1011_0100_1010_0010;
         let ascending: Vec<u8> = (0..16).filter(|&i| mask & (1 << i) != 0).collect();
         for (n, &want) in ascending.iter().enumerate() {
             assert_eq!(nth_set_bit(mask, n), want);
         }
         assert_eq!(nth_set_bit(1, 0), 0);
         assert_eq!(nth_set_bit(0x8000, 0), 15);
+        assert_eq!(nth_set_bit(1u64 << 40, 0), 40, "beyond the old u16 width");
     }
 
     #[test]
     fn low_mask_widths() {
         assert_eq!(low_mask(0), 0);
         assert_eq!(low_mask(3), 0b111);
-        assert_eq!(low_mask(16), u16::MAX);
+        assert_eq!(low_mask(16), u64::from(u16::MAX));
+        assert_eq!(low_mask(40), (1u64 << 40) - 1);
     }
 
     #[test]

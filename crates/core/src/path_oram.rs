@@ -261,12 +261,19 @@ impl PathOram {
         let new_label = self.posmap.remap(block, &mut self.rng);
         let path: Vec<BucketId> = self.geo.path_buckets(label).collect();
 
-        // (1) Read path: all Z slots of every bucket into the stash.
+        // (1) Read path: all Z slots of every bucket into the stash. Slot
+        // addresses are translated one bucket at a time so the layout's
+        // per-level base table is consulted once per bucket.
+        let mut slot_ids = Vec::new();
+        let mut slot_bytes = Vec::new();
         for &bucket in &path {
             let z = self.geo.level_config(bucket.level()).z_total();
-            for s in 0..z {
-                if self.off_chip(bucket) {
-                    let addr = self.layout.slot_addr(aboram_tree::SlotId::new(bucket, s))?;
+            if self.off_chip(bucket) {
+                slot_ids.clear();
+                slot_ids.extend((0..z).map(|s| aboram_tree::SlotId::new(bucket, s)));
+                slot_bytes.clear();
+                self.layout.slot_addrs(&slot_ids, &mut slot_bytes)?;
+                for &addr in &slot_bytes {
                     self.read_slot(addr, bucket.level().0, sink)?;
                 }
             }
@@ -310,9 +317,12 @@ impl PathOram {
                 self.buckets[bucket.raw() as usize].blocks.push((e.block, e.label, e.data));
             }
             let z = self.geo.level_config(level).z_total();
-            for s in 0..z {
-                if self.off_chip(bucket) {
-                    let addr = self.layout.slot_addr(aboram_tree::SlotId::new(bucket, s))?;
+            if self.off_chip(bucket) {
+                slot_ids.clear();
+                slot_ids.extend((0..z).map(|s| aboram_tree::SlotId::new(bucket, s)));
+                slot_bytes.clear();
+                self.layout.slot_addrs(&slot_ids, &mut slot_bytes)?;
+                for &addr in &slot_bytes {
                     self.write_slot(addr, level.0, sink)?;
                 }
             }

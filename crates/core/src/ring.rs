@@ -165,6 +165,8 @@ struct Scratch {
     read_slots: Vec<u8>,
     /// rebuild read phase: batched physical read addresses for one bucket.
     read_addrs: Vec<SlotAddr>,
+    /// rebuild read phase: resolved physical slots for the address batch.
+    phys_slots: Vec<aboram_tree::SlotId>,
     /// rebuild read phase: valid real entries pulled to the stash.
     to_stash: Vec<RealEntry>,
     /// rebuild refill: matching stash block ids (ascending).
@@ -824,6 +826,7 @@ impl RingOram {
         let now = self.stats.online_accesses();
         let mut read_slots = std::mem::take(&mut self.scratch.read_slots);
         let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
+        let mut phys_slots = std::mem::take(&mut self.scratch.phys_slots);
         let mut to_stash = std::mem::take(&mut self.scratch.to_stash);
 
         // Read phase: metadata plus Z' block reads per bucket.
@@ -841,12 +844,13 @@ impl RingOram {
             }
             if self.off_chip(bucket) {
                 // One DRAM command batch per bucket rather than one call
-                // per slot; issue order within the batch is unchanged.
+                // per slot; issue order within the batch is unchanged, and
+                // the batched translation resolves the level's slot base
+                // once for the whole bucket instead of per slot.
                 read_addrs.clear();
-                for &logical in &read_slots {
-                    let phys = self.meta.resolve(bucket, logical);
-                    read_addrs.push(self.slot_addr(phys)?);
-                }
+                phys_slots.clear();
+                phys_slots.extend(read_slots.iter().map(|&l| self.meta.resolve(bucket, l)));
+                self.layout.slot_addrs(&phys_slots, &mut read_addrs)?;
                 sink.read_batch(&read_addrs, op, false);
                 for _ in &read_addrs {
                     telemetry::mem_read(op.phase(), bucket.level().0);
@@ -869,6 +873,7 @@ impl RingOram {
         }
         self.scratch.read_slots = read_slots;
         self.scratch.read_addrs = read_addrs;
+        self.scratch.phys_slots = phys_slots;
         self.scratch.to_stash = to_stash;
         // Occupancy may transiently exceed capacity here: the read phase
         // holds a whole path's blocks in flight. The bound is enforced at
@@ -1549,7 +1554,7 @@ impl RingOram {
             }
             // (3) Real blocks live in distinct *own* slots only; remote
             // slots hold reserved dummies exclusively.
-            let mut occupied = 0u16;
+            let mut occupied = 0u64;
             for e in m.entries() {
                 if e.ptr >= own {
                     return Err(format!(
@@ -1557,10 +1562,10 @@ impl RingOram {
                         e.addr, e.ptr
                     ));
                 }
-                if occupied & (1u16 << e.ptr) != 0 {
+                if occupied & (1u64 << e.ptr) != 0 {
                     return Err(format!("{bucket}: two real blocks share slot {}", e.ptr));
                 }
-                occupied |= 1u16 << e.ptr;
+                occupied |= 1u64 << e.ptr;
             }
             // (4) No slot is simultaneously live and reclaimed: a Dead or
             // Allocated status always pairs with a cleared valid bit.

@@ -9,6 +9,7 @@
 //! * [`TimingSink`] — cycle-level runs backed by the `aboram-dram` memory
 //!   system, producing execution times, breakdowns and bandwidth.
 
+use crate::config::IssueMode;
 use crate::fault::{FaultKind, FaultSite};
 use aboram_dram::{MemOpKind, MemorySystem, Priority, RequestId};
 use aboram_telemetry::Phase;
@@ -203,28 +204,96 @@ impl MemorySink for CountingSink {
 /// before each ORAM access; online reads are collected so the driver can ask
 /// when the access's critical path completed
 /// ([`take_online_reads`](TimingSink::take_online_reads)).
+///
+/// In [`IssueMode::ChannelParallel`] the sink stages each access's requests
+/// instead of enqueueing them immediately, then releases them to the memory
+/// system grouped by DRAM channel and ordered `(bank, row)` within each
+/// channel — the issue order a controller that sees the whole access up
+/// front would choose for row locality. The request *set* is identical to
+/// serial mode (same addresses, kinds, priorities, tags, arrival cycle);
+/// only the intra-access order the per-channel FR-FCFS schedulers break
+/// same-cycle ties in changes, so the externally observable access pattern
+/// is unchanged (DESIGN.md §14).
 #[derive(Debug)]
 pub struct TimingSink {
     memory: MemorySystem,
     now: u64,
     online_reads: Vec<RequestId>,
     all_requests: Vec<RequestId>,
+    issue_mode: IssueMode,
+    staged: Vec<StagedRequest>,
+}
+
+/// A request buffered by the channel-parallel issue mode, with its decoded
+/// location as the grouping key.
+#[derive(Debug, Clone, Copy)]
+struct StagedRequest {
+    kind: MemOpKind,
+    addr: u64,
+    priority: Priority,
+    tag: u32,
+    online: bool,
+    /// `(channel, bank, row)` sort key, precomputed at staging time.
+    key: (u8, u16, u64),
 }
 
 impl TimingSink {
-    /// Wraps a memory system.
+    /// Wraps a memory system (serial issue mode).
     pub fn new(memory: MemorySystem) -> Self {
-        TimingSink { memory, now: 0, online_reads: Vec::new(), all_requests: Vec::new() }
+        TimingSink {
+            memory,
+            now: 0,
+            online_reads: Vec::new(),
+            all_requests: Vec::new(),
+            issue_mode: IssueMode::Serial,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Sets how requests are handed to the memory system. Switching modes
+    /// requires no other state change; staged requests (if any) are flushed
+    /// first so no request is ever reordered across a mode switch.
+    pub fn set_issue_mode(&mut self, mode: IssueMode) {
+        self.flush_staged();
+        self.issue_mode = mode;
+    }
+
+    /// The issue mode in force.
+    pub fn issue_mode(&self) -> IssueMode {
+        self.issue_mode
+    }
+
+    /// Releases staged requests to the memory system, grouped by channel
+    /// and `(bank, row)`-ordered within each channel. The sort is stable,
+    /// so same-location requests keep their program order.
+    fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.sort_by_key(|r| r.key);
+        for r in staged.drain(..) {
+            let id = self.memory.enqueue(r.kind, r.addr, r.priority, r.tag, self.now);
+            if r.online && r.kind == MemOpKind::Read {
+                self.online_reads.push(id);
+            }
+            self.all_requests.push(id);
+        }
+        self.staged = staged;
     }
 
     /// Sets the arrival timestamp for subsequent requests. Timestamps must
-    /// be non-decreasing (the memory model's contract).
+    /// be non-decreasing (the memory model's contract). Staged requests
+    /// belong to the access that issued them, so they flush before the
+    /// clock moves.
     pub fn set_now(&mut self, cycle: u64) {
+        self.flush_staged();
         self.now = cycle;
     }
 
     /// Drains the identifiers of online reads issued since the last call.
     pub fn take_online_reads(&mut self) -> Vec<RequestId> {
+        self.flush_staged();
         std::mem::take(&mut self.online_reads)
     }
 
@@ -232,6 +301,7 @@ impl TimingSink {
     /// (the ORAM controller serializes on these: the next access begins
     /// after the previous one's maintenance traffic completes).
     pub fn take_all_requests(&mut self) -> Vec<RequestId> {
+        self.flush_staged();
         std::mem::take(&mut self.all_requests)
     }
 
@@ -246,6 +316,7 @@ impl TimingSink {
     /// followed by per-id [`completion_time`](TimingSink::completion_time).
     /// `floor` seeds the maximum (the access's start cycle).
     pub fn drain_online_reads(&mut self, floor: u64) -> (u64, u64) {
+        self.flush_staged();
         let mut done = floor;
         for i in 0..self.online_reads.len() {
             done = done.max(self.memory.completion_time(self.online_reads[i]));
@@ -255,12 +326,27 @@ impl TimingSink {
         (done, count)
     }
 
+    /// Schedules every pending online read and appends each one's completion
+    /// cycle to `into` (unordered), clearing the pending list. The
+    /// channel-parallel drain: callers fold the individual completions
+    /// through [`aboram_crypto::CryptoLatency::overlapped_exit`] instead of
+    /// serializing the crypto burst after the latest one.
+    pub fn drain_online_read_times(&mut self, into: &mut Vec<u64>) {
+        self.flush_staged();
+        into.clear();
+        for i in 0..self.online_reads.len() {
+            into.push(self.memory.completion_time(self.online_reads[i]));
+        }
+        self.online_reads.clear();
+    }
+
     /// Schedules *every* request issued since the last drain, clears the
     /// pending list and returns the latest completion cycle (at least
     /// `floor`) — the allocation-free equivalent of
     /// [`take_all_requests`](TimingSink::take_all_requests) followed by
     /// per-id completion lookups.
     pub fn drain_all_requests(&mut self, floor: u64) -> u64 {
+        self.flush_staged();
         let mut done = floor;
         for i in 0..self.all_requests.len() {
             done = done.max(self.memory.completion_time(self.all_requests[i]));
@@ -275,9 +361,9 @@ impl TimingSink {
     }
 
     /// Whether every issued request has been drained (no ids pending a
-    /// completion-time query). Snapshots require this.
+    /// completion-time query, nothing staged). Snapshots require this.
     pub fn is_idle(&self) -> bool {
-        self.online_reads.is_empty() && self.all_requests.is_empty()
+        self.online_reads.is_empty() && self.all_requests.is_empty() && self.staged.is_empty()
     }
 
     /// Access to the underlying memory system (stats, drain).
@@ -291,47 +377,87 @@ impl TimingSink {
     }
 }
 
+impl TimingSink {
+    fn stage(&mut self, kind: MemOpKind, addr: u64, priority: Priority, tag: u32, online: bool) {
+        let d = self.memory.decode_addr(addr);
+        self.staged.push(StagedRequest {
+            kind,
+            addr,
+            priority,
+            tag,
+            online,
+            key: (d.channel, d.bank, d.row),
+        });
+    }
+
+    fn issue(&mut self, kind: MemOpKind, addr: u64, priority: Priority, tag: u32, online: bool) {
+        match self.issue_mode {
+            IssueMode::Serial => {
+                let id = self.memory.enqueue(kind, addr, priority, tag, self.now);
+                if online && kind == MemOpKind::Read {
+                    self.online_reads.push(id);
+                }
+                self.all_requests.push(id);
+            }
+            IssueMode::ChannelParallel => self.stage(kind, addr, priority, tag, online),
+        }
+    }
+}
+
 impl MemorySink for TimingSink {
     fn read(&mut self, addr: SlotAddr, op: OramOp, online: bool) {
         let pri = if online { Priority::Online } else { Priority::Offline };
-        let id = self.memory.enqueue(MemOpKind::Read, addr.byte(), pri, op.tag(), self.now);
-        if online {
-            self.online_reads.push(id);
-        }
-        self.all_requests.push(id);
+        self.issue(MemOpKind::Read, addr.byte(), pri, op.tag(), online);
     }
 
     fn write(&mut self, addr: SlotAddr, op: OramOp, online: bool) {
         let pri = if online { Priority::Online } else { Priority::Offline };
-        let id = self.memory.enqueue(MemOpKind::Write, addr.byte(), pri, op.tag(), self.now);
-        self.all_requests.push(id);
+        self.issue(MemOpKind::Write, addr.byte(), pri, op.tag(), online);
     }
 
     fn read_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
         let pri = if online { Priority::Online } else { Priority::Offline };
-        let ids = self.memory.enqueue_batch(
-            MemOpKind::Read,
-            addrs.iter().map(|a| a.byte()),
-            pri,
-            op.tag(),
-            self.now,
-        );
-        if online {
-            self.online_reads.extend(ids.clone());
+        match self.issue_mode {
+            IssueMode::Serial => {
+                let ids = self.memory.enqueue_batch(
+                    MemOpKind::Read,
+                    addrs.iter().map(|a| a.byte()),
+                    pri,
+                    op.tag(),
+                    self.now,
+                );
+                if online {
+                    self.online_reads.extend(ids.clone());
+                }
+                self.all_requests.extend(ids);
+            }
+            IssueMode::ChannelParallel => {
+                for &addr in addrs {
+                    self.stage(MemOpKind::Read, addr.byte(), pri, op.tag(), online);
+                }
+            }
         }
-        self.all_requests.extend(ids);
     }
 
     fn write_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
         let pri = if online { Priority::Online } else { Priority::Offline };
-        let ids = self.memory.enqueue_batch(
-            MemOpKind::Write,
-            addrs.iter().map(|a| a.byte()),
-            pri,
-            op.tag(),
-            self.now,
-        );
-        self.all_requests.extend(ids);
+        match self.issue_mode {
+            IssueMode::Serial => {
+                let ids = self.memory.enqueue_batch(
+                    MemOpKind::Write,
+                    addrs.iter().map(|a| a.byte()),
+                    pri,
+                    op.tag(),
+                    self.now,
+                );
+                self.all_requests.extend(ids);
+            }
+            IssueMode::ChannelParallel => {
+                for &addr in addrs {
+                    self.stage(MemOpKind::Write, addr.byte(), pri, op.tag(), online);
+                }
+            }
+        }
     }
 }
 
@@ -367,6 +493,51 @@ mod tests {
         assert!(s.take_online_reads().is_empty(), "drained");
         s.memory_mut().drain();
         assert_eq!(s.memory().stats().total_requests(), 3);
+    }
+
+    #[test]
+    fn channel_parallel_staging_preserves_the_request_set() {
+        let mk = || TimingSink::new(MemorySystem::new(DramConfig::default()));
+        let addrs: Vec<SlotAddr> = (0..16).map(|i| SlotAddr(i * 4096 + 64)).collect();
+
+        let mut serial = mk();
+        let mut par = mk();
+        par.set_issue_mode(IssueMode::ChannelParallel);
+        for s in [&mut serial, &mut par] {
+            s.set_now(10);
+            for &a in &addrs {
+                s.read(a, OramOp::Metadata, true);
+            }
+            s.read_batch(&addrs, OramOp::ReadPath, true);
+            s.write_batch(&addrs, OramOp::EvictPath, false);
+        }
+        assert!(!par.is_idle(), "requests stay staged until a drain");
+
+        let (serial_done, serial_n) = serial.drain_online_reads(10);
+        let mut times = Vec::new();
+        par.drain_online_read_times(&mut times);
+        assert_eq!(times.len() as u64, serial_n);
+        // The latest online completion exists in both modes (values may
+        // differ; the request set may be serviced in a different order).
+        assert!(times.iter().max().copied().unwrap_or(0) > 0 && serial_done > 10);
+
+        serial.drain_all_requests(serial_done);
+        par.drain_all_requests(10);
+        assert!(serial.is_idle() && par.is_idle());
+        for s in [&mut serial, &mut par] {
+            s.memory_mut().drain();
+        }
+        let (a, b) = (serial.memory().stats(), par.memory().stats());
+        assert_eq!(a.total_requests(), b.total_requests());
+        assert_eq!(a.reads(), b.reads());
+        assert_eq!(a.writes(), b.writes());
+        for op in OramOp::ALL {
+            assert_eq!(a.requests_for_tag(op.tag()), b.requests_for_tag(op.tag()));
+        }
+        assert_eq!(
+            a.requests_by_channel().iter().sum::<u64>(),
+            b.requests_by_channel().iter().sum::<u64>(),
+        );
     }
 
     #[test]

@@ -90,6 +90,7 @@ fn encode_scheme(w: &mut Writer, scheme: Scheme) {
         Scheme::Ab => w.bytes(&[5, 0, 0]),
         Scheme::RingShrink { bottom_levels } => w.bytes(&[6, bottom_levels, 0]),
         Scheme::DrPlus { bottom_levels } => w.bytes(&[7, bottom_levels, 0]),
+        Scheme::AbChannelPar => w.bytes(&[8, 0, 0]),
     }
 }
 

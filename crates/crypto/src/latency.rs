@@ -55,6 +55,37 @@ impl CryptoLatency {
             self.pipeline_fill + (blocks - 1) * self.per_block
         }
     }
+
+    /// Cycle at which the last block of a burst exits the decrypt/verify
+    /// pipeline when each block enters as soon as DRAM returns it, instead
+    /// of the whole burst waiting for the final reply.
+    ///
+    /// `completions` holds each block's DRAM completion cycle; it is sorted
+    /// in place (the pipeline consumes blocks in arrival order). A block
+    /// arriving at `c` can exit no earlier than `c + pipeline_fill`, and the
+    /// single pipeline retires at most one block per `per_block` cycles, so
+    ///
+    /// ```text
+    /// exit_0 = c_0 + pipeline_fill
+    /// exit_i = max(c_i + pipeline_fill, exit_{i-1} + per_block)
+    /// ```
+    ///
+    /// When every completion is equal (no DRAM spread to hide behind) this
+    /// degenerates exactly to `last + burst_cycles(n)` — the serialized
+    /// charge — and it can never exceed it.
+    pub fn overlapped_exit(&self, completions: &mut [u64]) -> u64 {
+        let Some((&first, rest)) = ({
+            completions.sort_unstable();
+            completions.split_first()
+        }) else {
+            return 0;
+        };
+        let mut exit = first + self.pipeline_fill;
+        for &c in rest {
+            exit = (exit + self.per_block).max(c + self.pipeline_fill);
+        }
+        exit
+    }
 }
 
 impl Default for CryptoLatency {
@@ -80,5 +111,29 @@ mod tests {
         let lat = CryptoLatency::new(40, 2);
         assert_eq!(lat.burst_cycles(1), 40);
         assert_eq!(lat.burst_cycles(2), 42);
+    }
+
+    #[test]
+    fn overlapped_exit_degenerates_to_serial_on_equal_completions() {
+        let lat = CryptoLatency::new(40, 2);
+        let mut same = [500u64; 14];
+        assert_eq!(lat.overlapped_exit(&mut same), 500 + lat.burst_cycles(14));
+        assert_eq!(lat.overlapped_exit(&mut []), 0);
+        assert_eq!(lat.overlapped_exit(&mut [7]), 47);
+    }
+
+    #[test]
+    fn overlapped_exit_hides_fill_behind_dram_spread() {
+        let lat = CryptoLatency::new(40, 2);
+        // Completions spread wider than the pipeline's drain rate: every
+        // block but the last finishes decrypting before the last reply, so
+        // only the final block's fill remains exposed.
+        let mut spread = [100, 200, 300, 400];
+        assert_eq!(lat.overlapped_exit(&mut spread), 440);
+        // Never worse than serializing after the last reply, whatever the
+        // arrival pattern (input order irrelevant — sorted internally).
+        let mut jumbled = [390, 100, 385, 380];
+        let serial = 390 + lat.burst_cycles(4);
+        assert!(lat.overlapped_exit(&mut jumbled) <= serial);
     }
 }

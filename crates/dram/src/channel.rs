@@ -501,7 +501,16 @@ impl Channel {
         // meantime become eligible for the next decision.
         self.time = self.time.max(data_start.saturating_sub(self.t.cas));
 
-        stats.record(p.kind, p.priority, p.tag, outcome, self.t.burst, completion);
+        stats.record(
+            p.kind,
+            p.priority,
+            p.tag,
+            outcome,
+            self.t.burst,
+            completion,
+            p.addr.channel,
+            p.addr.bank,
+        );
         completion
     }
 }

@@ -118,10 +118,10 @@ mod tests {
         let mut s = MemoryStats::new(1);
         for i in 0..reads {
             let outcome = if i < hits { RowBufferOutcome::Hit } else { RowBufferOutcome::Miss };
-            s.record(MemOpKind::Read, Priority::Online, 0, outcome, 16, 100);
+            s.record(MemOpKind::Read, Priority::Online, 0, outcome, 16, 100, 0, 0);
         }
         for _ in 0..writes {
-            s.record(MemOpKind::Write, Priority::Offline, 0, RowBufferOutcome::Hit, 16, 100);
+            s.record(MemOpKind::Write, Priority::Offline, 0, RowBufferOutcome::Hit, 16, 100, 0, 0);
         }
         s
     }

@@ -34,6 +34,12 @@ pub struct MemoryStats {
     stall_events: u64,
     /// Cycles requests spent pushed past injected stall windows.
     stall_cycles: u64,
+    /// Requests serviced per channel (index = channel id; grown lazily).
+    requests_by_channel: Vec<u64>,
+    /// Data-bus busy cycles per channel (index = channel id; grown lazily).
+    bus_cycles_by_channel: Vec<u64>,
+    /// Requests serviced per bank (index = global bank id; grown lazily).
+    requests_by_bank: Vec<u64>,
 }
 
 impl MemoryStats {
@@ -52,7 +58,17 @@ impl MemoryStats {
             last_completion: 0,
             stall_events: 0,
             stall_cycles: 0,
+            requests_by_channel: Vec::new(),
+            bus_cycles_by_channel: Vec::new(),
+            requests_by_bank: Vec::new(),
         }
+    }
+
+    fn bump(vec: &mut Vec<u64>, index: usize, amount: u64) {
+        if vec.len() <= index {
+            vec.resize(index + 1, 0);
+        }
+        vec[index] += amount;
     }
 
     pub(crate) fn record_stall(&mut self, delay_cycles: u64) {
@@ -62,6 +78,7 @@ impl MemoryStats {
         aboram_telemetry::counter_add("dram.stall_cycles", delay_cycles);
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
         kind: MemOpKind,
@@ -70,6 +87,8 @@ impl MemoryStats {
         outcome: RowBufferOutcome,
         burst_cycles: u64,
         completion: u64,
+        channel: u8,
+        bank: u16,
     ) {
         match kind {
             MemOpKind::Read => self.reads += 1,
@@ -92,6 +111,9 @@ impl MemoryStats {
             self.bus_cycles_by_tag[t] += burst_cycles;
             self.requests_by_tag[t] += 1;
         }
+        Self::bump(&mut self.requests_by_channel, usize::from(channel), 1);
+        Self::bump(&mut self.bus_cycles_by_channel, usize::from(channel), burst_cycles);
+        Self::bump(&mut self.requests_by_bank, usize::from(bank), 1);
         self.last_completion = self.last_completion.max(completion);
     }
 
@@ -113,6 +135,15 @@ impl MemoryStats {
         self.last_completion = self.last_completion.max(other.last_completion);
         self.stall_events += other.stall_events;
         self.stall_cycles += other.stall_cycles;
+        for (i, &v) in other.requests_by_channel.iter().enumerate() {
+            Self::bump(&mut self.requests_by_channel, i, v);
+        }
+        for (i, &v) in other.bus_cycles_by_channel.iter().enumerate() {
+            Self::bump(&mut self.bus_cycles_by_channel, i, v);
+        }
+        for (i, &v) in other.requests_by_bank.iter().enumerate() {
+            Self::bump(&mut self.requests_by_bank, i, v);
+        }
     }
 
     /// Total requests serviced.
@@ -177,6 +208,23 @@ impl MemoryStats {
         self.last_completion
     }
 
+    /// Requests serviced per channel, indexed by channel id. Indices past
+    /// the last channel that serviced anything are absent.
+    pub fn requests_by_channel(&self) -> &[u64] {
+        &self.requests_by_channel
+    }
+
+    /// Data-bus busy cycles per channel, indexed by channel id.
+    pub fn bus_cycles_by_channel(&self) -> &[u64] {
+        &self.bus_cycles_by_channel
+    }
+
+    /// Requests serviced per bank, indexed by the bank id within the
+    /// decoded address (uniform across channels).
+    pub fn requests_by_bank(&self) -> &[u64] {
+        &self.requests_by_bank
+    }
+
     /// Requests that were delayed by an injected channel-stall fault.
     pub fn stall_events(&self) -> u64 {
         self.stall_events
@@ -203,7 +251,13 @@ impl MemoryStats {
         ] {
             w.u64(v);
         }
-        for tags in [&self.bus_cycles_by_tag, &self.requests_by_tag] {
+        for tags in [
+            &self.bus_cycles_by_tag,
+            &self.requests_by_tag,
+            &self.requests_by_channel,
+            &self.bus_cycles_by_channel,
+            &self.requests_by_bank,
+        ] {
             w.u64(tags.len() as u64);
             for &v in tags.iter() {
                 w.u64(v);
@@ -217,7 +271,7 @@ impl MemoryStats {
         for v in &mut head {
             *v = r.u64()?;
         }
-        let mut tag_vecs = [Vec::new(), Vec::new()];
+        let mut tag_vecs = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for tags in &mut tag_vecs {
             let n = r.len_prefix(8)?;
             tags.reserve(n);
@@ -225,7 +279,8 @@ impl MemoryStats {
                 tags.push(r.u64()?);
             }
         }
-        let [bus_cycles_by_tag, requests_by_tag] = tag_vecs;
+        let [bus_cycles_by_tag, requests_by_tag, requests_by_channel, bus_cycles_by_channel, requests_by_bank] =
+            tag_vecs;
         Ok(MemoryStats {
             reads: head[0],
             writes: head[1],
@@ -239,6 +294,9 @@ impl MemoryStats {
             last_completion: head[7],
             stall_events: head[8],
             stall_cycles: head[9],
+            requests_by_channel,
+            bus_cycles_by_channel,
+            requests_by_bank,
         })
     }
 
@@ -259,8 +317,8 @@ mod tests {
     #[test]
     fn record_and_query() {
         let mut s = MemoryStats::new(4);
-        s.record(MemOpKind::Read, Priority::Online, 1, RowBufferOutcome::Hit, 16, 100);
-        s.record(MemOpKind::Write, Priority::Offline, 1, RowBufferOutcome::Conflict, 16, 250);
+        s.record(MemOpKind::Read, Priority::Online, 1, RowBufferOutcome::Hit, 16, 100, 0, 2);
+        s.record(MemOpKind::Write, Priority::Offline, 1, RowBufferOutcome::Conflict, 16, 250, 1, 2);
         assert_eq!(s.total_requests(), 2);
         assert_eq!(s.reads(), 1);
         assert_eq!(s.writes(), 1);
@@ -276,7 +334,7 @@ mod tests {
     #[test]
     fn out_of_range_tag_is_ignored_not_panicking() {
         let mut s = MemoryStats::new(1);
-        s.record(MemOpKind::Read, Priority::Online, 9, RowBufferOutcome::Miss, 16, 10);
+        s.record(MemOpKind::Read, Priority::Online, 9, RowBufferOutcome::Miss, 16, 10, 0, 0);
         assert_eq!(s.bus_cycles_for_tag(9), 0);
         assert_eq!(s.total_requests(), 1);
     }
@@ -285,8 +343,8 @@ mod tests {
     fn merge_sums() {
         let mut a = MemoryStats::new(2);
         let mut b = MemoryStats::new(2);
-        a.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 50);
-        b.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 80);
+        a.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 50, 0, 0);
+        b.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 80, 3, 7);
         a.merge(&b);
         assert_eq!(a.total_requests(), 2);
         assert_eq!(a.bus_cycles_for_tag(0), 32);
@@ -297,7 +355,7 @@ mod tests {
     fn bandwidth_math() {
         let mut s = MemoryStats::new(1);
         for _ in 0..10 {
-            s.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 160);
+            s.record(MemOpKind::Read, Priority::Online, 0, RowBufferOutcome::Hit, 16, 160, 0, 0);
         }
         assert!((s.bandwidth(160) - 4.0).abs() < 1e-12);
         assert_eq!(s.bandwidth(0), 0.0);

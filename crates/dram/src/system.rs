@@ -2,7 +2,7 @@
 
 use crate::channel::{Channel, MemOpKind, Priority, RequestId};
 use crate::config::{AddressMapping, DramConfig, PagePolicy};
-use crate::mapping::decode;
+use crate::mapping::{decode, DecodedAddr};
 use crate::stats::MemoryStats;
 use aboram_stats::{fnv1a64, ByteReader, ByteWriter, CodecError};
 
@@ -94,6 +94,13 @@ impl MemorySystem {
     /// The configuration in force.
     pub fn config(&self) -> &DramConfig {
         &self.cfg
+    }
+
+    /// The decoded location a request at physical `addr` would route to.
+    /// Lets issue layers group one access's requests by channel (and order
+    /// them for row locality) without enqueueing anything.
+    pub fn decode_addr(&self, addr: u64) -> DecodedAddr {
+        decode(&self.cfg, addr)
     }
 
     /// Enqueues a 64-byte request at physical `addr`, arriving at CPU cycle
@@ -317,7 +324,9 @@ impl MemorySystem {
 
 /// Memory-system snapshot format version. Bump whenever the simulated
 /// timing behavior changes, so stale cached state is never replayed.
-pub const DRAM_SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: [`MemoryStats`] grew per-channel and per-bank occupancy vectors.
+pub const DRAM_SNAPSHOT_VERSION: u32 = 2;
 
 /// Magic bytes opening every memory-system snapshot stream.
 const DRAM_SNAPSHOT_MAGIC: [u8; 4] = *b"ABSM";

@@ -346,6 +346,23 @@ pub fn fold_flamegraph(runs: &[RunTrace]) -> String {
         let phase = Phase::ALL.get(phase).map_or("unknown", |p| p.name());
         out.push_str(&format!("{scheme};L{level};{phase} {cycles}\n"));
     }
+    // The overlapped crypto window is not bus time, so it has no per-level
+    // cell above: runs that overlapped decryption with in-flight DRAM
+    // occupancy (channel-parallel issue mode) contribute one synthetic
+    // stack per scheme, weighted by the critical-path latency the overlap
+    // hid.
+    let mut overlap: BTreeMap<String, u64> = BTreeMap::new();
+    for run in runs {
+        if let Some(&saved) = run.counters.get("crypto.overlap_saved_cycles") {
+            if saved > 0 {
+                let scheme = if run.scheme.is_empty() { "?" } else { &run.scheme };
+                *overlap.entry(scheme.to_string()).or_default() += saved;
+            }
+        }
+    }
+    for (scheme, cycles) in overlap {
+        out.push_str(&format!("{scheme};crypto;overlap-hidden {cycles}\n"));
+    }
     out
 }
 
@@ -444,5 +461,22 @@ mod tests {
         let runs = parse_trace(trace.as_bytes()).expect("io ok");
         assert_eq!(fold_flamegraph(&runs), "ab;L1;readPath 48\n");
         assert_eq!(fold_flamegraph(&[]), "", "no runs fold to an empty file");
+    }
+
+    #[test]
+    fn flamegraph_adds_a_stack_for_the_overlapped_crypto_window() {
+        let trace = "\
+{\"t\":\"run\",\"scheme\":\"AB-CP\",\"levels\":4,\"burst\":16}
+{\"t\":\"counts\",\"phase\":\"readPath\",\"level\":1,\"reads\":1,\"writes\":0}
+{\"t\":\"ctr\",\"name\":\"crypto.overlap_saved_cycles\",\"value\":130}
+{\"t\":\"ctr\",\"name\":\"crypto.overlapped_blocks\",\"value\":14}
+{\"t\":\"sum\",\"records\":1,\"exec\":10,\"bus\":16}
+";
+        let runs = parse_trace(trace.as_bytes()).expect("io ok");
+        assert_eq!(
+            fold_flamegraph(&runs),
+            "AB-CP;L1;readPath 16\nAB-CP;crypto;overlap-hidden 130\n",
+            "saved-cycle counter folds into its own stack row"
+        );
     }
 }

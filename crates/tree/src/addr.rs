@@ -255,6 +255,57 @@ impl PhysicalLayout {
         Err(GeometryError::SlotOutOfRange { slot: slot.index, z_total: self.level_z_cap[l] })
     }
 
+    /// Batched [`slot_addr`](Self::slot_addr): appends the address of every
+    /// slot in `slots` to `out`, resolving the per-level slot base, stride,
+    /// and capacity once per level *run* instead of once per slot. Path work
+    /// issues its reads bucket by bucket, so a batch is almost always a
+    /// single run and the level tables are touched once per bucket rather
+    /// than once per block. The addresses produced are exactly those the
+    /// scalar form returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`slot_addr`](Self::slot_addr); on error
+    /// `out` keeps the addresses appended before the offending slot.
+    pub fn slot_addrs(
+        &self,
+        slots: &[SlotId],
+        out: &mut Vec<SlotAddr>,
+    ) -> Result<(), GeometryError> {
+        out.reserve(slots.len());
+        // (level, slot base, stride, contiguous Z) of the previous slot.
+        let mut cached: Option<(u8, u64, u64, u8)> = None;
+        for &slot in slots {
+            let raw = slot.bucket.raw();
+            if raw >= self.bucket_count {
+                return Err(GeometryError::BucketOutOfRange {
+                    bucket: raw,
+                    buckets: self.bucket_count,
+                });
+            }
+            let l = slot.bucket.level().0;
+            let (base, stride, z) = match cached {
+                Some((cl, base, stride, z)) if cl == l => (base, stride, z),
+                _ => {
+                    let i = l as usize;
+                    let entry = (self.level_slot_base[i], self.level_stride[i], self.level_z[i]);
+                    cached = Some((l, entry.0, entry.1, entry.2));
+                    entry
+                }
+            };
+            if slot.index < z {
+                out.push(SlotAddr(
+                    base.wrapping_add(raw.wrapping_mul(stride))
+                        .wrapping_add(u64::from(slot.index) * BLOCK_BYTES),
+                ));
+            } else {
+                // Growth extents take the scalar slow path.
+                out.push(self.slot_addr(slot)?);
+            }
+        }
+        Ok(())
+    }
+
     /// Byte address of a bucket's metadata block.
     ///
     /// # Errors
@@ -343,6 +394,46 @@ mod tests {
         let leaf0 = BucketId::from_level_index(Level(2), 0);
         let addr = layout.slot_addr(SlotId::new(leaf0, 0)).unwrap();
         assert_eq!(addr.byte(), 24 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn batched_slot_addrs_match_scalar_everywhere() {
+        // Non-uniform tree plus one growth epoch: the batch helper must
+        // agree with the scalar form on contiguous levels, across level
+        // boundaries, on scattered (remote-style) inputs, and inside
+        // growth extents.
+        let small = TreeGeometry::uniform(4, LevelConfig::new(5, 3))
+            .unwrap()
+            .override_bottom_levels(2, LevelConfig::new(5, 1))
+            .unwrap();
+        let big = TreeGeometry::uniform(5, LevelConfig::new(5, 3))
+            .unwrap()
+            .override_bottom_levels(2, LevelConfig::new(5, 1))
+            .unwrap();
+        let mut layout = PhysicalLayout::new(&small);
+        layout.grow(&big).unwrap();
+
+        let mut slots = Vec::new();
+        for b in 0..big.bucket_count() {
+            let bucket = BucketId::new(b);
+            for s in 0..layout.level_capacity(bucket.level()) {
+                slots.push(SlotId::new(bucket, s));
+            }
+        }
+        // A scattered tail re-visits earlier buckets out of level order.
+        let scatter: Vec<SlotId> = slots.iter().rev().step_by(7).copied().collect();
+        slots.extend(scatter);
+
+        let mut batched = Vec::new();
+        layout.slot_addrs(&slots, &mut batched).unwrap();
+        let scalar: Vec<SlotAddr> = slots.iter().map(|&s| layout.slot_addr(s).unwrap()).collect();
+        assert_eq!(batched, scalar);
+
+        // Errors match the scalar form and preserve the prefix.
+        let bad = [slots[0], SlotId::new(BucketId::new(big.bucket_count()), 0)];
+        let mut out = Vec::new();
+        assert!(layout.slot_addrs(&bad, &mut out).is_err());
+        assert_eq!(out, vec![scalar[0]]);
     }
 
     #[test]

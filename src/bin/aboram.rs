@@ -74,7 +74,7 @@ const USAGE: &str = "usage:
   aboram serve-demo [--scheme S] [--levels L] [--requests N] [--batch B]
                     [--period P] [--timed]
 
-schemes: ring | baseline | ir | dr | ns | ab | dr+";
+schemes: ring | baseline | ir | dr | ns | ab | abcp | dr+";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
@@ -88,6 +88,7 @@ fn parse_scheme(s: &str) -> Result<Scheme, String> {
         "dr" => Scheme::DR,
         "ns" => Scheme::NS,
         "ab" => Scheme::Ab,
+        "abcp" | "ab-cp" => Scheme::AbChannelPar,
         "dr+" | "drplus" => Scheme::DrPlus { bottom_levels: 6 },
         other => return Err(format!("unknown scheme `{other}`")),
     })

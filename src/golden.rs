@@ -40,9 +40,10 @@ pub const GOLDEN_RECORDS: usize = 600;
 /// RNG seed shared by the engine, warm-up and trace generator.
 pub const GOLDEN_SEED: u64 = 0x601D_7ACE;
 
-/// The six golden schemes: plain Ring ORAM, the CB evaluation baseline, and
-/// the paper's four evaluated optimizations.
-pub fn cases() -> [(&'static str, Scheme); 6] {
+/// The seven golden schemes: plain Ring ORAM, the CB evaluation baseline,
+/// the paper's four evaluated optimizations, and the channel-parallel AB
+/// variant (same protocol as AB, overlapped timing path).
+pub fn cases() -> [(&'static str, Scheme); 7] {
     [
         ("ring", Scheme::PlainRing),
         ("baseline", Scheme::Baseline),
@@ -50,6 +51,7 @@ pub fn cases() -> [(&'static str, Scheme); 6] {
         ("dr", Scheme::DR),
         ("ns", Scheme::NS),
         ("ab", Scheme::Ab),
+        ("abcp", Scheme::AbChannelPar),
     ]
 }
 
@@ -212,6 +214,7 @@ mod tests {
             evict_paths: 7,
             early_reshuffles: 8,
             stash_peak: 9,
+            online_latency_cycles: 10,
             recovery: crate::stats::RecoveryStats::new(),
             health: crate::stats::HealthState::Healthy,
         };
