@@ -91,7 +91,7 @@ fn main() {
     );
 
     let mut overhead = Table::new(
-        &format!("Chaos — degraded-mode overhead (fault seed {})", args.fault_seed),
+        format!("Chaos — degraded-mode overhead (fault seed {})", args.fault_seed),
         &["scheme", "clean cycles", "faulted cycles", "overhead %", "degraded accesses"],
     );
     let mut recovery = Table::new(

@@ -333,12 +333,12 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&raw);
     let executor = CellExecutor::from_env_or_args(&raw);
-    let (levels, accesses, rates, site_sets): (u8, u64, &[f64], &[(&str, [bool; 3])]) =
-        if args.smoke {
-            (SMOKE_LEVELS, SMOKE_ACCESSES, &SMOKE_RATES, &SITE_SETS[..1])
-        } else {
-            (SOAK_LEVELS, SOAK_ACCESSES, &RATES, &SITE_SETS[..])
-        };
+    type SiteSets = &'static [(&'static str, [bool; 3])];
+    let (levels, accesses, rates, site_sets): (u8, u64, &[f64], SiteSets) = if args.smoke {
+        (SMOKE_LEVELS, SMOKE_ACCESSES, &SMOKE_RATES, &SITE_SETS[..1])
+    } else {
+        (SOAK_LEVELS, SOAK_ACCESSES, &RATES, &SITE_SETS[..])
+    };
 
     let mut cells = Vec::new();
     for &scheme in &SCHEMES {
@@ -379,7 +379,7 @@ fn main() {
     }
 
     let mut table = Table::new(
-        &format!("Chaos soak — fault outcomes (seed {})", args.seed),
+        format!("Chaos soak — fault outcomes (seed {})", args.seed),
         &["scheme", "sites", "rate", "injected", "recovered", "unrecovered", "outcome"],
     );
     let mut totals = RecoveryStats::new();

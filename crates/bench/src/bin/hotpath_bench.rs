@@ -82,43 +82,66 @@ fn smoke_env() -> Experiment {
     }
 }
 
-const SMOKE_SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::Ab, Scheme::AbChannelPar];
+/// The measured grid: each scheme's classic serialized run (depth 1) plus
+/// an access-pipelined row (depth 4, DESIGN.md §15) for the AB variants —
+/// the pipelined rows share the serialized rows' cached warm-up, so the
+/// extra coverage costs one timed window each.
+const SMOKE_CELLS: [(Scheme, u8); 5] = [
+    (Scheme::Baseline, 1),
+    (Scheme::Ab, 1),
+    (Scheme::Ab, 4),
+    (Scheme::AbChannelPar, 1),
+    (Scheme::AbChannelPar, 4),
+];
 
 /// One measured smoke cell: a warmed driver (served whole from the
 /// full-driver snapshot cache when possible) plus the timed window, both
 /// wall-clocked.
-fn smoke_cell(env: &Experiment, scheme: Scheme) -> (f64, f64, u64, u64) {
+fn smoke_cell(env: &Experiment, scheme: Scheme, depth: u8) -> (f64, f64, u64, u64, u64) {
     let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf");
     let t0 = Instant::now();
-    let driver = env.warmed_driver(scheme).expect("warm-up ok");
+    let mut driver = env.warmed_driver(scheme).expect("warm-up ok");
+    driver.set_pipeline_depth(depth);
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
     let report = env.timed_run_on(driver, &profile).expect("timed run ok");
     let timed_ms = t1.elapsed().as_secs_f64() * 1e3;
-    (warm_ms, timed_ms, report.exec_cycles, report.online_latency_cycles)
+    (
+        warm_ms,
+        timed_ms,
+        report.exec_cycles,
+        report.online_latency_cycles,
+        report.response_latency_cycles,
+    )
 }
 
-/// Runs the full (scheme × iteration) smoke grid on `executor` and returns
-/// per-scheme (best warm ms, best timed ms, best total ms, exec cycles,
-/// summed online latency cycles).
-fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f64, u64, u64)> {
+/// Runs the full (cell × iteration) smoke grid on `executor` and returns
+/// per-cell (best warm ms, best timed ms, best total ms, exec cycles,
+/// summed online latency cycles, summed response latency cycles).
+#[allow(clippy::type_complexity)]
+fn smoke_grid(
+    iters: usize,
+    executor: CellExecutor,
+) -> Vec<(Scheme, u8, f64, f64, f64, u64, u64, u64)> {
     let env = smoke_env();
     let model = CostModel::from_env();
-    let cells: Vec<Scheme> =
-        SMOKE_SCHEMES.iter().flat_map(|&s| std::iter::repeat(s).take(iters)).collect();
+    let cells: Vec<(Scheme, u8)> =
+        SMOKE_CELLS.iter().flat_map(|&c| std::iter::repeat_n(c, iters)).collect();
     let measured = executor.run_weighted(
         cells,
-        |_, &s| model.predict(s, env.levels, env.warmup + env.timed as u64),
-        |_, scheme| (scheme, smoke_cell(&env, scheme)),
+        |_, &(s, _)| model.predict(s, env.levels, env.warmup + env.timed as u64),
+        |_, (scheme, depth)| ((scheme, depth), smoke_cell(&env, scheme, depth)),
     );
-    SMOKE_SCHEMES
+    SMOKE_CELLS
         .iter()
-        .map(|&scheme| {
+        .map(|&(scheme, depth)| {
             let mut best_warm = f64::MAX;
             let mut best_timed = f64::MAX;
             let mut best_total = f64::MAX;
             let mut cycles = None;
-            for (_, (warm, timed, exec, lat)) in measured.iter().filter(|(s, _)| *s == scheme) {
+            for (_, (warm, timed, exec, lat, resp)) in
+                measured.iter().filter(|(c, _)| *c == (scheme, depth))
+            {
                 best_warm = best_warm.min(*warm);
                 best_timed = best_timed.min(*timed);
                 best_total = best_total.min(warm + timed);
@@ -126,18 +149,18 @@ fn smoke_grid(iters: usize, executor: CellExecutor) -> Vec<(Scheme, f64, f64, f6
                 // regardless of jobs count or cache state — determinism is
                 // checked on every benchmark run, not only in CI.
                 match cycles {
-                    None => cycles = Some((*exec, *lat)),
+                    None => cycles = Some((*exec, *lat, *resp)),
                     Some(c) => {
                         assert_eq!(
                             c,
-                            (*exec, *lat),
-                            "{scheme}: simulated cycles diverged across iterations"
+                            (*exec, *lat, *resp),
+                            "{scheme} depth {depth}: simulated cycles diverged across iterations"
                         );
                     }
                 }
             }
-            let (exec, lat) = cycles.expect("at least one iteration");
-            (scheme, best_warm, best_timed, best_total, exec, lat)
+            let (exec, lat, resp) = cycles.expect("at least one iteration");
+            (scheme, depth, best_warm, best_timed, best_total, exec, lat, resp)
         })
         .collect()
 }
@@ -149,22 +172,26 @@ fn smoke(iters: usize, executor: CellExecutor) {
     let cache_before = persistent_stats(&cache_dir());
     let mut lines = String::from(
         "# hotpath_bench — fig08 smoke workload\n\n\
-         | scheme | warm-up ms (best) | timed ms (best) | total ms (best) | exec cycles | \
-         mean access latency (cycles) |\n\
-         |---|---|---|---|---|---|\n",
+         | scheme | depth | warm-up ms (best) | timed ms (best) | total ms (best) | exec cycles \
+         | mean access latency (cycles) | mean_batch_latency (cycles) |\n\
+         |---|---|---|---|---|---|---|---|\n",
     );
     let mut grand_total_best = 0.0f64;
-    for (scheme, best_warm, best_timed, best_total, exec_cycles, latency) in
+    for (scheme, depth, best_warm, best_timed, best_total, exec_cycles, latency, response) in
         smoke_grid(iters, executor)
     {
         grand_total_best += best_total;
         let mean_latency = latency as f64 / SMOKE_TIMED as f64;
+        // Mean requester-visible latency over the timed batch (completion
+        // minus issue, so queueing hidden by the pipeline shows up here).
+        let mean_batch_latency = response as f64 / SMOKE_TIMED as f64;
         lines.push_str(&format!(
-            "| {scheme} | {best_warm:.1} | {best_timed:.1} | {best_total:.1} | {exec_cycles} | \
-             {mean_latency:.1} |\n"
+            "| {scheme} | {depth} | {best_warm:.1} | {best_timed:.1} | {best_total:.1} | \
+             {exec_cycles} | {mean_latency:.1} | {mean_batch_latency:.1} |\n"
         ));
         eprintln!(
-            "[{scheme}: warm {best_warm:.1} ms, timed {best_timed:.1} ms over {iters} iters]"
+            "[{scheme} depth {depth}: warm {best_warm:.1} ms, timed {best_timed:.1} ms over \
+             {iters} iters]"
         );
     }
     lines.push_str(&format!(

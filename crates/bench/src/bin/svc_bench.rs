@@ -27,7 +27,12 @@
 //!
 //! `--smoke` runs a seconds-scale configuration and asserts the acceptance
 //! conditions (nonzero throughput, active recursion chain, parseable
-//! latency report) — the CI entry point.
+//! latency report) — the CI entry point. `--skew <s>` adds a fifth tenant
+//! running alpha's workload at an arbitrary Zipf exponent; `--pipeline`
+//! adds a serialized-vs-access-pipelined comparison pair on the DRAM twin
+//! (depth 4, per-slot completion stamping) and asserts the pipelined
+//! tenant's p50/p99 are never worse; `--channel-par` and `--grow` add
+//! their own comparison pairs.
 
 use aboram_bench::{derive_cell_seed, emit, CellExecutor, Experiment};
 use aboram_core::Scheme;
@@ -67,6 +72,9 @@ struct TenantCell {
     mode: Mode,
     backend: BackendKind,
     batch: BatchConfig,
+    /// Cross-access pipeline depth for the store's timed backends
+    /// (DESIGN.md §15); 1 = the classic serialized controller.
+    pipeline_depth: u8,
 }
 
 /// Run scale (full vs `--smoke`).
@@ -118,6 +126,7 @@ fn run_tenant(cell: &TenantCell, scale: &Scale, seed: u64) -> TenantResult {
     let mut cfg = StoreConfig::new(scale.levels, cell.scheme);
     cfg.seed = seed;
     cfg.backend = cell.backend;
+    cfg.pipeline_depth = cell.pipeline_depth;
     let store = ObliviousStore::new(&cfg).expect("store construction");
     let mut fe = BatchingFrontEnd::new(store, cell.batch);
 
@@ -227,7 +236,8 @@ fn run_grow_tenant(auto: bool, gs: &GrowScale, seed: u64) -> (TenantResult, u64,
     };
     cfg.seed = seed;
     let store = ObliviousStore::new(&cfg).expect("store construction");
-    let batch = BatchConfig { batch_size: 8, period: 25_000, queue_capacity: 256 };
+    let batch =
+        BatchConfig { batch_size: 8, period: 25_000, queue_capacity: 256, pipelined: false };
     let mut fe = BatchingFrontEnd::new(store, batch);
 
     for k in 0..gs.preload {
@@ -297,7 +307,7 @@ fn isolation_demo(seed: u64) -> String {
             s.seed = seed ^ salt;
             s
         },
-        batch: BatchConfig { batch_size: 2, period: 5_000, queue_capacity: 8 },
+        batch: BatchConfig { batch_size: 2, period: 5_000, queue_capacity: 8, pipelined: false },
     };
     let mut svc = ObliviousService::new(&[spec("alpha", 1), spec("beta", 2)]).expect("service");
     svc.submit(0, 0, Request::Put { key: b"shared-name".to_vec(), value: b"secret".to_vec() })
@@ -313,11 +323,19 @@ fn isolation_demo(seed: u64) -> String {
     )
 }
 
+/// The value following `flag`, if present (`--skew 1.2`).
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let grow = args.iter().any(|a| a == "--grow");
     let channel_par = args.iter().any(|a| a == "--channel-par");
+    let pipeline = args.iter().any(|a| a == "--pipeline");
+    let skew: Option<f64> = flag_value(&args, "--skew")
+        .map(|v| v.parse().expect("--skew takes a Zipf exponent, e.g. --skew 1.2"));
     let env = Experiment::from_env();
     let _telemetry = aboram_bench::telemetry_from_env();
 
@@ -338,8 +356,8 @@ fn main() {
     let timed_period = 150_000u64;
     let batch_size = 8usize;
     let full_gap = period / batch_size as u64;
-    let open = BatchConfig { batch_size, period, queue_capacity: 256 };
-    let tenants = [
+    let open = BatchConfig { batch_size, period, queue_capacity: 256, pipelined: false };
+    let mut tenants = vec![
         TenantCell {
             name: "alpha",
             scheme: Scheme::Ab,
@@ -347,6 +365,7 @@ fn main() {
             mode: Mode::Open { gap: full_gap },
             backend: BackendKind::Untimed,
             batch: open,
+            pipeline_depth: 1,
         },
         TenantCell {
             name: "beta",
@@ -355,6 +374,7 @@ fn main() {
             mode: Mode::Open { gap: full_gap },
             backend: BackendKind::Untimed,
             batch: open,
+            pipeline_depth: 1,
         },
         TenantCell {
             name: "gamma",
@@ -362,7 +382,8 @@ fn main() {
             dist: KeyDist::Uniform,
             mode: Mode::Closed { window: 16 },
             backend: BackendKind::Untimed,
-            batch: BatchConfig { batch_size, period, queue_capacity: 64 },
+            batch: BatchConfig { batch_size, period, queue_capacity: 64, pipelined: false },
+            pipeline_depth: 1,
         },
         TenantCell {
             name: "delta",
@@ -370,9 +391,30 @@ fn main() {
             dist: KeyDist::Zipf { s: 0.99 },
             mode: Mode::Open { gap: timed_period / 4 },
             backend: BackendKind::Timed(DramConfig::default()),
-            batch: BatchConfig { batch_size, period: timed_period, queue_capacity: 256 },
+            batch: BatchConfig {
+                batch_size,
+                period: timed_period,
+                queue_capacity: 256,
+                pipelined: false,
+            },
+            pipeline_depth: 1,
         },
     ];
+    if let Some(s) = skew {
+        // `--skew <s>`: a fifth tenant running alpha's open-loop workload
+        // at the requested Zipf exponent — the front-end's same-key
+        // coalescing (and the admission controller behind it) under a
+        // hotter or colder key distribution than the YCSB default.
+        tenants.push(TenantCell {
+            name: "skewed",
+            scheme: Scheme::Ab,
+            dist: KeyDist::Zipf { s },
+            mode: Mode::Open { gap: full_gap },
+            backend: BackendKind::Untimed,
+            batch: open,
+            pipeline_depth: 1,
+        });
+    }
 
     let executor = CellExecutor::from_env_or_args(&args);
     eprintln!("[svc_bench: {} tenants on {} worker(s)]", tenants.len(), executor.jobs());
@@ -509,7 +551,8 @@ fn main() {
         // only difference is the issue mode, so the latency gap is exactly
         // what the channel-parallel drain and crypto/DRAM overlap buy
         // end-to-end (queueing included).
-        let cp_batch = BatchConfig { batch_size, period: timed_period, queue_capacity: 256 };
+        let cp_batch =
+            BatchConfig { batch_size, period: timed_period, queue_capacity: 256, pipelined: false };
         let pair = [
             TenantCell {
                 name: "serial",
@@ -518,6 +561,7 @@ fn main() {
                 mode: Mode::Open { gap: timed_period / 4 },
                 backend: BackendKind::Timed(DramConfig::default()),
                 batch: cp_batch,
+                pipeline_depth: 1,
             },
             TenantCell {
                 name: "chan-par",
@@ -526,6 +570,7 @@ fn main() {
                 mode: Mode::Open { gap: timed_period / 4 },
                 backend: BackendKind::Timed(DramConfig::default()),
                 batch: cp_batch,
+                pipeline_depth: 1,
             },
         ];
         eprintln!("[svc_bench: --channel-par comparison pair]");
@@ -565,6 +610,86 @@ fn main() {
             "channel-parallel issue must not add latency: cp p50/p99 {}/{} vs serial {}/{}",
             cp.lat.p50,
             cp.lat.p99,
+            serial.lat.p50,
+            serial.lat.p99
+        );
+    }
+
+    if pipeline {
+        // Serialized vs access-pipelined AB on the DRAM twin, same seed and
+        // request stream: the pipelined tenant overlaps access i+1's reads
+        // with access i's writeback drain (depth 4, DESIGN.md §15) and
+        // stamps each request with its own slot's completion rather than
+        // the flat batch end, so the latency gap is exactly what
+        // cross-access pipelining buys end-to-end.
+        let pair = [
+            TenantCell {
+                name: "serial",
+                scheme: Scheme::Ab,
+                dist: KeyDist::Zipf { s: 0.99 },
+                mode: Mode::Open { gap: timed_period / 4 },
+                backend: BackendKind::Timed(DramConfig::default()),
+                batch: BatchConfig {
+                    batch_size,
+                    period: timed_period,
+                    queue_capacity: 256,
+                    pipelined: false,
+                },
+                pipeline_depth: 1,
+            },
+            TenantCell {
+                name: "pipelined",
+                scheme: Scheme::Ab,
+                dist: KeyDist::Zipf { s: 0.99 },
+                mode: Mode::Open { gap: timed_period / 4 },
+                backend: BackendKind::Timed(DramConfig::default()),
+                batch: BatchConfig {
+                    batch_size,
+                    period: timed_period,
+                    queue_capacity: 256,
+                    pipelined: true,
+                },
+                pipeline_depth: 4,
+            },
+        ];
+        eprintln!("[svc_bench: --pipeline comparison pair]");
+        let seed = derive_cell_seed(env.seed, 0x9199);
+        let pr: Vec<TenantResult> =
+            executor.run((0..pair.len()).collect(), |i, _| run_tenant(&pair[i], &scale, seed));
+
+        let mut pt = Table::new(
+            "Serialized vs access-pipelined execution — DRAM twin, latency in simulated cycles",
+            &["tenant", "depth", "reqs", "req/Mcyc", "p50", "p95", "p99", "max"],
+        );
+        for (cell, r) in pair.iter().zip(&pr) {
+            pt.row(
+                &[cell.name, &cell.pipeline_depth.to_string()],
+                &[
+                    r.completed as f64,
+                    r.throughput(),
+                    r.lat.p50 as f64,
+                    r.lat.p95 as f64,
+                    r.lat.p99 as f64,
+                    r.lat.max as f64,
+                ],
+            );
+        }
+        out.push_str("\n## Access pipelining (`--pipeline`)\n\n");
+        out.push_str(
+            "Both tenants run AB's protocol on the DRAM twin with the same seed and request \
+             stream; `pipelined` holds up to 4 accesses in flight (write-after-read hazards and \
+             the stash hand-off still order dependent work) and stamps per-slot completions, so \
+             any latency gap is the pipeline's doing.\n\n",
+        );
+        out.push_str(&pt.to_markdown());
+
+        let (serial, piped) = (&pr[0], &pr[1]);
+        assert_eq!(serial.completed, piped.completed, "pipelining changed the completion count");
+        assert!(
+            piped.lat.p50 <= serial.lat.p50 && piped.lat.p99 <= serial.lat.p99,
+            "pipelining must not add latency: piped p50/p99 {}/{} vs serial {}/{}",
+            piped.lat.p50,
+            piped.lat.p99,
             serial.lat.p50,
             serial.lat.p99
         );

@@ -177,7 +177,7 @@ impl CellExecutor {
         let caller_collector = if traced { aboram_telemetry::uninstall() } else { None };
 
         let n = cells.len();
-        let costs: Vec<u64> = cells.iter().enumerate().map(|(i, c)| cost(i, &c)).collect();
+        let costs: Vec<u64> = cells.iter().enumerate().map(|(i, c)| cost(i, c)).collect();
         let order = schedule_order(&costs);
         let workers = self.jobs.min(n.max(1));
         // Stripe the longest-first order round-robin across per-worker
@@ -187,8 +187,9 @@ impl CellExecutor {
             .map(|w| Mutex::new(order.iter().copied().skip(w).step_by(workers).collect()))
             .collect();
         let slots: Vec<Mutex<Option<T>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-        let results: Vec<Mutex<Option<(R, Option<String>)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        // One result slot per cell: the value plus its captured telemetry.
+        type ResultSlot<R> = Mutex<Option<(R, Option<String>)>>;
+        let results: Vec<ResultSlot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)

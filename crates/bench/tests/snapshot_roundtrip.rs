@@ -23,7 +23,7 @@ fn drive(oram: &mut RingOram, sink: &mut CountingSink, seed: u64, n: u64) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn snapshot_restore_run_equals_straight_line_run(

@@ -22,11 +22,12 @@
 use crate::config::OramConfig;
 use crate::error::OramError;
 use crate::ring::{AccessKind, PayloadMutator, RingOram};
-use crate::sink::{CountingSink, TimingSink};
+use crate::sink::{CountingSink, InflightAccess, TimingSink};
 use crate::{BlockId, BLOCK_BYTES};
 use aboram_crypto::CryptoLatency;
 use aboram_dram::{DramConfig, MemorySystem};
 use aboram_tree::PathId;
+use std::collections::VecDeque;
 
 /// Timing outcome of one backend access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,16 @@ pub trait StorageBackend {
 
     /// The controller-occupancy cursor: when the next access could begin.
     fn free_at(&self) -> u64;
+
+    /// Sets the access-pipeline depth: the maximum number of concurrently
+    /// in-flight accesses (see [`TimedBackend::set_pipeline_depth`]).
+    /// Backends without a cycle-level pipeline ignore the knob.
+    fn set_pipeline_depth(&mut self, _depth: u8) {}
+
+    /// The access-pipeline depth in force (1 for unpipelined backends).
+    fn pipeline_depth(&self) -> u8 {
+        1
+    }
 }
 
 /// Cycle-accurate backend: the engine over the DRAM twin (see module docs).
@@ -112,6 +123,20 @@ pub struct TimedBackend {
     sink: TimingSink,
     crypto: CryptoLatency,
     free_at: u64,
+    /// Access-pipeline depth; 1 = the classic serialized controller.
+    depth: u8,
+    /// In-flight accesses whose maintenance traffic is still draining.
+    window: VecDeque<InflightAccess>,
+    /// Previous access's release cycle (arrival order is non-decreasing).
+    last_start: u64,
+    /// Previous access's last online DRAM reply — the stash hand-off gate.
+    prev_online_done: u64,
+    /// The crypto pipeline's last exit cycle, carried across accesses.
+    crypto_exit: u64,
+    /// Scratch for online-read completion times.
+    completions: Vec<u64>,
+    /// Scratch for the staged write footprint.
+    footprint: Vec<(u8, u16, u64)>,
 }
 
 impl TimedBackend {
@@ -130,10 +155,58 @@ impl TimedBackend {
     pub fn from_oram(oram: RingOram, dram: DramConfig) -> Self {
         let mut sink = TimingSink::new(MemorySystem::new(dram));
         sink.set_issue_mode(oram.config().scheme.issue_mode());
-        TimedBackend { oram, sink, crypto: CryptoLatency::default(), free_at: 0 }
+        TimedBackend {
+            oram,
+            sink,
+            crypto: CryptoLatency::default(),
+            free_at: 0,
+            depth: 1,
+            window: VecDeque::new(),
+            last_start: 0,
+            prev_online_done: 0,
+            crypto_exit: 0,
+            completions: Vec::new(),
+            footprint: Vec::new(),
+        }
+    }
+
+    /// Sets the access-pipeline depth. Depth 1 (the default, and `0`
+    /// clamps to it) is the classic serialized controller: an access
+    /// begins only after the previous one's maintenance traffic drained.
+    /// Depth > 1 lets an access's read phase issue while up to `depth - 1`
+    /// earlier accesses' eviction/writeback and decrypt/verify traffic
+    /// drain, bounded by the same true-dependency gates as
+    /// [`crate::TimingDriver::set_pipeline_depth`]. Lowering the depth
+    /// quiesces the window first, so the switch never reorders requests.
+    pub fn set_pipeline_depth(&mut self, depth: u8) {
+        let depth = depth.max(1);
+        if depth == 1 {
+            self.quiesce();
+        }
+        self.depth = depth;
+        self.sink.set_pipelined(depth > 1);
+    }
+
+    /// The access-pipeline depth in force.
+    pub fn pipeline_depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Resolves every in-flight access and folds the completions into
+    /// `free_at` — end-of-run draining and pre-switch quiescing.
+    pub fn quiesce(&mut self) -> u64 {
+        let mut free = self.free_at.max(self.prev_online_done).max(self.crypto_exit);
+        while let Some(entry) = self.window.pop_front() {
+            free = free.max(self.sink.resolve_inflight(entry));
+        }
+        self.free_at = free;
+        free
     }
 
     fn finish(&mut self, start: u64, data: Option<[u8; BLOCK_BYTES]>) -> BackendReply {
+        if self.depth > 1 {
+            return self.finish_pipelined(start, data);
+        }
         let done = match self.sink.issue_mode() {
             crate::IssueMode::Serial => {
                 let (mut done, online_count) = self.sink.drain_online_reads(start);
@@ -150,7 +223,59 @@ impl TimedBackend {
         BackendReply { data, done, free_at: self.free_at }
     }
 
+    /// The pipelined completion path: the whole access is already staged;
+    /// resolve its dependency gates, release it, and leave its maintenance
+    /// traffic draining in the in-flight window. `free_at` stays at the
+    /// floor the window opened on — the reply's `free_at` reports this
+    /// access's own completion instead of a global drain.
+    fn finish_pipelined(&mut self, start: u64, data: Option<[u8; BLOCK_BYTES]>) -> BackendReply {
+        let mut footprint = std::mem::take(&mut self.footprint);
+        self.sink.staged_write_footprint(&mut footprint);
+
+        let mut gate = start.max(self.last_start).max(self.prev_online_done).max(self.free_at);
+        while self.window.len() >= usize::from(self.depth) {
+            let old = self.window.pop_front().expect("non-empty window");
+            gate = gate.max(self.sink.resolve_inflight(old));
+        }
+        for entry in &self.window {
+            gate = gate.max(self.sink.conflict_gate(entry, &footprint));
+        }
+        self.footprint = footprint;
+        self.sink.release_at(gate);
+        let at = gate;
+        self.last_start = at;
+
+        let mut completions = std::mem::take(&mut self.completions);
+        self.sink.drain_online_read_times(&mut completions);
+        let n = completions.len() as u64;
+        let last = completions.iter().max().copied().unwrap_or(0).max(at);
+        let done = if n == 0 {
+            at
+        } else {
+            let done = match self.sink.issue_mode() {
+                crate::IssueMode::Serial => (last + self.crypto.burst_cycles(n))
+                    .max(self.crypto_exit + n * self.crypto.per_block),
+                crate::IssueMode::ChannelParallel => {
+                    self.crypto.overlapped_exit_from(self.crypto_exit, &mut completions).max(at)
+                }
+            };
+            self.crypto_exit = done;
+            done
+        };
+        self.prev_online_done = last;
+        self.completions = completions;
+
+        let reqs = self.sink.take_tagged_requests();
+        self.window.push_back(InflightAccess::from_tagged(reqs));
+        BackendReply { data, done, free_at: done }
+    }
+
     fn begin(&mut self, start: u64) -> u64 {
+        if self.depth > 1 {
+            // The arrival cycle is fixed only after the access is staged
+            // and its footprint inspected (finish_pipelined).
+            return start;
+        }
         let at = start.max(self.free_at);
         self.sink.set_now(at);
         at
@@ -198,6 +323,14 @@ impl StorageBackend for TimedBackend {
 
     fn free_at(&self) -> u64 {
         self.free_at
+    }
+
+    fn set_pipeline_depth(&mut self, depth: u8) {
+        TimedBackend::set_pipeline_depth(self, depth);
+    }
+
+    fn pipeline_depth(&self) -> u8 {
+        self.depth
     }
 }
 
@@ -326,6 +459,35 @@ mod tests {
         assert_eq!(backend.engine().position_of(7).unwrap(), PathId::new(0), "forced remap");
         let read = backend.access(reply.free_at, AccessKind::Read, 7, None).unwrap();
         assert_eq!(read.data.unwrap()[0], 99, "mutation persisted");
+    }
+
+    #[test]
+    fn pipelined_backend_round_trips_and_cuts_queueing() {
+        let run = |depth: u8| {
+            let mut b = TimedBackend::new(&cfg(), DramConfig::default()).unwrap();
+            b.set_pipeline_depth(depth);
+            let payload = [0x7E; BLOCK_BYTES];
+            b.access(0, AccessKind::Write, 3, Some(payload)).unwrap();
+            // A burst of back-to-back arrivals: queueing dominates.
+            let mut sum = 0u64;
+            let mut last = 0u64;
+            for i in 0..24u64 {
+                let r = b.access(i, AccessKind::Read, i % 8, None).unwrap();
+                sum += r.done - i;
+                last = last.max(r.done);
+            }
+            assert_eq!(
+                b.access(last, AccessKind::Read, 3, None).unwrap().data,
+                Some(payload),
+                "depth {depth}: data survives pipelining"
+            );
+            let quiesced = b.quiesce();
+            assert!(quiesced >= last, "quiesce covers every in-flight writeback");
+            sum
+        };
+        let serial = run(1);
+        let piped = run(4);
+        assert!(piped < serial, "pipelining saved nothing: depth4 {piped} vs depth1 {serial}");
     }
 
     #[test]

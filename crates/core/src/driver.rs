@@ -73,6 +73,15 @@ pub struct SimulationReport {
     /// actually waits on, which is where the channel-parallel issue mode's
     /// crypto/DRAM overlap shows up.
     pub online_latency_cycles: u64,
+    /// Sum over timed records of each access's *response* latency — from
+    /// the cycle the core issued the miss to the cycle its data exited the
+    /// decrypt/verify pipeline — in CPU cycles. Unlike
+    /// [`online_latency_cycles`](Self::online_latency_cycles) (which starts
+    /// counting when the controller accepts the access) this includes the
+    /// queueing delay behind earlier accesses, so it is the metric the
+    /// access-pipelined mode improves: starting access *i+1* under access
+    /// *i*'s writeback removes queueing the serial controller charges.
+    pub response_latency_cycles: u64,
     /// Fault-recovery counters accumulated during the timed window (all
     /// zero unless fault injection was enabled).
     pub recovery: RecoveryStats,
@@ -111,6 +120,17 @@ impl SimulationReport {
             self.online_latency_cycles as f64 / self.records as f64
         }
     }
+
+    /// Mean issue-to-data response latency in CPU cycles (controller
+    /// queueing included, averaged over the timed records) — the
+    /// batch-completion metric the access-pipelined mode moves.
+    pub fn mean_response_latency(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.response_latency_cycles as f64 / self.records as f64
+        }
+    }
 }
 
 /// Driver snapshot format version. Bump whenever the driver's simulated
@@ -126,7 +146,11 @@ impl SimulationReport {
 /// v4: the sink's effective [`IssueMode`] joined the stream (channel-
 /// parallel issue + crypto/DRAM overlap), so mid-campaign restores of an
 /// overridden issue mode replay cycle-identically.
-pub const DRIVER_SNAPSHOT_VERSION: u32 = 4;
+///
+/// v5: the access-pipeline depth joined the stream. The in-flight window
+/// itself is run-local (snapshots are quiescent-only), so the depth knob is
+/// the only new state.
+pub const DRIVER_SNAPSHOT_VERSION: u32 = 5;
 
 /// Magic bytes opening every full-driver snapshot stream.
 const DRIVER_SNAPSHOT_MAGIC: [u8; 4] = *b"ABSD";
@@ -158,10 +182,15 @@ pub struct TimingDriver {
     /// The ORAM controller serializes accesses; next access starts after
     /// the previous one's online portion completes.
     oram_free_at: u64,
+    /// Maximum concurrently in-flight accesses (1 = the classic serialized
+    /// controller; see [`set_pipeline_depth`](Self::set_pipeline_depth)).
+    pipeline_depth: u8,
     /// Optional recursive position-map model (extension study; the paper
     /// keeps the posmap fully on-chip).
     posmap_model: Option<crate::recursion::PosMapHierarchy>,
 }
+
+use crate::sink::InflightAccess;
 
 impl TimingDriver {
     /// Builds the driver with the Table III core model (fetch 4, ROB 256)
@@ -186,6 +215,7 @@ impl TimingDriver {
             cpu: RobCpu::new(4, 256),
             crypto: CryptoLatency::default(),
             oram_free_at: 0,
+            pipeline_depth: 1,
             posmap_model: None,
         }
     }
@@ -200,6 +230,33 @@ impl TimingDriver {
     /// The issue mode in force.
     pub fn issue_mode(&self) -> IssueMode {
         self.sink.inner().issue_mode()
+    }
+
+    /// Sets the access-pipeline depth: the maximum number of concurrently
+    /// in-flight accesses. Depth 1 (the default, and `0` clamps to it) is
+    /// the classic serialized controller — the legacy schedule, bit-exact.
+    /// Depth > 1 lets access *i+1*'s read phase issue while access *i*'s
+    /// eviction/writeback and decrypt/verify pipeline drain, bounded by
+    /// true dependencies: the stash hand-off (an access starts no earlier
+    /// than the previous access's last online DRAM reply), `(channel,
+    /// bank, row)` footprint conflicts (same bucket/slot or posmap-ladder
+    /// reuse forces the earlier access's full completion), and the window
+    /// itself. The request set and intra-access order of every access are
+    /// unchanged — only the inter-access issue schedule shifts, which is
+    /// already public (DESIGN.md §15).
+    pub fn set_pipeline_depth(&mut self, depth: u8) {
+        self.pipeline_depth = depth.max(1);
+    }
+
+    /// The access-pipeline depth in force.
+    pub fn pipeline_depth(&self) -> u8 {
+        self.pipeline_depth
+    }
+
+    /// Resolves an in-flight access to its full completion cycle (see
+    /// [`TimingSink::resolve_inflight`]).
+    fn resolve_access(&mut self, entry: InflightAccess) -> u64 {
+        self.sink.inner_mut().resolve_inflight(entry)
     }
 
     /// Activates chaos testing: installs `plan`'s channel-stall schedule
@@ -334,6 +391,7 @@ impl TimingDriver {
             IssueMode::Serial => 0,
             IssueMode::ChannelParallel => 1,
         });
+        w.u8(self.pipeline_depth);
         self.cpu.snapshot_into(&mut w);
         w.u64(engine.len() as u64);
         w.bytes(&engine);
@@ -377,6 +435,7 @@ impl TimingDriver {
                 })
             }
         };
+        let pipeline_depth = r.u8()?.max(1);
         let cpu = aboram_dram::RobCpu::restore_from(&mut r).map_err(OramError::from)?;
         let engine_len = r.len_prefix(1)?;
         let oram = RingOram::restore(cfg, r.bytes(engine_len)?)?;
@@ -396,6 +455,7 @@ impl TimingDriver {
             cpu,
             crypto,
             oram_free_at,
+            pipeline_depth,
             posmap_model: None,
         })
     }
@@ -474,9 +534,35 @@ impl TimingDriver {
                 mem.requests_by_bank().to_vec(),
             )
         };
+        // Which SIMD kernel the metadata/address hot path dispatched to
+        // this run (latched once per process; see `aboram_tree::simd`).
+        aboram_telemetry::counter_add(
+            match aboram_tree::simd::kernel() {
+                aboram_tree::simd::Kernel::Scalar => "simd.kernel.scalar",
+                aboram_tree::simd::Kernel::Sse2 => "simd.kernel.sse2",
+                aboram_tree::simd::Kernel::Avx2 => "simd.kernel.avx2",
+            },
+            1,
+        );
         // Completion-time scratch for the channel-parallel crypto overlap.
         let mut completions: Vec<u64> = Vec::new();
         let mut online_latency_cycles = 0u64;
+        let mut response_latency_cycles = 0u64;
+        // Access-pipelined state (all run-local; snapshots stay quiescent).
+        let pipelined = self.pipeline_depth > 1;
+        if pipelined {
+            self.sink.inner_mut().set_pipelined(true);
+        }
+        let mut window: std::collections::VecDeque<InflightAccess> =
+            std::collections::VecDeque::new();
+        let mut footprint: Vec<(u8, u16, u64)> = Vec::new();
+        // release_at must never move the sink clock backwards.
+        let mut last_start = self.sink.inner().now();
+        // The stash hand-off gate: the previous access's last online DRAM
+        // reply (its decrypt/verify tail may still be draining).
+        let mut prev_online_done = 0u64;
+        // The crypto pipeline's last exit cycle, carried across accesses.
+        let mut crypto_exit = 0u64;
         // Snapshot so the report covers the timed window only, not warm-up.
         let (users0, bg0, evicts0, resh0, recovery0) = {
             let s = self.oram.stats();
@@ -493,8 +579,6 @@ impl TimingDriver {
             instructions += u64::from(rec.inst_gap) + 1;
             aboram_telemetry::record_mark();
             let issue = self.cpu.issue_op(rec.inst_gap);
-            let start = issue.max(self.oram_free_at);
-            self.sink.inner_mut().set_now(start);
 
             // Every LLC miss (read or writeback) is one ORAM access.
             let block = (rec.addr / 64) % block_count;
@@ -502,51 +586,153 @@ impl TimingDriver {
                 MemOp::Read => AccessKind::Read,
                 MemOp::Write => AccessKind::Write,
             };
-            // Recursive position-map fetches (extension study) precede the
-            // data access: each PLB miss is one more full ORAM access.
-            if let Some(model) = &mut self.posmap_model {
-                for _ in 0..model.access(block) {
-                    self.oram.dummy_access(&mut self.sink)?;
-                }
-            }
-            self.oram.access(kind, block, None, &mut self.sink)?;
 
-            // The user-visible critical path: the access's online reads plus
-            // the crypto pipeline on the returned blocks. Under the
-            // channel-parallel issue mode each block enters the decrypt
-            // pipeline as its channel returns it, so only the tail of the
-            // crypto burst that DRAM couldn't hide remains exposed.
-            let done = match self.sink.inner().issue_mode() {
-                IssueMode::Serial => {
-                    let (mut done, online_count) = self.sink.inner_mut().drain_online_reads(start);
-                    done += self.crypto.burst_cycles(online_count);
-                    done
+            let (start, done) = if !pipelined {
+                // Depth 1: the classic serialized controller, the legacy
+                // schedule verbatim (golden fixtures replay bit-exactly).
+                let start = issue.max(self.oram_free_at);
+                self.sink.inner_mut().set_now(start);
+                // Recursive position-map fetches (extension study) precede
+                // the data access: each PLB miss is one more full access.
+                if let Some(model) = &mut self.posmap_model {
+                    for _ in 0..model.access(block) {
+                        self.oram.dummy_access(&mut self.sink)?;
+                    }
                 }
-                IssueMode::ChannelParallel => {
-                    self.sink.inner_mut().drain_online_read_times(&mut completions);
-                    let last = completions.iter().max().copied().unwrap_or(0).max(start);
-                    let serial_done = last + self.crypto.burst_cycles(completions.len() as u64);
-                    let done = self.crypto.overlapped_exit(&mut completions).max(start);
-                    aboram_telemetry::counter_add(
-                        "crypto.overlap_saved_cycles",
-                        serial_done.saturating_sub(done),
-                    );
-                    aboram_telemetry::counter_add(
-                        "crypto.overlapped_blocks",
-                        completions.len() as u64,
-                    );
-                    done
+                self.oram.access(kind, block, None, &mut self.sink)?;
+
+                // The user-visible critical path: the access's online reads
+                // plus the crypto pipeline on the returned blocks. Under the
+                // channel-parallel issue mode each block enters the decrypt
+                // pipeline as its channel returns it, so only the tail of
+                // the crypto burst that DRAM couldn't hide remains exposed.
+                let done = match self.sink.inner().issue_mode() {
+                    IssueMode::Serial => {
+                        let (mut done, online_count) =
+                            self.sink.inner_mut().drain_online_reads(start);
+                        done += self.crypto.burst_cycles(online_count);
+                        done
+                    }
+                    IssueMode::ChannelParallel => {
+                        self.sink.inner_mut().drain_online_read_times(&mut completions);
+                        let last = completions.iter().max().copied().unwrap_or(0).max(start);
+                        let serial_done = last + self.crypto.burst_cycles(completions.len() as u64);
+                        let done = self.crypto.overlapped_exit(&mut completions).max(start);
+                        aboram_telemetry::counter_add(
+                            "crypto.overlap_saved_cycles",
+                            serial_done.saturating_sub(done),
+                        );
+                        aboram_telemetry::counter_add(
+                            "crypto.overlapped_blocks",
+                            completions.len() as u64,
+                        );
+                        done
+                    }
+                };
+                // The ORAM controller serializes: the next access begins
+                // only after this one's maintenance traffic (evictPath,
+                // reshuffles) has been serviced. The user's load already
+                // completed at `done`; this models controller occupancy,
+                // not load latency.
+                self.oram_free_at = self.sink.inner_mut().drain_all_requests(done);
+                (start, done)
+            } else {
+                // Depth > 1: stage the whole access (posmap-ladder fetches
+                // included — serial staging preserves their parent→child
+                // program order), inspect its footprint, resolve its
+                // dependency gates, and only then fix its arrival cycle.
+                if let Some(model) = &mut self.posmap_model {
+                    for _ in 0..model.access(block) {
+                        self.oram.dummy_access(&mut self.sink)?;
+                    }
                 }
+                self.oram.access(kind, block, None, &mut self.sink)?;
+                self.sink.inner().staged_write_footprint(&mut footprint);
+
+                // True-dependency gates. `oram_free_at` here is the state
+                // left by the previous run (or restore) — traffic issued
+                // before this window opened.
+                let mut gate = issue.max(last_start).max(prev_online_done).max(self.oram_free_at);
+                // Window overflow: the oldest in-flight access must fully
+                // complete before a (depth+1)-th access may enter.
+                while window.len() >= usize::from(self.pipeline_depth) {
+                    let old = window.pop_front().expect("non-empty window");
+                    gate = gate.max(self.resolve_access(old));
+                }
+                // Footprint conflicts: this access's writebacks must not
+                // land in a `(channel, bank, row)` location (same
+                // bucket/slot, metadata block, or posmap-ladder level) an
+                // in-flight access has not finished reading — the
+                // write-after-read hazard. RAW and WAW need no gate here
+                // (see `TimingSink::conflict_gate`).
+                for entry in &window {
+                    gate = gate.max(self.sink.inner_mut().conflict_gate(entry, &footprint));
+                }
+                let start = gate;
+                self.sink.inner_mut().release_at(start);
+                last_start = start;
+
+                // Online completion + crypto exit, with the pipeline busy
+                // floor carried across access boundaries — back-to-back
+                // accesses share one decrypt/verify pipeline.
+                self.sink.inner_mut().drain_online_read_times(&mut completions);
+                let n = completions.len() as u64;
+                let last = completions.iter().max().copied().unwrap_or(0).max(start);
+                let done = if n == 0 {
+                    start
+                } else {
+                    let done = match self.sink.inner().issue_mode() {
+                        IssueMode::Serial => {
+                            // The serialized charge (whole burst after the
+                            // last reply), floored by the busy pipeline.
+                            (last + self.crypto.burst_cycles(n))
+                                .max(crypto_exit + n * self.crypto.per_block)
+                        }
+                        IssueMode::ChannelParallel => {
+                            let serial_done = last + self.crypto.burst_cycles(n);
+                            let done = self
+                                .crypto
+                                .overlapped_exit_from(crypto_exit, &mut completions)
+                                .max(start);
+                            aboram_telemetry::counter_add(
+                                "crypto.overlap_saved_cycles",
+                                serial_done.saturating_sub(done),
+                            );
+                            aboram_telemetry::counter_add("crypto.overlapped_blocks", n);
+                            done
+                        }
+                    };
+                    crypto_exit = done;
+                    done
+                };
+                prev_online_done = last;
+
+                let reqs = self.sink.inner_mut().take_tagged_requests();
+                window.push_back(InflightAccess::from_tagged(reqs));
+                aboram_telemetry::observe_level(
+                    "pipeline.occupancy",
+                    window.len().min(255) as u8,
+                    1,
+                );
+                (start, done)
             };
+
             online_latency_cycles += done.saturating_sub(start);
+            response_latency_cycles += done.saturating_sub(issue);
             if rec.op == MemOp::Read {
                 self.cpu.complete_read_at(done);
             }
-            // The ORAM controller serializes: the next access begins only
-            // after this one's maintenance traffic (evictPath, reshuffles)
-            // has been serviced. The user's load already completed at
-            // `done`; this models controller occupancy, not load latency.
-            self.oram_free_at = self.sink.inner_mut().drain_all_requests(done);
+        }
+
+        // Drain the in-flight window: the controller is free once every
+        // access's maintenance traffic has been serviced.
+        let mut free_at = self.oram_free_at.max(prev_online_done).max(crypto_exit);
+        while let Some(entry) = window.pop_front() {
+            free_at = free_at.max(self.resolve_access(entry));
+        }
+        self.oram_free_at = free_at;
+        if pipelined {
+            self.sink.inner_mut().set_pipelined(false);
         }
 
         let exec_cycles = self.cpu.finish().max(self.oram_free_at);
@@ -586,6 +772,7 @@ impl TimingDriver {
             early_reshuffles: s.reshuffles.total() - resh0,
             stash_peak: self.oram.stash_peak(),
             online_latency_cycles,
+            response_latency_cycles,
             recovery: s.recovery.since(&recovery0),
             health: self.oram.health(),
         })
@@ -658,6 +845,54 @@ mod tests {
             cp.online_latency_cycles,
             ab.online_latency_cycles
         );
+    }
+
+    fn small_run_depth(scheme: Scheme, n: usize, depth: u8) -> SimulationReport {
+        let cfg = OramConfig::builder(10, scheme).seed(7).build().unwrap();
+        let mut driver = TimingDriver::new(&cfg, DramConfig::default()).unwrap();
+        driver.set_pipeline_depth(depth);
+        let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").unwrap();
+        let mut gen = TraceGenerator::new(&profile, 3);
+        driver.run((0..n).map(|_| gen.next_record())).unwrap()
+    }
+
+    #[test]
+    fn pipelined_run_is_work_identical_and_no_slower() {
+        for scheme in [Scheme::Ab, Scheme::AbChannelPar] {
+            let serial = small_run_depth(scheme, 300, 1);
+            let deep = small_run_depth(scheme, 300, 4);
+            // Timing never feeds back into the protocol: the request set and
+            // every protocol counter are identical at any depth.
+            assert_eq!(serial.user_accesses, deep.user_accesses, "{scheme:?}");
+            assert_eq!(serial.evict_paths, deep.evict_paths, "{scheme:?}");
+            assert_eq!(serial.early_reshuffles, deep.early_reshuffles, "{scheme:?}");
+            assert_eq!(serial.bytes_transferred, deep.bytes_transferred, "{scheme:?}");
+            assert_eq!(serial.stash_peak, deep.stash_peak, "{scheme:?}");
+            // Overlapping access i+1's reads with access i's writeback drain
+            // can only remove issue-to-data queueing delay, and with ~60
+            // writebacks per evictPath it must remove a lot of it.
+            assert!(
+                deep.response_latency_cycles < serial.response_latency_cycles,
+                "{scheme:?}: pipelining saved nothing: depth4 {} vs depth1 {}",
+                deep.response_latency_cycles,
+                serial.response_latency_cycles
+            );
+            assert!(
+                deep.exec_cycles <= serial.exec_cycles,
+                "{scheme:?}: depth4 {} > depth1 {}",
+                deep.exec_cycles,
+                serial.exec_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn depth_one_is_bitexact_with_default_and_depth_zero_clamps() {
+        let default = small_run(Scheme::Ab, 200);
+        let explicit = small_run_depth(Scheme::Ab, 200, 1);
+        let clamped = small_run_depth(Scheme::Ab, 200, 0);
+        assert_eq!(default, explicit);
+        assert_eq!(default, clamped);
     }
 
     #[test]

@@ -214,6 +214,15 @@ impl MemorySink for CountingSink {
 /// only the intra-access order the per-channel FR-FCFS schedulers break
 /// same-cycle ties in changes, so the externally observable access pattern
 /// is unchanged (DESIGN.md §14).
+///
+/// In *pipelined* operation ([`set_pipelined`](TimingSink::set_pipelined))
+/// the sink stages under *both* issue modes: the access-pipelined driver
+/// decides the access's final arrival cycle only after seeing its staged
+/// footprint (to resolve `(channel, bank, row)` conflicts against in-flight
+/// accesses), then releases the whole access with
+/// [`release_at`](TimingSink::release_at). A serial-mode flush preserves
+/// program order, so a pipelined serial release enqueues exactly what
+/// immediate issue at the same cycle would (DESIGN.md §15).
 #[derive(Debug)]
 pub struct TimingSink {
     memory: MemorySystem,
@@ -222,6 +231,51 @@ pub struct TimingSink {
     all_requests: Vec<RequestId>,
     issue_mode: IssueMode,
     staged: Vec<StagedRequest>,
+    pipelined: bool,
+    /// Per-request `(channel, bank, row)` tags and kinds, parallel to
+    /// `all_requests`; recorded only while pipelined staging is on.
+    tagged: Vec<(RequestId, (u8, u16, u64), MemOpKind)>,
+}
+
+/// One access in an access-pipelined in-flight window: its undrained
+/// requests with their decoded `(channel, bank, row)` locations and kinds,
+/// plus the deduplicated sorted footprint of its *reads* — the locations a
+/// later access's writeback must not overwrite before they are served
+/// (write-after-read, the one DRAM-level hazard the window has to order
+/// explicitly; see [`TimingSink::conflict_gate`]). Shared by
+/// [`crate::TimingDriver`] and [`crate::TimedBackend`].
+#[derive(Debug)]
+pub(crate) struct InflightAccess {
+    pub(crate) reqs: Vec<(RequestId, (u8, u16, u64), MemOpKind)>,
+    pub(crate) read_footprint: Vec<(u8, u16, u64)>,
+}
+
+impl InflightAccess {
+    /// Builds the window entry from a drained
+    /// [`TimingSink::take_tagged_requests`] batch.
+    pub(crate) fn from_tagged(reqs: Vec<(RequestId, (u8, u16, u64), MemOpKind)>) -> Self {
+        let mut read_footprint: Vec<(u8, u16, u64)> = reqs
+            .iter()
+            .filter(|&&(_, _, kind)| kind == MemOpKind::Read)
+            .map(|&(_, key, _)| key)
+            .collect();
+        read_footprint.sort_unstable();
+        read_footprint.dedup();
+        InflightAccess { reqs, read_footprint }
+    }
+}
+
+/// Whether two sorted footprints share any `(channel, bank, row)` location.
+pub(crate) fn footprints_intersect(a: &[(u8, u16, u64)], b: &[(u8, u16, u64)]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    false
 }
 
 /// A request buffered by the channel-parallel issue mode, with its decoded
@@ -247,14 +301,16 @@ impl TimingSink {
             all_requests: Vec::new(),
             issue_mode: IssueMode::Serial,
             staged: Vec::new(),
+            pipelined: false,
+            tagged: Vec::new(),
         }
     }
 
     /// Sets how requests are handed to the memory system. Switching modes
-    /// requires no other state change; staged requests (if any) are flushed
-    /// first so no request is ever reordered across a mode switch.
+    /// requires no other state change; the access boundary is forced first
+    /// so no request is ever reordered across a mode switch.
     pub fn set_issue_mode(&mut self, mode: IssueMode) {
-        self.flush_staged();
+        self.access_boundary();
         self.issue_mode = mode;
     }
 
@@ -263,37 +319,90 @@ impl TimingSink {
         self.issue_mode
     }
 
-    /// Releases staged requests to the memory system, grouped by channel
-    /// and `(bank, row)`-ordered within each channel. The sort is stable,
-    /// so same-location requests keep their program order.
-    fn flush_staged(&mut self) {
+    /// Turns access-pipelined staging on or off. While on, requests are
+    /// staged under *both* issue modes and released by
+    /// [`release_at`](TimingSink::release_at) once the driver has fixed the
+    /// access's arrival cycle. The access boundary is forced first so no
+    /// request crosses the switch.
+    pub fn set_pipelined(&mut self, on: bool) {
+        self.access_boundary();
+        self.pipelined = on;
+    }
+
+    /// Whether access-pipelined staging is in force.
+    pub fn pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// The single access-boundary choke point: every staged request of the
+    /// current access is released to the memory system here, and every
+    /// operation that ends or inspects an access (clock moves, drains, id
+    /// take-overs, mode switches, pipelined releases) funnels through this
+    /// helper.
+    ///
+    /// A serial-mode release preserves program order; a channel-parallel
+    /// release groups by channel and orders `(bank, row)` within each
+    /// channel (stable sort, so same-location requests keep their program
+    /// order).
+    fn access_boundary(&mut self) {
         if self.staged.is_empty() {
             return;
         }
         let mut staged = std::mem::take(&mut self.staged);
-        staged.sort_by_key(|r| r.key);
+        if self.issue_mode == IssueMode::ChannelParallel {
+            staged.sort_by_key(|r| r.key);
+        }
         for r in staged.drain(..) {
             let id = self.memory.enqueue(r.kind, r.addr, r.priority, r.tag, self.now);
             if r.online && r.kind == MemOpKind::Read {
                 self.online_reads.push(id);
             }
             self.all_requests.push(id);
+            if self.pipelined {
+                self.tagged.push((id, r.key, r.kind));
+            }
         }
         self.staged = staged;
     }
 
     /// Sets the arrival timestamp for subsequent requests. Timestamps must
     /// be non-decreasing (the memory model's contract). Staged requests
-    /// belong to the access that issued them, so they flush before the
-    /// clock moves.
+    /// belong to the access that issued them, so the boundary is forced
+    /// before the clock moves.
     pub fn set_now(&mut self, cycle: u64) {
-        self.flush_staged();
+        self.access_boundary();
         self.now = cycle;
+    }
+
+    /// Pipelined release: moves the clock to `cycle` *first*, then forces
+    /// the access boundary so the staged access arrives at that cycle.
+    /// This is the one boundary whose staged requests belong to the access
+    /// *being released* rather than a finished one — the pipelined driver
+    /// stages the whole access, inspects its footprint, resolves its
+    /// dependency gates, and only then knows the arrival cycle. `cycle`
+    /// must be ≥ the last timestamp (the memory model's non-decreasing
+    /// contract).
+    pub fn release_at(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.now, "release_at must not move the clock backwards");
+        self.now = cycle;
+        self.access_boundary();
+    }
+
+    /// The distinct `(channel, bank, row)` locations the currently staged
+    /// access *writes*, sorted — the footprint the pipelined driver
+    /// intersects against in-flight accesses' read footprints to detect
+    /// same-bucket/slot write-after-read hazards. Empty unless staging is
+    /// in force.
+    pub fn staged_write_footprint(&self, out: &mut Vec<(u8, u16, u64)>) {
+        out.clear();
+        out.extend(self.staged.iter().filter(|r| r.kind == MemOpKind::Write).map(|r| r.key));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Drains the identifiers of online reads issued since the last call.
     pub fn take_online_reads(&mut self) -> Vec<RequestId> {
-        self.flush_staged();
+        self.access_boundary();
         std::mem::take(&mut self.online_reads)
     }
 
@@ -301,13 +410,65 @@ impl TimingSink {
     /// (the ORAM controller serializes on these: the next access begins
     /// after the previous one's maintenance traffic completes).
     pub fn take_all_requests(&mut self) -> Vec<RequestId> {
-        self.flush_staged();
+        self.access_boundary();
+        self.tagged.clear();
         std::mem::take(&mut self.all_requests)
+    }
+
+    /// Drains every request issued since the last drain together with its
+    /// decoded `(channel, bank, row)` location and kind. The pipelined
+    /// driver keeps these in its in-flight window so a footprint conflict
+    /// can wait on exactly the same-row reads rather than the whole
+    /// access's eviction drain. Recorded only while pipelined staging is
+    /// on.
+    pub fn take_tagged_requests(&mut self) -> Vec<(RequestId, (u8, u16, u64), MemOpKind)> {
+        self.access_boundary();
+        self.all_requests.clear();
+        std::mem::take(&mut self.tagged)
     }
 
     /// The completion cycle of `id` (forces scheduling as needed).
     pub fn completion_time(&mut self, id: RequestId) -> u64 {
         self.memory.completion_time(id)
+    }
+
+    /// Resolves an in-flight access to its full completion cycle — the
+    /// latest completion over all of its requests, reads and writebacks
+    /// alike. Forcing the lazy completion times here is what makes the
+    /// pipeline's window-overflow gate a true dependency.
+    pub(crate) fn resolve_inflight(&mut self, entry: InflightAccess) -> u64 {
+        entry.reqs.into_iter().map(|(id, _, _)| self.memory.completion_time(id)).max().unwrap_or(0)
+    }
+
+    /// The earliest cycle at which a new access writing `write_footprint`
+    /// may issue without overwriting a location `entry` has not finished
+    /// reading: the latest completion over exactly `entry`'s reads in the
+    /// shared `(channel, bank, row)` rows (zero when disjoint).
+    ///
+    /// Write-after-read is the one DRAM-level hazard the window orders
+    /// explicitly. Read-after-write needs no gate — a read of a location
+    /// with a pending writeback is served from the controller's write
+    /// queue (and the protocol state it would observe is already on chip:
+    /// the stash hand-off gate runs strictly later than the forwarding
+    /// point). Write-after-write needs none either: per-bank queues serve
+    /// same-row writes in arrival order. Gating on the conflicting
+    /// access's *writes* would instead re-serialize the controller — every
+    /// pair of paths shares rows near the root, and offline writebacks are
+    /// deprioritized to the end of the drain.
+    pub(crate) fn conflict_gate(
+        &mut self,
+        entry: &InflightAccess,
+        write_footprint: &[(u8, u16, u64)],
+    ) -> u64 {
+        let mut gate = 0;
+        if footprints_intersect(&entry.read_footprint, write_footprint) {
+            for &(id, key, kind) in &entry.reqs {
+                if kind == MemOpKind::Read && write_footprint.binary_search(&key).is_ok() {
+                    gate = gate.max(self.memory.completion_time(id));
+                }
+            }
+        }
+        gate
     }
 
     /// Schedules every pending online read, clears the pending list and
@@ -316,7 +477,7 @@ impl TimingSink {
     /// followed by per-id [`completion_time`](TimingSink::completion_time).
     /// `floor` seeds the maximum (the access's start cycle).
     pub fn drain_online_reads(&mut self, floor: u64) -> (u64, u64) {
-        self.flush_staged();
+        self.access_boundary();
         let mut done = floor;
         for i in 0..self.online_reads.len() {
             done = done.max(self.memory.completion_time(self.online_reads[i]));
@@ -332,7 +493,7 @@ impl TimingSink {
     /// through [`aboram_crypto::CryptoLatency::overlapped_exit`] instead of
     /// serializing the crypto burst after the latest one.
     pub fn drain_online_read_times(&mut self, into: &mut Vec<u64>) {
-        self.flush_staged();
+        self.access_boundary();
         into.clear();
         for i in 0..self.online_reads.len() {
             into.push(self.memory.completion_time(self.online_reads[i]));
@@ -346,12 +507,13 @@ impl TimingSink {
     /// [`take_all_requests`](TimingSink::take_all_requests) followed by
     /// per-id completion lookups.
     pub fn drain_all_requests(&mut self, floor: u64) -> u64 {
-        self.flush_staged();
+        self.access_boundary();
         let mut done = floor;
         for i in 0..self.all_requests.len() {
             done = done.max(self.memory.completion_time(self.all_requests[i]));
         }
         self.all_requests.clear();
+        self.tagged.clear();
         done
     }
 
@@ -363,7 +525,10 @@ impl TimingSink {
     /// Whether every issued request has been drained (no ids pending a
     /// completion-time query, nothing staged). Snapshots require this.
     pub fn is_idle(&self) -> bool {
-        self.online_reads.is_empty() && self.all_requests.is_empty() && self.staged.is_empty()
+        self.online_reads.is_empty()
+            && self.all_requests.is_empty()
+            && self.staged.is_empty()
+            && self.tagged.is_empty()
     }
 
     /// Access to the underlying memory system (stats, drain).
@@ -392,14 +557,17 @@ impl TimingSink {
 
     fn issue(&mut self, kind: MemOpKind, addr: u64, priority: Priority, tag: u32, online: bool) {
         match self.issue_mode {
-            IssueMode::Serial => {
+            IssueMode::Serial if !self.pipelined => {
                 let id = self.memory.enqueue(kind, addr, priority, tag, self.now);
                 if online && kind == MemOpKind::Read {
                     self.online_reads.push(id);
                 }
                 self.all_requests.push(id);
             }
-            IssueMode::ChannelParallel => self.stage(kind, addr, priority, tag, online),
+            // Channel-parallel always stages; pipelined serial stages too
+            // (the access boundary releases in program order), so the
+            // driver can inspect the footprint before fixing arrival.
+            _ => self.stage(kind, addr, priority, tag, online),
         }
     }
 }
@@ -418,7 +586,7 @@ impl MemorySink for TimingSink {
     fn read_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
         let pri = if online { Priority::Online } else { Priority::Offline };
         match self.issue_mode {
-            IssueMode::Serial => {
+            IssueMode::Serial if !self.pipelined => {
                 let ids = self.memory.enqueue_batch(
                     MemOpKind::Read,
                     addrs.iter().map(|a| a.byte()),
@@ -431,7 +599,7 @@ impl MemorySink for TimingSink {
                 }
                 self.all_requests.extend(ids);
             }
-            IssueMode::ChannelParallel => {
+            _ => {
                 for &addr in addrs {
                     self.stage(MemOpKind::Read, addr.byte(), pri, op.tag(), online);
                 }
@@ -442,7 +610,7 @@ impl MemorySink for TimingSink {
     fn write_batch(&mut self, addrs: &[SlotAddr], op: OramOp, online: bool) {
         let pri = if online { Priority::Online } else { Priority::Offline };
         match self.issue_mode {
-            IssueMode::Serial => {
+            IssueMode::Serial if !self.pipelined => {
                 let ids = self.memory.enqueue_batch(
                     MemOpKind::Write,
                     addrs.iter().map(|a| a.byte()),
@@ -452,7 +620,7 @@ impl MemorySink for TimingSink {
                 );
                 self.all_requests.extend(ids);
             }
-            IssueMode::ChannelParallel => {
+            _ => {
                 for &addr in addrs {
                     self.stage(MemOpKind::Write, addr.byte(), pri, op.tag(), online);
                 }
@@ -537,6 +705,49 @@ mod tests {
         assert_eq!(
             a.requests_by_channel().iter().sum::<u64>(),
             b.requests_by_channel().iter().sum::<u64>(),
+        );
+    }
+
+    #[test]
+    fn pipelined_serial_release_matches_immediate_issue() {
+        // A pipelined serial-mode access staged and released at cycle `t`
+        // must enqueue the identical request sequence (order, kinds,
+        // arrival) as unpipelined serial issue at the same `t` — depth-1
+        // pipelining is the legacy schedule by construction.
+        let mk = || TimingSink::new(MemorySystem::new(DramConfig::default()));
+        let addrs: Vec<SlotAddr> = (0..12).map(|i| SlotAddr(i * 4096 + 128)).collect();
+
+        let mut plain = mk();
+        plain.set_now(50);
+        for &a in &addrs {
+            plain.read(a, OramOp::ReadPath, true);
+        }
+        plain.write_batch(&addrs, OramOp::EvictPath, false);
+
+        let mut piped = mk();
+        piped.set_pipelined(true);
+        for &a in &addrs {
+            piped.read(a, OramOp::ReadPath, true);
+        }
+        piped.write_batch(&addrs, OramOp::EvictPath, false);
+        assert!(!piped.is_idle(), "requests stay staged until release");
+        let mut fp = Vec::new();
+        piped.staged_write_footprint(&mut fp);
+        assert!(!fp.is_empty() && fp.windows(2).all(|w| w[0] < w[1]), "sorted distinct footprint");
+        piped.release_at(50);
+
+        let (a, b) = (plain.drain_all_requests(0), piped.drain_all_requests(0));
+        assert_eq!(a, b, "identical completion schedule");
+        for s in [&mut plain, &mut piped] {
+            s.memory_mut().drain();
+        }
+        assert_eq!(
+            plain.memory().stats().total_requests(),
+            piped.memory().stats().total_requests()
+        );
+        assert_eq!(
+            plain.memory().stats().bytes_transferred(),
+            piped.memory().stats().bytes_transferred()
         );
     }
 

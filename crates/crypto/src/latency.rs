@@ -74,13 +74,35 @@ impl CryptoLatency {
     /// degenerates exactly to `last + burst_cycles(n)` — the serialized
     /// charge — and it can never exceed it.
     pub fn overlapped_exit(&self, completions: &mut [u64]) -> u64 {
+        self.overlapped_exit_from(0, completions)
+    }
+
+    /// [`overlapped_exit`](Self::overlapped_exit) with the pipeline already
+    /// occupied: `prev_exit` is the cycle the previous burst's last block
+    /// exited, and the single pipeline still retires at most one block per
+    /// `per_block` cycles *across* burst boundaries —
+    ///
+    /// ```text
+    /// exit_0 = max(c_0 + pipeline_fill, prev_exit + per_block)
+    /// exit_i = max(c_i + pipeline_fill, exit_{i-1} + per_block)
+    /// ```
+    ///
+    /// The access-pipelined execution mode threads each access's exit into
+    /// the next access's drain, so back-to-back accesses share one crypto
+    /// pipeline instead of each getting a magically idle one. With
+    /// `prev_exit = 0` this is exactly `overlapped_exit` (a DRAM completion
+    /// plus the fill always exceeds one retire slot after cycle 0).
+    pub fn overlapped_exit_from(&self, prev_exit: u64, completions: &mut [u64]) -> u64 {
         let Some((&first, rest)) = ({
             completions.sort_unstable();
             completions.split_first()
         }) else {
             return 0;
         };
-        let mut exit = first + self.pipeline_fill;
+        // An empty pipeline (prev_exit 0) charges the first block no retire
+        // slot — the overlapped_exit formula, bit-exact.
+        let floor = if prev_exit == 0 { 0 } else { prev_exit + self.per_block };
+        let mut exit = (first + self.pipeline_fill).max(floor);
         for &c in rest {
             exit = (exit + self.per_block).max(c + self.pipeline_fill);
         }
@@ -135,5 +157,27 @@ mod tests {
         let mut jumbled = [390, 100, 385, 380];
         let serial = 390 + lat.burst_cycles(4);
         assert!(lat.overlapped_exit(&mut jumbled) <= serial);
+    }
+
+    #[test]
+    fn overlapped_exit_from_carries_the_pipeline_across_bursts() {
+        let lat = CryptoLatency::new(40, 2);
+        // Floor 0 is exactly the single-burst formula.
+        let mut a = [100, 200, 300, 400];
+        let mut b = a;
+        assert_eq!(lat.overlapped_exit_from(0, &mut a), lat.overlapped_exit(&mut b));
+        // A busy pipeline delays a burst whose first block would otherwise
+        // exit before the previous burst finished retiring.
+        let mut tight = [10, 11, 12];
+        assert_eq!(lat.overlapped_exit_from(100, &mut tight), 106);
+        // A long-idle pipeline adds nothing.
+        let mut late = [500];
+        assert_eq!(lat.overlapped_exit_from(100, &mut late), 540);
+        assert_eq!(lat.overlapped_exit_from(100, &mut []), 0);
+        // Never earlier than the empty-pipeline exit: the carried floor can
+        // only delay.
+        let mut x = [50, 60, 70];
+        let mut y = x;
+        assert!(lat.overlapped_exit_from(80, &mut x) >= lat.overlapped_exit(&mut y));
     }
 }

@@ -28,11 +28,21 @@ pub struct BatchConfig {
     pub period: u64,
     /// Queue bound for admission control.
     pub queue_capacity: usize,
+    /// Per-access completion stamping for pipelined stores. The default
+    /// (`false`) stamps every request with the batch's end time — the
+    /// batch is the privacy unit. `true` stamps each request with its own
+    /// slot's completion: the finish time reveals the request's slot
+    /// position within the batch *to its own requester only* (the bus
+    /// schedule is unchanged — every batch still issues `batch_size`
+    /// indistinguishable accesses in the same fixed order), and in
+    /// exchange the latency benefit of an access-pipelined backend becomes
+    /// visible per request instead of being flattened to the slowest slot.
+    pub pipelined: bool,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { batch_size: 8, period: 50_000, queue_capacity: 64 }
+        BatchConfig { batch_size: 8, period: 50_000, queue_capacity: 64, pipelined: false }
     }
 }
 
@@ -69,7 +79,9 @@ pub struct Completion {
     pub id: u64,
     /// Submission time.
     pub arrived: u64,
-    /// Batch end time — identical for every request in the batch.
+    /// Completion time: the batch's end (identical for every request in
+    /// the batch) by default, or the request's own slot completion when
+    /// per-access stamping is on (see [`BatchConfig::pipelined`]).
     pub done: u64,
     /// The observed value: for a get, the value at its point in the
     /// batch's arrival order (`None` on miss); always `None` for a put.
@@ -286,7 +298,7 @@ impl BatchingFrontEnd {
             })?;
             batch_end = batch_end.max(done);
             for (q, value) in items.iter().zip(observed) {
-                completions.push(Completion { id: q.id, arrived: q.arrived, done: 0, value });
+                completions.push(Completion { id: q.id, arrived: q.arrived, done, value });
             }
         }
 
@@ -298,9 +310,14 @@ impl BatchingFrontEnd {
             batch_end = batch_end.max(done);
         }
 
-        // The batch is the privacy unit: everything completes together.
-        for c in &mut completions {
-            c.done = batch_end;
+        // The batch is the privacy unit: everything completes together —
+        // unless per-access stamping was opted into (see
+        // [`BatchConfig::pipelined`]), which keeps each slot's own
+        // completion time.
+        if !self.cfg.pipelined {
+            for c in &mut completions {
+                c.done = batch_end;
+            }
         }
         Ok(completions)
     }
@@ -344,7 +361,8 @@ mod tests {
 
     fn front(batch_size: usize, period: u64, capacity: usize) -> BatchingFrontEnd {
         let store = ObliviousStore::new(&StoreConfig::new(8, Scheme::Ab)).unwrap();
-        BatchingFrontEnd::new(store, BatchConfig { batch_size, period, queue_capacity: capacity })
+        let cfg = BatchConfig { batch_size, period, queue_capacity: capacity, pipelined: false };
+        BatchingFrontEnd::new(store, cfg)
     }
 
     fn get(key: &[u8]) -> Request {
@@ -440,6 +458,41 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].value.as_deref(), Some(b"v".as_slice()));
         assert_eq!(fe.stats().batches, 1, "the preload-era backlog never ran");
+    }
+
+    #[test]
+    fn pipelined_stamping_exposes_per_slot_completions() {
+        use crate::store::BackendKind;
+        use aboram_dram::DramConfig;
+
+        let run = |pipelined: bool, depth: u8| {
+            let mut store_cfg = StoreConfig::new(8, Scheme::Ab);
+            store_cfg.backend = BackendKind::Timed(DramConfig::default());
+            store_cfg.pipeline_depth = depth;
+            let store = ObliviousStore::new(&store_cfg).unwrap();
+            let cfg = BatchConfig { batch_size: 4, period: 1_000, queue_capacity: 16, pipelined };
+            let mut fe = BatchingFrontEnd::new(store, cfg);
+            for i in 0..4u64 {
+                fe.submit(i, put(format!("k{i}").as_bytes(), b"v")).unwrap();
+            }
+            fe.advance_to(1_000).unwrap()
+        };
+
+        let flat = run(false, 1);
+        assert!(flat.iter().all(|c| c.done == flat[0].done), "batch-end stamping by default");
+
+        let piped = run(true, 4);
+        assert_eq!(piped.len(), 4);
+        assert!(
+            piped.iter().any(|c| c.done != piped[0].done),
+            "per-access stamping differentiates slot completions"
+        );
+        let max_piped = piped.iter().map(|c| c.done).max().unwrap();
+        let flat_end = flat[0].done;
+        assert!(
+            max_piped <= flat_end,
+            "pipelined batch finishes no later: {max_piped} vs {flat_end}"
+        );
     }
 
     #[test]

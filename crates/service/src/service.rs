@@ -179,7 +179,12 @@ mod tests {
                 s.seed = seed;
                 s
             },
-            batch: BatchConfig { batch_size: 2, period: 1_000, queue_capacity: 8 },
+            batch: BatchConfig {
+                batch_size: 2,
+                period: 1_000,
+                queue_capacity: 8,
+                pipelined: false,
+            },
         };
         let mut svc = ObliviousService::new(&[spec("alpha", 1), spec("beta", 2)]).unwrap();
         assert_eq!(svc.tenant_count(), 2);

@@ -55,6 +55,12 @@ pub struct StoreConfig {
     pub seed: u64,
     /// Engine twin selection.
     pub backend: BackendKind,
+    /// Access-pipeline depth for timed backends (data tree and the whole
+    /// recursion ladder): 1 (the default) is the classic serialized
+    /// controller; deeper windows let an access's read phase issue while
+    /// earlier accesses' eviction/writeback traffic drains (see
+    /// [`TimedBackend::set_pipeline_depth`]). Untimed backends ignore it.
+    pub pipeline_depth: u8,
 }
 
 impl StoreConfig {
@@ -70,6 +76,7 @@ impl StoreConfig {
             root_max_entries: 64,
             seed: 2023,
             backend: BackendKind::Untimed,
+            pipeline_depth: 1,
         }
     }
 
@@ -124,12 +131,15 @@ impl std::fmt::Debug for ObliviousStore {
 
 fn make_backend(
     kind: BackendKind,
+    pipeline_depth: u8,
 ) -> impl FnMut(&OramConfig) -> Result<Box<dyn StorageBackend>, OramError> {
     move |cfg: &OramConfig| {
-        Ok(match kind {
+        let mut backend = match kind {
             BackendKind::Untimed => Box::new(UntimedBackend::new(cfg)?) as Box<dyn StorageBackend>,
             BackendKind::Timed(dram) => Box::new(TimedBackend::new(cfg, dram)?),
-        })
+        };
+        backend.set_pipeline_depth(pipeline_depth);
+        Ok(backend)
     }
 }
 
@@ -168,7 +178,7 @@ impl ObliviousStore {
     ///
     /// Propagates engine construction/protocol errors.
     pub fn new(cfg: &StoreConfig) -> Result<Self, OramError> {
-        let mut make = make_backend(cfg.backend);
+        let mut make = make_backend(cfg.backend, cfg.pipeline_depth);
         let mut builder =
             OramConfig::builder(cfg.levels, cfg.scheme).store_data(true).seed(cfg.seed);
         if let Some(max) = cfg.max_levels {

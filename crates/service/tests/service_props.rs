@@ -154,7 +154,7 @@ proptest! {
         let store = ObliviousStore::new(&cfg).unwrap();
         let mut fe = BatchingFrontEnd::new(
             store,
-            BatchConfig { batch_size, period: 10_000, queue_capacity: ops.len() + 1 },
+            BatchConfig { batch_size, period: 10_000, queue_capacity: ops.len() + 1, pipelined: false },
         );
 
         // Submit everything up front; ids are issued in arrival order.

@@ -249,7 +249,7 @@ fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
     let store = ObliviousStore::new(&cfg).map_err(|e| e.to_string())?;
     let mut fe = BatchingFrontEnd::new(
         store,
-        BatchConfig { batch_size: batch, period, queue_capacity: 256 },
+        BatchConfig { batch_size: batch, period, queue_capacity: 256, pipelined: false },
     );
 
     eprintln!("[pre-loading {keys} keys]");

@@ -215,6 +215,7 @@ mod tests {
             early_reshuffles: 8,
             stash_peak: 9,
             online_latency_cycles: 10,
+            response_latency_cycles: 11,
             recovery: crate::stats::RecoveryStats::new(),
             health: crate::stats::HealthState::Healthy,
         };

@@ -1,0 +1,131 @@
+//! Serial vs access-pipelined differential suite.
+//!
+//! Cross-access pipelining (DESIGN.md §15) may only change *when* accesses'
+//! DRAM requests are released onto the twin — never what the protocol does
+//! and never the request set an access emits. This suite forces pipeline
+//! depths 1 and 4 onto every golden scheme, replays the same fixed trace,
+//! and asserts the protocol outcomes are identical:
+//!
+//! * the engine's serialized state (`ABSN` bytes: position map, stash,
+//!   bucket metadata, RNG stream, census) is byte-for-byte equal;
+//! * every report field describing protocol work (accesses, evictions,
+//!   reshuffles, stash peak, bytes moved) is equal;
+//! * only the cycle-flavored fields may differ, and pipelining is never
+//!   slower end-to-end: `response_latency_cycles` (completion minus issue,
+//!   the latency a requester observes) must not grow. `online_latency_cycles`
+//!   (completion minus DRAM release) is deliberately *not* bounded here —
+//!   pipelining moves queueing delay from before the release point to after
+//!   it, so that per-access figure can tick up even as every response
+//!   arrives earlier.
+//!
+//! This is the obliviousness argument made executable: the request *set*
+//! per access is unchanged (same addresses, kinds, priorities), so an
+//! adversary observing the address bus per access learns nothing new; only
+//! the inter-access issue schedule moves, and that schedule is already
+//! public (it is a deterministic function of public timing).
+
+use aboram::core::{Scheme, SimulationReport, TimingDriver};
+use aboram::dram::DramConfig;
+use aboram::golden;
+use aboram::trace::{profiles, TraceGenerator};
+
+/// A shortened window keeps the full 7-scheme × 2-depth grid in seconds.
+const RECORDS: usize = 200;
+const WARMUP: u64 = 500;
+
+fn run_depth(scheme: Scheme, depth: u8) -> (SimulationReport, Vec<u8>) {
+    let cfg = golden::case_config(scheme).expect("golden config builds");
+    let mut driver = TimingDriver::new(&cfg, DramConfig::default()).expect("driver builds");
+    driver.set_pipeline_depth(depth);
+    driver.warm_up(WARMUP).expect("warm-up runs");
+    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf profile");
+    let mut gen = TraceGenerator::new(&profile, golden::GOLDEN_SEED);
+    let report = driver.run((0..RECORDS).map(|_| gen.next_record())).expect("timed window runs");
+    let engine = driver.oram_mut().snapshot().expect("engine snapshots");
+    (report, engine)
+}
+
+#[test]
+fn pipeline_depths_agree_on_everything_but_cycles() {
+    for (name, scheme) in golden::cases() {
+        let (serial, serial_engine) = run_depth(scheme, 1);
+        let (deep, deep_engine) = run_depth(scheme, 4);
+
+        assert_eq!(
+            serial_engine, deep_engine,
+            "{name}: pipeline depth leaked into protocol state (ABSN bytes diverged)"
+        );
+        assert_eq!(serial.records, deep.records, "{name}: records");
+        assert_eq!(serial.instructions, deep.instructions, "{name}: instructions");
+        assert_eq!(serial.user_accesses, deep.user_accesses, "{name}: user accesses");
+        assert_eq!(
+            serial.background_accesses, deep.background_accesses,
+            "{name}: background accesses"
+        );
+        assert_eq!(serial.evict_paths, deep.evict_paths, "{name}: evict paths");
+        assert_eq!(serial.early_reshuffles, deep.early_reshuffles, "{name}: early reshuffles");
+        assert_eq!(serial.stash_peak, deep.stash_peak, "{name}: stash peak");
+        assert_eq!(
+            serial.bytes_transferred, deep.bytes_transferred,
+            "{name}: the request set per access must be unchanged"
+        );
+        // End-to-end latency is the one thing allowed to move, and only
+        // downward: overlapping independent accesses can hide queueing
+        // but must never add any on the requester-visible path.
+        assert!(
+            deep.response_latency_cycles <= serial.response_latency_cycles,
+            "{name}: pipelining added requester-visible latency ({} > {})",
+            deep.response_latency_cycles,
+            serial.response_latency_cycles
+        );
+        assert!(
+            deep.exec_cycles <= serial.exec_cycles,
+            "{name}: pipelining stretched the wall clock ({} > {})",
+            deep.exec_cycles,
+            serial.exec_cycles
+        );
+    }
+}
+
+/// Depth 1 *is* the classic serialized controller: forcing it produces a
+/// report and engine bit-identical to a driver that was never touched.
+#[test]
+fn depth_one_is_bitexact_with_untouched_driver() {
+    for (name, scheme) in golden::cases() {
+        let (forced, forced_engine) = run_depth(scheme, 1);
+
+        let cfg = golden::case_config(scheme).expect("config");
+        let mut driver = TimingDriver::new(&cfg, DramConfig::default()).expect("driver");
+        driver.warm_up(WARMUP).expect("warm-up");
+        let profile =
+            profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf profile");
+        let mut gen = TraceGenerator::new(&profile, golden::GOLDEN_SEED);
+        let default_report =
+            driver.run((0..RECORDS).map(|_| gen.next_record())).expect("timed window");
+        let default_engine = driver.oram_mut().snapshot().expect("snapshot");
+
+        assert_eq!(default_report, forced, "{name}: depth-1 run != untouched run");
+        assert_eq!(default_engine, forced_engine, "{name}: depth-1 engine != untouched engine");
+    }
+}
+
+/// The driver snapshot round-trips the pipeline depth (ABSD v5) and a
+/// restored driver picks up where the original would have.
+#[test]
+fn snapshot_round_trips_pipeline_depth() {
+    let cfg = golden::case_config(Scheme::Ab).expect("config");
+    let mut driver = TimingDriver::new(&cfg, DramConfig::default()).expect("driver");
+    driver.set_pipeline_depth(4);
+    driver.warm_up(WARMUP).expect("warm-up");
+    let profile = profiles::spec2017().into_iter().find(|p| p.name == "mcf").expect("mcf profile");
+    let mut gen = TraceGenerator::new(&profile, golden::GOLDEN_SEED);
+    let first = driver.run((0..RECORDS / 2).map(|_| gen.next_record())).expect("first half");
+
+    let snap = driver.snapshot().expect("driver snapshots");
+    let mut restored =
+        TimingDriver::restore(&cfg, DramConfig::default(), &snap).expect("driver restores");
+    assert_eq!(restored.pipeline_depth(), 4, "ABSD v5 must carry the depth");
+
+    let second = restored.run((0..RECORDS / 2).map(|_| gen.next_record())).expect("second half");
+    assert_eq!(first.records + second.records, RECORDS as u64);
+}

@@ -1,0 +1,149 @@
+//! SIMD-vs-scalar equivalence suite.
+//!
+//! Every vector kernel in `aboram_tree::simd` must be bit-identical to the
+//! scalar reference on arbitrary inputs — the dispatched kernels sit under
+//! the metadata scans and address computation of every access, so a single
+//! divergent lane would silently fork the protocol. Three layers are
+//! checked, each property-based:
+//!
+//! * the raw kernels (`mask_and`/`mask_or`/`mask_dummy`/`slot_addr_run`)
+//!   against the scalar formula, for every kernel this CPU can run,
+//!   including misaligned lengths that exercise the scalar tails;
+//! * [`PhysicalLayout::slot_addrs`] (the batched, run-detecting form)
+//!   against one [`PhysicalLayout::slot_addr`] call per slot on arbitrary
+//!   non-uniform geometries and arbitrary slot orders;
+//! * [`MetadataStore::path_pick_masks`]/[`not_refreshed_masks`] (the
+//!   batched gather-and-combine) against the per-bucket
+//!   `valid_mask`/`dummy_mask`/`not_refreshed_mask` formulas on randomly
+//!   mutated bucket metadata.
+//!
+//! CI complements this with a forced-scalar golden replay
+//! (`tests/simd_fallback_golden.rs` under `ABORAM_SIMD=off`), closing the
+//! loop from kernel-level equality to end-to-end fixture equality.
+
+use aboram::core::{MaskScratch, MetadataStore, RealEntry, SlotStatus};
+use aboram::tree::simd::{
+    available_kernels, mask_and_with, mask_dummy_with, mask_or_with, slot_addr_run_with, Kernel,
+};
+use aboram::tree::{BucketId, LevelConfig, PathId, PhysicalLayout, SlotId, TreeGeometry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw kernels: every available flavor reproduces the scalar formula
+    /// lane for lane, at lengths that cover full vectors and ragged tails.
+    #[test]
+    fn kernels_match_scalar_reference(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+        c in proptest::collection::vec(any::<u64>(), 0..40),
+        base in any::<u64>(),
+        indices in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let n = a.len().min(b.len()).min(c.len());
+        let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+        for &k in available_kernels() {
+            let mut want = vec![0u64; n];
+            let mut got = vec![0u64; n];
+            mask_and_with(Kernel::Scalar, a, b, &mut want);
+            mask_and_with(k, a, b, &mut got);
+            prop_assert_eq!(&want, &got, "{:?} mask_and", k);
+            mask_or_with(Kernel::Scalar, a, b, &mut want);
+            mask_or_with(k, a, b, &mut got);
+            prop_assert_eq!(&want, &got, "{:?} mask_or", k);
+            mask_dummy_with(Kernel::Scalar, a, b, c, &mut want);
+            mask_dummy_with(k, a, b, c, &mut got);
+            prop_assert_eq!(&want, &got, "{:?} mask_dummy", k);
+
+            let mut want_a = vec![0u64; indices.len()];
+            let mut got_a = vec![0u64; indices.len()];
+            slot_addr_run_with(Kernel::Scalar, base, &indices, &mut want_a);
+            slot_addr_run_with(k, base, &indices, &mut got_a);
+            prop_assert_eq!(&want_a, &got_a, "{:?} slot_addr_run", k);
+        }
+    }
+
+    /// Batched address computation: `slot_addrs` over an arbitrary slot
+    /// sequence (same-bucket runs, bucket switches, level switches, repeats
+    /// — whatever the generator produces) equals the scalar per-slot form.
+    #[test]
+    fn batched_slot_addrs_match_scalar(
+        levels in 3u8..9,
+        z_real in 1u8..5,
+        s_top in 0u8..4,
+        s_bottom in 0u8..4,
+        bottom in 1u8..3,
+        picks in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..200),
+    ) {
+        let geo = TreeGeometry::uniform(levels, LevelConfig::new(z_real, s_top))
+            .unwrap()
+            .override_bottom_levels(bottom.min(levels), LevelConfig::new(z_real, s_bottom))
+            .unwrap();
+        let layout = PhysicalLayout::new(&geo);
+        let slots: Vec<SlotId> = picks
+            .into_iter()
+            .map(|(braw, s)| {
+                let bucket = BucketId::new(braw % geo.bucket_count());
+                let z = geo.level_config(bucket.level()).z_total();
+                SlotId::new(bucket, s % z)
+            })
+            .collect();
+
+        let mut batched = Vec::new();
+        layout.slot_addrs(&slots, &mut batched).unwrap();
+        let scalar: Vec<_> = slots.iter().map(|&s| layout.slot_addr(s).unwrap()).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    /// Batched metadata scans: gather-and-combine over a path's buckets
+    /// equals the per-bucket mask formulas, for arbitrary valid/real/status
+    /// patterns written through the public mutators.
+    #[test]
+    fn batched_metadata_masks_match_per_bucket(
+        levels in 3u8..9,
+        z_real in 1u8..5,
+        s in 0u8..4,
+        leaf_seed in any::<u64>(),
+        valid_bits in proptest::collection::vec(any::<u16>(), 16),
+        real_picks in proptest::collection::vec(any::<u16>(), 16),
+        statuses in proptest::collection::vec(any::<u16>(), 16),
+    ) {
+        let geo = TreeGeometry::uniform(levels, LevelConfig::new(z_real, s)).unwrap();
+        let mut store = MetadataStore::new(&geo);
+        let path = PathId::new(leaf_seed % geo.leaf_count());
+        let buckets: Vec<BucketId> = geo.path_buckets(path).collect();
+
+        for (i, &b) in buckets.iter().enumerate() {
+            let meta = store.get_mut(b);
+            let slots = meta.own_slots();
+            for j in 0..slots {
+                meta.set_valid(j, valid_bits[i] & (1 << j) != 0);
+                let st = match (statuses[i] >> j) & 0b11 {
+                    0b01 => SlotStatus::Dead,
+                    0b10 => SlotStatus::Allocated,
+                    _ => SlotStatus::Refreshed,
+                };
+                meta.set_status(j, st);
+            }
+            // Map a few real blocks into distinct slots.
+            for j in 0..slots.min(z_real) {
+                if real_picks[i] & (1 << j) != 0 {
+                    meta.push_entry(RealEntry { addr: u64::from(j), label: path, ptr: j });
+                }
+            }
+        }
+
+        let mut scratch = MaskScratch::default();
+        let (mut valid, mut dummy, mut nref) = (Vec::new(), Vec::new(), Vec::new());
+        store.path_pick_masks(&buckets, &mut scratch, &mut valid, &mut dummy);
+        store.not_refreshed_masks(&buckets, &mut scratch, &mut nref);
+
+        for (i, &b) in buckets.iter().enumerate() {
+            let m = store.get(b);
+            prop_assert_eq!(valid[i], m.valid_mask(), "bucket {} valid", i);
+            prop_assert_eq!(dummy[i], m.dummy_mask(), "bucket {} dummy", i);
+            prop_assert_eq!(nref[i], m.not_refreshed_mask(), "bucket {} not-refreshed", i);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Forced-scalar golden replay.
+//!
+//! The SIMD dispatcher is latched once per process (`aboram_tree::simd`),
+//! so this suite lives in its own test binary: it pins `ABORAM_SIMD=off`
+//! before anything touches a kernel, verifies the latch took, and then
+//! replays every golden fixture. A pass proves the scalar fallback is
+//! end-to-end observationally identical to whatever vector kernel produced
+//! the committed fixtures — the complement of the property-level checks in
+//! `tests/simd_equivalence.rs`. CI additionally runs the whole regular
+//! suite under `ABORAM_SIMD=off` so every other differential gets the same
+//! treatment.
+
+use aboram::golden;
+use aboram::tree::simd::{kernel, Kernel};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.json"))
+}
+
+#[test]
+fn scalar_fallback_reproduces_all_fixtures() {
+    // Single test in this binary, so nothing can have latched the kernel
+    // before this line runs; the assert below would catch it if it had.
+    std::env::set_var("ABORAM_SIMD", "off");
+    assert_eq!(kernel(), Kernel::Scalar, "latch must pick the scalar fallback");
+
+    let mut failures = Vec::new();
+    for (name, scheme) in golden::cases() {
+        let report = golden::run_case(scheme).expect("golden case runs");
+        let got = golden::digest_json(name, scheme, &report);
+        let path = fixture_path(name);
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run BLESS=1", path.display()));
+        if got != want {
+            failures.push(format!(
+                "scheme {name}: scalar-fallback digest diverged from {}\n--- fixture\n{want}\n--- \
+                 current\n{got}",
+                path.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
